@@ -1,0 +1,327 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark runs the corresponding experiment
+// (internal/experiments) and reports its headline numbers as custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. Micro-benchmarks of the engine's hot
+// paths (pull, push, flush, recovery) follow at the bottom.
+package openembedding
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"openembedding/internal/experiments"
+	"openembedding/internal/sim"
+)
+
+// runExperiment executes one registered experiment per benchmark iteration
+// and prints its table once.
+func runExperiment(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = e.Run(experiments.Options{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tab != nil {
+		b.Logf("\n%s", tab)
+	}
+	return tab
+}
+
+func metric(b *testing.B, tab *experiments.Table, row, col, name string) {
+	b.Helper()
+	cell := tab.Cell(row, col)
+	cell = strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%")
+	if v, err := strconv.ParseFloat(cell, 64); err == nil {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkTable1DeviceCharacteristics(b *testing.B) {
+	tab := runExperiment(b, "table1")
+	metric(b, tab, "PMem", "Read BW", "pmem_read_GBps")
+	metric(b, tab, "PMem", "Read lat", "pmem_read_ns")
+}
+
+func BenchmarkTable2AccessSkew(b *testing.B) {
+	tab := runExperiment(b, "table2")
+	metric(b, tab, "top 0.05%", "Measured", "top0.05pct_share_%")
+}
+
+func BenchmarkFig2BurstPattern(b *testing.B) {
+	runExperiment(b, "fig2")
+}
+
+func BenchmarkFig3MotivationPenalty(b *testing.B) {
+	tab := runExperiment(b, "fig3")
+	metric(b, tab, "ori-cache", "16 GPUs", "oricache_norm16")
+	metric(b, tab, "pmem-hash", "16 GPUs", "pmemhash_norm16")
+}
+
+func BenchmarkTable5Cost(b *testing.B) {
+	tab := runExperiment(b, "table5")
+	metric(b, tab, "PMem-OE", "$/epoch", "pmemoe_usd_epoch")
+	metric(b, tab, "DRAM-PS", "$/epoch", "dramps_usd_epoch")
+}
+
+func BenchmarkFig6EndToEnd(b *testing.B) {
+	tab := runExperiment(b, "fig6")
+	metric(b, tab, "pmem-oe", "4 GPUs", "pmemoe_norm4")
+	metric(b, tab, "ori-cache", "16 GPUs", "oricache_norm16")
+}
+
+func BenchmarkFig7PipelinedCache(b *testing.B) {
+	tab := runExperiment(b, "fig7")
+	metric(b, tab, "pmem-oe", "16 GPUs", "pmemoe_norm16")
+}
+
+func BenchmarkFig8CacheSize(b *testing.B) {
+	tab := runExperiment(b, "fig8")
+	metric(b, tab, "2GB", "Normalized time", "norm_2GB")
+}
+
+func BenchmarkFig9Ablation(b *testing.B) {
+	tab := runExperiment(b, "fig9")
+	metric(b, tab, "cache + pipeline (PMem-OE)", "Normalized time", "both_enabled_norm")
+}
+
+func BenchmarkFig10SkewFit(b *testing.B) {
+	tab := runExperiment(b, "fig10")
+	metric(b, tab, "original (Table II fit)", "Fitted lambda", "lambda")
+}
+
+func BenchmarkFig11SkewSweep(b *testing.B) {
+	tab := runExperiment(b, "fig11")
+	metric(b, tab, "original", "Miss rate", "missrate_%")
+}
+
+func BenchmarkFig12CheckpointInterval(b *testing.B) {
+	tab := runExperiment(b, "fig12")
+	metric(b, tab, "20 min", "Proposed", "proposed_norm_20min")
+	metric(b, tab, "20 min", "Incremental", "incremental_norm_20min")
+}
+
+func BenchmarkFig13CheckpointScaling(b *testing.B) {
+	runExperiment(b, "fig13")
+}
+
+func BenchmarkFig14Recovery(b *testing.B) {
+	tab := runExperiment(b, "fig14")
+	metric(b, tab, "PMem-OE (scan + index rebuild)", "Total (s)", "pmemoe_recovery_s")
+}
+
+func BenchmarkFig15Criteo(b *testing.B) {
+	tab := runExperiment(b, "fig15")
+	metric(b, tab, "pmem-oe", "dim64/4GPU", "pmemoe_d64g4_norm")
+	metric(b, tab, "tf", "dim64/4GPU", "tf_d64g4_norm")
+}
+
+// ---------------------------------------------------------------------------
+// Engine micro-benchmarks (real wall time of the functional layer).
+// ---------------------------------------------------------------------------
+
+func benchServer(b *testing.B, cacheEntries int) *Server {
+	b.Helper()
+	s, err := Open(Config{Dim: 64, Capacity: 1 << 16, CacheEntries: cacheEntries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+func BenchmarkEnginePullHot(b *testing.B) {
+	s := benchServer(b, 1024)
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	dst := make([]float32, len(keys)*64)
+	if err := s.Pull(0, keys, dst); err != nil {
+		b.Fatal(err)
+	}
+	s.EndPullPhase(0)
+	if err := s.EndBatch(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := int64(i + 1)
+		if err := s.Pull(batch, keys, dst); err != nil {
+			b.Fatal(err)
+		}
+		s.EndPullPhase(batch)
+		if err := s.EndBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(keys)*b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+func BenchmarkEnginePullPushBatch(b *testing.B) {
+	s := benchServer(b, 4096)
+	keys := make([]uint64, 512)
+	for i := range keys {
+		keys[i] = uint64(i * 17 % (1 << 15))
+	}
+	dst := make([]float32, len(keys)*64)
+	grads := make([]float32, len(keys)*64)
+	for i := range grads {
+		grads[i] = 0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := int64(i)
+		if err := s.Pull(batch, keys, dst); err != nil {
+			b.Fatal(err)
+		}
+		s.EndPullPhase(batch)
+		if err := s.Push(batch, keys, grads); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.EndBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(keys)*b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+func BenchmarkEngineColdMisses(b *testing.B) {
+	// A cache far smaller than the working set: every batch churns PMem.
+	s := benchServer(b, 64)
+	dst := make([]float32, 256*64)
+	grads := make([]float32, 256*64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys := make([]uint64, 256)
+		for j := range keys {
+			keys[j] = uint64((i*256 + j) % (1 << 15))
+		}
+		batch := int64(i)
+		if err := s.Pull(batch, keys, dst); err != nil {
+			b.Fatal(err)
+		}
+		s.EndPullPhase(batch)
+		if err := s.Push(batch, keys, grads); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.EndBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointCycle(b *testing.B) {
+	s := benchServer(b, 1024)
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	dst := make([]float32, len(keys)*64)
+	grads := make([]float32, len(keys)*64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := int64(i)
+		if err := s.Pull(batch, keys, dst); err != nil {
+			b.Fatal(err)
+		}
+		s.EndPullPhase(batch)
+		if err := s.Push(batch, keys, grads); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.EndBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RequestCheckpoint(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if done := s.CompletedCheckpoint(); done < int64(b.N-2) {
+		b.Fatalf("checkpoints lagging: completed %d of %d", done, b.N)
+	}
+}
+
+func BenchmarkRecoveryScaledStore(b *testing.B) {
+	// Functional recovery of a 16k-entry store (the Fig. 14 mechanism at
+	// bench scale: PMem scan + index rebuild).
+	s, err := Open(Config{Dim: 64, Capacity: 1 << 14, CacheEntries: 512, Optimizer: "sgd", LearningRate: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const chunk = 2048
+	dst := make([]float32, chunk*64)
+	grads := make([]float32, chunk*64)
+	batch := int64(0)
+	for lo := 0; lo < 1<<14; lo += chunk {
+		keys := make([]uint64, chunk)
+		for j := range keys {
+			keys[j] = uint64(lo + j)
+		}
+		if err := s.Pull(batch, keys, dst); err != nil {
+			b.Fatal(err)
+		}
+		s.EndPullPhase(batch)
+		if err := s.Push(batch, keys, grads); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.EndBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		batch++
+	}
+	if err := s.RequestCheckpoint(batch - 1); err != nil {
+		b.Fatal(err)
+	}
+	// Drive one more batch so the checkpoint completes.
+	keys := []uint64{0}
+	if err := s.Pull(batch, keys, dst[:64]); err != nil {
+		b.Fatal(err)
+	}
+	s.EndPullPhase(batch)
+	if err := s.EndBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SimulateCrash()
+		ckpt, err := s.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ckpt < 0 {
+			b.Fatal("recovered to no checkpoint")
+		}
+	}
+	b.ReportMetric(float64(1<<14)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+}
+
+// BenchmarkSimEpoch measures the simulator itself (one quick epoch config).
+func BenchmarkSimEpoch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Engine: "pmem-oe", GPUs: 8,
+			Keys: 1 << 14, Draws: 256, WarmupBatches: 2, MeasureBatches: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Epoch.Hours(), "sim_epoch_h")
+		}
+	}
+}

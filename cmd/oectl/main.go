@@ -1,0 +1,113 @@
+// Command oectl talks to running oeps nodes.
+//
+//	oectl -nodes 127.0.0.1:7070,127.0.0.1:7071 stats
+//	oectl -nodes ... -dim 64 pull 12 34 56
+//	oectl -nodes ... checkpoint 41
+//	oectl -nodes ... completed
+//	oectl -nodes ... ping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"openembedding/internal/cluster"
+	"openembedding/internal/rpc"
+)
+
+func main() {
+	var (
+		nodes = flag.String("nodes", "127.0.0.1:7070", "comma-separated node addresses")
+		dim   = flag.Int("dim", 64, "embedding dimension (for pull)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "oectl: need a command: ping|stats|pull|checkpoint|completed")
+		os.Exit(2)
+	}
+	addrs := strings.Split(*nodes, ",")
+
+	switch args[0] {
+	case "ping":
+		for _, a := range addrs {
+			c, err := rpc.Dial(a)
+			if err != nil {
+				log.Fatalf("oectl: %v", err)
+			}
+			if err := c.Ping(); err != nil {
+				log.Fatalf("oectl: ping %s: %v", a, err)
+			}
+			c.Close()
+			fmt.Printf("%s: ok\n", a)
+		}
+	case "stats":
+		cl := dial(*dim, addrs)
+		defer cl.Close()
+		st, err := cl.Stats()
+		if err != nil {
+			log.Fatalf("oectl: %v", err)
+		}
+		fmt.Printf("entries=%d cached=%d hits=%d misses=%d (miss rate %.2f%%)\n",
+			st.Entries, st.CachedEntries, st.Hits, st.Misses, st.MissRate()*100)
+		fmt.Printf("pmem reads=%d writes=%d evictions=%d checkpoints=%d\n",
+			st.PMemReads, st.PMemWrites, st.Evictions, st.CheckpointsDone)
+	case "pull":
+		if len(args) < 2 {
+			log.Fatal("oectl: pull needs keys")
+		}
+		keys := make([]uint64, 0, len(args)-1)
+		for _, a := range args[1:] {
+			k, err := strconv.ParseUint(a, 10, 64)
+			if err != nil {
+				log.Fatalf("oectl: bad key %q", a)
+			}
+			keys = append(keys, k)
+		}
+		cl := dial(*dim, addrs)
+		defer cl.Close()
+		dst := make([]float32, len(keys)**dim)
+		if err := cl.Pull(0, keys, dst); err != nil {
+			log.Fatalf("oectl: %v", err)
+		}
+		for i, k := range keys {
+			fmt.Printf("%d: %v\n", k, dst[i**dim:(i+1)**dim])
+		}
+	case "checkpoint":
+		if len(args) != 2 {
+			log.Fatal("oectl: checkpoint needs a batch id")
+		}
+		batch, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("oectl: bad batch %q", args[1])
+		}
+		cl := dial(*dim, addrs)
+		defer cl.Close()
+		if err := cl.RequestCheckpoint(batch); err != nil {
+			log.Fatalf("oectl: %v", err)
+		}
+		fmt.Printf("checkpoint %d requested\n", batch)
+	case "completed":
+		cl := dial(*dim, addrs)
+		defer cl.Close()
+		v, err := cl.CompletedCheckpoint()
+		if err != nil {
+			log.Fatalf("oectl: %v", err)
+		}
+		fmt.Printf("completed checkpoint: %d\n", v)
+	default:
+		log.Fatalf("oectl: unknown command %q", args[0])
+	}
+}
+
+func dial(dim int, addrs []string) *cluster.Client {
+	cl, err := cluster.Dial(dim, addrs)
+	if err != nil {
+		log.Fatalf("oectl: %v", err)
+	}
+	return cl
+}

@@ -1,0 +1,69 @@
+// Command oeps runs one OpenEmbedding parameter-server node: a storage
+// engine (PMem-OE by default, or any baseline) served over TCP.
+//
+//	oeps -addr :7070 -engine pmem-oe -dim 64 -capacity 1048576 \
+//	     -cache 131072 -pmem-image /var/lib/oeps/shard0.img
+//
+// With -pmem-image, the node recovers from an existing image on start and
+// saves the durable image on shutdown (SIGINT/SIGTERM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"openembedding/internal/optim"
+	"openembedding/internal/ps"
+	"openembedding/internal/psengine"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		engine   = flag.String("engine", "pmem-oe", "storage engine: pmem-oe|dram-ps|ori-cache|pmem-hash")
+		dim      = flag.Int("dim", 64, "embedding dimension")
+		capacity = flag.Int("capacity", 1<<20, "max distinct embedding entries")
+		cache    = flag.Int("cache", 0, "DRAM cache entries (default capacity/8)")
+		optName  = flag.String("optimizer", "adagrad", "server-side optimizer: adagrad|sgd")
+		lr       = flag.Float64("lr", 0.05, "learning rate")
+		image    = flag.String("pmem-image", "", "PMem image file (recover on start, save on stop)")
+		ckptDir  = flag.String("checkpoint-dir", "", "incremental-checkpoint directory (baseline engines)")
+	)
+	flag.Parse()
+
+	opt, err := optim.ByName(*optName, float32(*lr))
+	if err != nil {
+		log.Fatalf("oeps: %v", err)
+	}
+	node, err := ps.StartNode(*addr, ps.NodeConfig{
+		Engine: *engine,
+		Store: psengine.Config{
+			Dim:          *dim,
+			Capacity:     *capacity,
+			CacheEntries: *cache,
+			Optimizer:    opt,
+		},
+		PMemImage:     *image,
+		CheckpointDir: *ckptDir,
+	})
+	if err != nil {
+		log.Fatalf("oeps: %v", err)
+	}
+	fmt.Printf("oeps: %s engine serving on %s", *engine, node.Addr())
+	if node.RecoveredBatch >= 0 {
+		fmt.Printf(" (recovered to checkpoint %d)", node.RecoveredBatch)
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("oeps: shutting down")
+	if err := node.Close(); err != nil {
+		log.Fatalf("oeps: shutdown: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Command oesim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	oesim -list
+//	oesim -exp fig7 [-quick] [-seed 1]
+//	oesim -all [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"openembedding/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (table1, table2, fig2..fig15, table5)")
+		all      = flag.Bool("all", false, "run every experiment in paper order")
+		list     = flag.Bool("list", false, "list experiment ids")
+		quick    = flag.Bool("quick", false, "smaller batch counts (smoke test)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		jsonFlag = flag.Bool("json", false, "emit results as indented JSON")
+	)
+	flag.Parse()
+	asJSON = *jsonFlag
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			run(e, opts)
+		}
+	case *exp != "":
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "oesim: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e, opts)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+var asJSON bool
+
+func run(e experiments.Experiment, opts experiments.Options) {
+	t, err := e.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oesim: %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t); err != nil {
+			fmt.Fprintf(os.Stderr, "oesim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		return
+	}
+	t.Fprint(os.Stdout)
+}

@@ -1,0 +1,123 @@
+package openembedding_test
+
+import (
+	"fmt"
+	"log"
+
+	"openembedding"
+)
+
+// Example shows the synchronous batch protocol against an embedded shard:
+// pull, overlap maintenance with compute, push, seal, checkpoint.
+func Example() {
+	ps, err := openembedding.Open(openembedding.Config{
+		Dim: 4, Capacity: 1024, CacheEntries: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ps.Close()
+
+	keys := []uint64{7, 8}
+	weights := make([]float32, len(keys)*ps.Dim())
+	grads := make([]float32, len(keys)*ps.Dim())
+
+	for batch := int64(0); batch < 3; batch++ {
+		if err := ps.Pull(batch, keys, weights); err != nil {
+			log.Fatal(err)
+		}
+		ps.EndPullPhase(batch) // cache maintenance hides behind compute
+		for i := range grads {
+			grads[i] = 0.1
+		}
+		if err := ps.Push(batch, keys, grads); err != nil {
+			log.Fatal(err)
+		}
+		if err := ps.EndBatch(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ps.RequestCheckpoint(2); err != nil {
+		log.Fatal(err)
+	}
+
+	st := ps.Stats()
+	fmt.Printf("entries=%d hits=%d\n", st.Entries, st.Hits)
+	// Output: entries=2 hits=6
+}
+
+// ExampleDial runs two shards over TCP and drives them through the
+// hash-partitioned client.
+func ExampleDial() {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		shard, err := openembedding.Open(openembedding.Config{Dim: 4, Capacity: 256})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shard.Close()
+		node, err := shard.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		addrs = append(addrs, node.Addr())
+	}
+
+	cl, err := openembedding.Dial(4, addrs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	keys := []uint64{1, 2, 3, 4}
+	weights := make([]float32, len(keys)*4)
+	if err := cl.Pull(0, keys, weights); err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.EndPullPhase(0); err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.EndBatch(0); err != nil {
+		log.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cluster entries:", st.Entries)
+	// Output: cluster entries: 4
+}
+
+// ExampleOpenTables drives two independently-dimensioned tables (one per
+// sparse layer) through a group-wide checkpoint.
+func ExampleOpenTables() {
+	g, err := openembedding.OpenTables(
+		openembedding.TableSpec{Name: "user", Config: openembedding.Config{Dim: 4, Capacity: 128}},
+		openembedding.TableSpec{Name: "item", Config: openembedding.Config{Dim: 8, Capacity: 128}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	uw := make([]float32, 4)
+	iw := make([]float32, 8)
+	for batch := int64(0); batch < 2; batch++ {
+		if err := g.Pull("user", batch, []uint64{1}, uw); err != nil {
+			log.Fatal(err)
+		}
+		if err := g.Pull("item", batch, []uint64{9}, iw); err != nil {
+			log.Fatal(err)
+		}
+		g.EndPullPhase(batch)
+		if err := g.EndBatch(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := g.RequestCheckpoint(1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tables:", g.Names())
+	// Output: tables: [item user]
+}

@@ -1,0 +1,95 @@
+// distributed runs a 3-node OpenEmbedding cluster over TCP in one process:
+// embedding entries are hash-partitioned across the nodes (Sec. IV), and a
+// synchronous training loop drives pulls, pushes and a cluster-wide
+// checkpoint through the partitioned client.
+//
+// In production each node would be its own oeps process (see cmd/oeps);
+// here they share a process for a self-contained demo — the bytes still
+// cross real TCP sockets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"openembedding"
+)
+
+const dim = 8
+
+func main() {
+	// Start three shards.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		shard, err := openembedding.Open(openembedding.Config{
+			Dim: dim, Capacity: 10_000, CacheEntries: 512,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shard.Close()
+		node, err := shard.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		addrs = append(addrs, node.Addr())
+		fmt.Printf("shard %d serving on %s\n", i, node.Addr())
+	}
+
+	cl, err := openembedding.Dial(dim, addrs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(2))
+	var batch int64
+	for ; batch < 20; batch++ {
+		// A skewed key mix: hot keys 0-9 plus a random tail.
+		seen := map[uint64]bool{}
+		var keys []uint64
+		for _, k := range []uint64{0, 1, 2, uint64(rng.Intn(5000)), uint64(rng.Intn(5000)), uint64(rng.Intn(5000))} {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		weights := make([]float32, len(keys)*dim)
+		grads := make([]float32, len(keys)*dim)
+
+		must(cl.Pull(batch, keys, weights)) // fans out to the owning nodes
+		must(cl.EndPullPhase(batch))
+		for i := range grads {
+			grads[i] = float32(rng.NormFloat64()) * 0.1
+		}
+		must(cl.Push(batch, keys, grads))
+		must(cl.EndBatch(batch))
+	}
+
+	// Cluster-wide checkpoint: each shard checkpoints independently; the
+	// cluster's durable progress is the minimum across shards.
+	must(cl.RequestCheckpoint(batch - 1))
+	// Run one more batch so every shard's maintenance can complete it.
+	keys := []uint64{0, 1, 2}
+	weights := make([]float32, len(keys)*dim)
+	must(cl.Pull(batch, keys, weights))
+	must(cl.EndPullPhase(batch))
+	must(cl.Push(batch, keys, make([]float32, len(keys)*dim)))
+	must(cl.EndBatch(batch))
+
+	done, err := cl.CompletedCheckpoint()
+	must(err)
+	st, err := cl.Stats()
+	must(err)
+	fmt.Printf("\ncluster: %d entries across %d shards, %d hits / %d misses\n",
+		st.Entries, len(addrs), st.Hits, st.Misses)
+	fmt.Printf("cluster-wide completed checkpoint: batch %d\n", done)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: an embedded OpenEmbedding parameter-server shard driving a
+// minimal synchronous-training loop — pull embeddings, "compute", push
+// gradients, checkpoint — and a peek at the engine statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"openembedding"
+)
+
+func main() {
+	// A small embedding table: 4-dim entries, AdaGrad server-side, DRAM
+	// cache for the hot 256 entries, everything else on (simulated) PMem.
+	ps, err := openembedding.Open(openembedding.Config{
+		Dim:          4,
+		Capacity:     10_000,
+		CacheEntries: 256,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ps.Close()
+
+	keys := []uint64{1, 2, 42}
+	weights := make([]float32, len(keys)*ps.Dim())
+	grads := make([]float32, len(keys)*ps.Dim())
+
+	for batch := int64(0); batch < 5; batch++ {
+		// 1. Pull the batch's embedding entries (created on first touch).
+		if err := ps.Pull(batch, keys, weights); err != nil {
+			log.Fatal(err)
+		}
+		// 2. Signal the pull phase done: cache maintenance (LRU, PMem
+		//    write-back, checkpoint flushes) now runs in the background,
+		//    hidden behind the dense compute that would happen here.
+		ps.EndPullPhase(batch)
+
+		// ... dense forward/backward would run here; fake a gradient ...
+		for i := range grads {
+			grads[i] = 0.1 * weights[i]
+		}
+
+		// 3. Push gradients; the server applies AdaGrad per entry.
+		if err := ps.Push(batch, keys, grads); err != nil {
+			log.Fatal(err)
+		}
+		// 4. Seal the batch.
+		if err := ps.EndBatch(batch); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d: key 42 -> %v\n", batch, weights[2*ps.Dim():3*ps.Dim()])
+	}
+
+	// Checkpoint the latest sealed batch: the request just enqueues; the
+	// co-designed cache maintenance completes it during later batches.
+	if err := ps.RequestCheckpoint(4); err != nil {
+		log.Fatal(err)
+	}
+	// One more batch gives maintenance a chance to finish it.
+	if err := ps.Pull(5, keys, weights); err != nil {
+		log.Fatal(err)
+	}
+	ps.EndPullPhase(5)
+	if err := ps.EndBatch(5); err != nil {
+		log.Fatal(err)
+	}
+
+	st := ps.Stats()
+	fmt.Printf("\nentries=%d cached=%d hits=%d misses=%d pmem-writes=%d\n",
+		st.Entries, st.CachedEntries, st.Hits, st.Misses, st.PMemWrites)
+	fmt.Printf("completed checkpoint: batch %d\n", ps.CompletedCheckpoint())
+}

@@ -1,0 +1,3 @@
+module openembedding
+
+go 1.22

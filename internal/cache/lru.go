@@ -1,0 +1,110 @@
+// Package cache provides the DRAM-cache primitives shared by the
+// parameter-server engines: an intrusive LRU list and the access queue that
+// decouples request handling from cache maintenance (Fig. 5 of the paper).
+package cache
+
+// Node is an element of a List. A cache entry embeds (or points to) its
+// Node so that LRU reordering is pointer surgery with no allocation and no
+// auxiliary map — the layout the paper gets from an intrusive std::list.
+type Node[T any] struct {
+	// Value is the payload (typically a pointer to the cache entry).
+	Value T
+
+	prev, next *Node[T]
+	list       *List[T]
+}
+
+// InList reports whether the node is currently linked into a list.
+func (n *Node[T]) InList() bool { return n.list != nil }
+
+// List is a non-concurrent doubly linked LRU list: front = most recently
+// used, back = least recently used. Callers serialize access (the engines
+// hold their maintenance lock while touching it).
+type List[T any] struct {
+	root Node[T] // sentinel; root.next = front, root.prev = back
+	size int
+}
+
+// NewList returns an empty list.
+func NewList[T any]() *List[T] {
+	l := &List[T]{}
+	l.root.prev = &l.root
+	l.root.next = &l.root
+	return l
+}
+
+// Len returns the number of linked nodes.
+func (l *List[T]) Len() int { return l.size }
+
+// PushFront links n at the MRU position. n must not already be in a list.
+func (l *List[T]) PushFront(n *Node[T]) {
+	if n.list != nil {
+		panic("cache: PushFront of linked node")
+	}
+	n.list = l
+	n.prev = &l.root
+	n.next = l.root.next
+	n.prev.next = n
+	n.next.prev = n
+	l.size++
+}
+
+// MoveToFront relinks n at the MRU position. n must be in this list.
+func (l *List[T]) MoveToFront(n *Node[T]) {
+	if n.list != l {
+		panic("cache: MoveToFront of foreign node")
+	}
+	if l.root.next == n {
+		return
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev = &l.root
+	n.next = l.root.next
+	n.prev.next = n
+	n.next.prev = n
+}
+
+// Remove unlinks n from the list.
+func (l *List[T]) Remove(n *Node[T]) {
+	if n.list != l {
+		panic("cache: Remove of foreign node")
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next, n.list = nil, nil, nil
+	l.size--
+}
+
+// Back returns the LRU node, or nil when the list is empty.
+func (l *List[T]) Back() *Node[T] {
+	if l.size == 0 {
+		return nil
+	}
+	return l.root.prev
+}
+
+// Front returns the MRU node, or nil when the list is empty.
+func (l *List[T]) Front() *Node[T] {
+	if l.size == 0 {
+		return nil
+	}
+	return l.root.next
+}
+
+// Prev returns the node before n (towards the front), or nil at the front.
+func (l *List[T]) Prev(n *Node[T]) *Node[T] {
+	if n.prev == &l.root {
+		return nil
+	}
+	return n.prev
+}
+
+// Each calls fn from MRU to LRU; fn returning false stops the walk.
+func (l *List[T]) Each(fn func(T) bool) {
+	for n := l.root.next; n != &l.root; n = n.next {
+		if !fn(n.Value) {
+			return
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package cache
+
+import "sync"
+
+// Queue is the Access Queue of Fig. 5: request threads append the entries
+// each batch touched, and the cache-maintainer threads drain them later,
+// off the critical path. It is a simple mutex-protected FIFO of slices —
+// appends are batched per request, so contention is per request rather
+// than per key.
+type Queue[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// Push appends items to the queue.
+func (q *Queue[T]) Push(items ...T) {
+	if len(items) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.items = append(q.items, items...)
+	q.mu.Unlock()
+}
+
+// Drain removes and returns everything queued so far. It returns nil when
+// the queue is empty.
+func (q *Queue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil
+	}
+	out := q.items
+	q.items = nil
+	return out
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,74 @@
+package checkpoint
+
+import "math"
+
+// IEEE 754 half-precision conversion for quantized checkpoints — the
+// compression technique Check-N-Run [6] applies to DLRM checkpoints, which
+// the paper cites as complementary to its batch-aware scheme. Weights
+// tolerate fp16 storage (training keeps fp32 masters in the engine).
+
+// Float32ToHalf converts with round-to-nearest-even, saturating to ±Inf.
+func Float32ToHalf(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp >= 0x1f: // overflow or Inf/NaN
+		if bits&0x7fffffff > 0x7f800000 { // NaN
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00 // Inf
+	case exp <= 0: // subnormal or zero
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		mant |= 0x800000 // implicit leading 1
+		shift := uint32(14 - exp)
+		half := uint16(mant >> shift)
+		// Round to nearest even.
+		rem := mant & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(mant>>13)
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into the exponent: correct (rounds up magnitude)
+		}
+		return half
+	}
+}
+
+// HalfToFloat32 expands a half-precision value.
+func HalfToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // ±0
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case exp == 0x1f:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7f800000) // ±Inf
+		}
+		return math.Float32frombits(sign | 0x7fc00000) // NaN
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}

@@ -1,0 +1,132 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfSpecials(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{0.5, 0x3800},
+		{65504, 0x7bff}, // max finite half
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := Float32ToHalf(c.f); got != c.h {
+			t.Fatalf("Float32ToHalf(%v) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		back := HalfToFloat32(c.h)
+		if back != c.f && !(math.IsNaN(float64(back)) && math.IsNaN(float64(c.f))) {
+			t.Fatalf("HalfToFloat32(%#04x) = %v, want %v", c.h, back, c.f)
+		}
+	}
+	if !math.IsNaN(float64(HalfToFloat32(0x7e00))) {
+		t.Fatal("half NaN not NaN")
+	}
+	if Float32ToHalf(1e30) != 0x7c00 {
+		t.Fatal("overflow not saturated to Inf")
+	}
+	if Float32ToHalf(1e-30) != 0 {
+		t.Fatal("underflow not flushed to zero")
+	}
+	// Subnormal half round-trips.
+	sub := HalfToFloat32(0x0001) // smallest positive subnormal ~5.96e-8
+	if sub <= 0 || Float32ToHalf(sub) != 0x0001 {
+		t.Fatalf("subnormal round trip: %v -> %#04x", sub, Float32ToHalf(sub))
+	}
+}
+
+// TestHalfRoundTripProperty: values in the trainable-weight range survive
+// fp16 with relative error under 2^-10.
+func TestHalfRoundTripProperty(t *testing.T) {
+	f := func(raw float32) bool {
+		v := float32(math.Mod(float64(raw), 8)) // weight-scale values
+		back := HalfToFloat32(Float32ToHalf(v))
+		if v == 0 {
+			return back == 0
+		}
+		rel := math.Abs(float64(back-v)) / math.Max(math.Abs(float64(v)), 6e-5)
+		return rel < 1.0/1024
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHalfExactOrderPreserved: conversion is monotone (ordering of weights
+// survives quantization).
+func TestHalfMonotone(t *testing.T) {
+	prev := HalfToFloat32(Float32ToHalf(-4))
+	for v := float32(-4); v <= 4; v += 0.013 {
+		cur := HalfToFloat32(Float32ToHalf(v))
+		if cur < prev {
+			t.Fatalf("quantization not monotone at %v", v)
+		}
+		prev = cur
+	}
+}
+
+func TestQuantizedDeltaHalvesBytes(t *testing.T) {
+	dir := t.TempDir()
+	entries := make([]Entry, 64)
+	for i := range entries {
+		p := make([]float32, 64)
+		for j := range p {
+			p[j] = float32(i) * 0.01
+		}
+		entries[i] = Entry{Key: uint64(i), Payload: p}
+	}
+
+	w32, err := NewWriter(filepath.Join(dir, "fp32"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w32.WriteDelta(0, entries); err != nil {
+		t.Fatal(err)
+	}
+	w16, err := NewWriter(filepath.Join(dir, "fp16"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w16.SetQuantize(true)
+	if err := w16.WriteDelta(0, entries); err != nil {
+		t.Fatal(err)
+	}
+
+	size := func(sub string) int64 {
+		fi, err := os.Stat(filepath.Join(dir, sub, deltaName(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	full, half := size("fp32"), size("fp16")
+	if float64(half) > 0.6*float64(full) {
+		t.Fatalf("quantized delta %dB not ~half of %dB", half, full)
+	}
+
+	// Round trip within fp16 tolerance.
+	got, err := ReadDelta(filepath.Join(dir, "fp16"), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range got {
+		for j, v := range e.Payload {
+			want := entries[i].Payload[j]
+			if math.Abs(float64(v-want)) > math.Abs(float64(want))/512+1e-6 {
+				t.Fatalf("entry %d[%d] = %v, want ~%v", i, j, v, want)
+			}
+		}
+	}
+}

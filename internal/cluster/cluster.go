@@ -1,0 +1,212 @@
+// Package cluster is the worker-side view of a multi-node parameter
+// server: embedding entries are partitioned across PS nodes by hashing
+// their IDs (Sec. IV), and each pull/push fans out to the owning nodes in
+// parallel and reassembles the responses in input order.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"openembedding/internal/psengine"
+	"openembedding/internal/rpc"
+)
+
+// Partition returns the node index owning key among n nodes: the same
+// multiplicative hash the engines use for shard selection, reduced modulo
+// the node count.
+func Partition(key uint64, n int) int {
+	return int((key * 0x9e3779b97f4a7c15) >> 32 % uint64(n))
+}
+
+// Client is a partitioned parameter-server client.
+type Client struct {
+	dim   int
+	nodes []*rpc.Client
+}
+
+// Dial connects to every node address. dim must match the server engines.
+func Dial(dim int, addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no node addresses")
+	}
+	c := &Client{dim: dim}
+	for _, a := range addrs {
+		cl, err := rpc.Dial(a)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, cl)
+	}
+	return c, nil
+}
+
+// Nodes returns the node count.
+func (c *Client) Nodes() int { return len(c.nodes) }
+
+// Dim returns the embedding dimension.
+func (c *Client) Dim() int { return c.dim }
+
+// plan groups the caller's keys by owning node, remembering each key's
+// original position for reassembly.
+type plan struct {
+	keys [][]uint64
+	pos  [][]int
+}
+
+func (c *Client) plan(keys []uint64) plan {
+	p := plan{keys: make([][]uint64, len(c.nodes)), pos: make([][]int, len(c.nodes))}
+	for i, k := range keys {
+		n := Partition(k, len(c.nodes))
+		p.keys[n] = append(p.keys[n], k)
+		p.pos[n] = append(p.pos[n], i)
+	}
+	return p
+}
+
+// fanOut runs fn for every node with a non-empty key group, concurrently,
+// and returns the first error.
+func (c *Client) fanOut(p plan, fn func(node int, keys []uint64, pos []int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	for n := range c.nodes {
+		if len(p.keys[n]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			errs[n] = fn(n, p.keys[n], p.pos[n])
+		}(n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pull fetches weights for keys into dst (len(keys)*dim floats), routing
+// each key to its owning node.
+func (c *Client) Pull(batch int64, keys []uint64, dst []float32) error {
+	if err := psengine.CheckBuf(keys, dst, c.dim); err != nil {
+		return err
+	}
+	p := c.plan(keys)
+	return c.fanOut(p, func(n int, nodeKeys []uint64, pos []int) error {
+		vals, err := c.nodes[n].Pull(batch, nodeKeys)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(nodeKeys)*c.dim {
+			return fmt.Errorf("cluster: node %d returned %d floats for %d keys", n, len(vals), len(nodeKeys))
+		}
+		for i, orig := range pos {
+			copy(dst[orig*c.dim:(orig+1)*c.dim], vals[i*c.dim:(i+1)*c.dim])
+		}
+		return nil
+	})
+}
+
+// Push routes gradients to the owning nodes.
+func (c *Client) Push(batch int64, keys []uint64, grads []float32) error {
+	if err := psengine.CheckBuf(keys, grads, c.dim); err != nil {
+		return err
+	}
+	p := c.plan(keys)
+	return c.fanOut(p, func(n int, nodeKeys []uint64, pos []int) error {
+		nodeGrads := make([]float32, len(nodeKeys)*c.dim)
+		for i, orig := range pos {
+			copy(nodeGrads[i*c.dim:(i+1)*c.dim], grads[orig*c.dim:(orig+1)*c.dim])
+		}
+		return c.nodes[n].Push(batch, nodeKeys, nodeGrads)
+	})
+}
+
+// broadcast runs fn on every node concurrently and returns the first error.
+func (c *Client) broadcast(fn func(*rpc.Client) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *rpc.Client) {
+			defer wg.Done()
+			errs[i] = fn(n)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EndPullPhase signals pull completion on every node.
+func (c *Client) EndPullPhase(batch int64) error {
+	return c.broadcast(func(n *rpc.Client) error { return n.EndPullPhase(batch) })
+}
+
+// EndBatch seals batch on every node.
+func (c *Client) EndBatch(batch int64) error {
+	return c.broadcast(func(n *rpc.Client) error { return n.EndBatch(batch) })
+}
+
+// RequestCheckpoint asks every node to checkpoint batch.
+func (c *Client) RequestCheckpoint(batch int64) error {
+	return c.broadcast(func(n *rpc.Client) error { return n.RequestCheckpoint(batch) })
+}
+
+// CompletedCheckpoint returns the cluster-wide durable checkpoint: the
+// minimum over nodes (a checkpoint only counts when every shard has it).
+func (c *Client) CompletedCheckpoint() (int64, error) {
+	min := int64(1<<62 - 1)
+	for _, n := range c.nodes {
+		v, err := n.CompletedCheckpoint()
+		if err != nil {
+			return -1, err
+		}
+		if v < min {
+			min = v
+		}
+	}
+	return min, nil
+}
+
+// Stats sums the counters across nodes.
+func (c *Client) Stats() (psengine.Stats, error) {
+	var total psengine.Stats
+	for _, n := range c.nodes {
+		st, err := n.Stats()
+		if err != nil {
+			return total, err
+		}
+		total.Entries += st.Entries
+		total.CachedEntries += st.CachedEntries
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.PMemReads += st.PMemReads
+		total.PMemWrites += st.PMemWrites
+		total.Evictions += st.Evictions
+		total.CheckpointsDone += st.CheckpointsDone
+	}
+	return total, nil
+}
+
+// Close closes every node connection.
+func (c *Client) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Checkpointing follows Algorithm 2's co-design with cache replacement: a
+// request only enqueues a batch ID; the actual persistence work happens as
+// entries are flushed during normal cache maintenance, and the durable
+// Checkpointed Batch ID advances once every state the checkpoint needs is
+// in PMem.
+//
+// The paper detects completion from the LRU tail (victim version newer than
+// the on-going checkpoint). That detection is exact only under the paper's
+// operating assumption that the cache always holds a full batch's working
+// set. This implementation keeps the same flush schedule but tracks
+// completion exactly: when a checkpoint becomes the active head, one scan
+// of the cache counts the dirty entries whose data it needs
+// (ckptRemaining); every flush that persists such an entry decrements the
+// counter; zero means complete. The scan also memoizes those entries so the
+// per-batch finalizer can push the checkpoint to completion even when the
+// cache is so effective that evictions never occur.
+
+// RequestCheckpoint implements psengine.Engine: it appends the batch to the
+// Checkpoint Request Queue (Fig. 5 right). "No other work needs to be done
+// at this time."
+//
+// batch must be the most recently sealed batch (the paper always
+// checkpoints "the latest batch that completed training"), and the call
+// must happen at a batch boundary — after EndBatch(batch) and before the
+// next batch's Push phase — because a push overwrites in DRAM exactly the
+// state the checkpoint captures.
+func (e *Engine) RequestCheckpoint(batch int64) error {
+	e.mu.RLock()
+	sealed := e.lastEnded
+	e.mu.RUnlock()
+	if batch != sealed {
+		return fmt.Errorf("core: checkpoint batch %d is not the last sealed batch %d", batch, sealed)
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	if n := len(e.ckptQueue); n > 0 && batch <= e.ckptQueue[n-1] {
+		return fmt.Errorf("core: checkpoint batch %d not newer than queued %d", batch, e.ckptQueue[n-1])
+	}
+	if batch <= e.completedCkpt.Load() {
+		return fmt.Errorf("core: checkpoint batch %d already covered by completed %d", batch, e.completedCkpt.Load())
+	}
+	e.ckptQueue = append(e.ckptQueue, batch)
+	return nil
+}
+
+// CompletedCheckpoint implements psengine.Engine.
+func (e *Engine) CompletedCheckpoint() int64 { return e.completedCkpt.Load() }
+
+// PendingCheckpoints reports how many checkpoint requests are in flight.
+func (e *Engine) PendingCheckpoints() int {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	return len(e.ckptQueue)
+}
+
+// headCheckpoint returns the on-going checkpoint's batch ID or -1.
+func (e *Engine) headCheckpoint() int64 {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	if len(e.ckptQueue) == 0 {
+		return -1
+	}
+	return e.ckptQueue[0]
+}
+
+// newestCheckpoint returns the newest queued checkpoint's batch ID or -1.
+// The flush-before-overwrite test uses it so that data needed by *any*
+// pending checkpoint is persisted before a newer push destroys it.
+func (e *Engine) newestCheckpoint() int64 {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	if len(e.ckptQueue) == 0 {
+		return -1
+	}
+	return e.ckptQueue[len(e.ckptQueue)-1]
+}
+
+// activateHeadLocked makes the queue head the active checkpoint if it is
+// not already, counting (and memoizing) the dirty cached entries whose data
+// the checkpoint needs. A checkpoint with nothing left to persist completes
+// immediately. Caller holds e.mu exclusively.
+func (e *Engine) activateHeadLocked() int64 {
+	for {
+		head := e.headCheckpoint()
+		if head == e.ckptActive {
+			return head
+		}
+		if head < 0 {
+			e.ckptActive = -1
+			e.ckptFlushList = e.ckptFlushList[:0]
+			return -1
+		}
+		e.ckptActive = head
+		e.ckptRemaining = 0
+		e.ckptFlushList = e.ckptFlushList[:0]
+		e.lru.Each(func(ent *entry) bool {
+			if ent.dirty && ent.dataVersion <= head {
+				ent.ckptPending = true
+				e.ckptRemaining++
+				e.ckptFlushList = append(e.ckptFlushList, ent)
+			}
+			return true
+		})
+		if e.ckptRemaining > 0 {
+			return head
+		}
+		e.completeCheckpointLocked(head)
+		// Loop: the next queued checkpoint (if any) becomes active.
+	}
+}
+
+// noteFlushedLocked records that a dirty entry needed by the active
+// checkpoint has been persisted, completing the checkpoint when it was the
+// last one. Caller holds e.mu exclusively and has just flushed ent.
+func (e *Engine) noteFlushedLocked(neededByActive bool) {
+	if !neededByActive {
+		return
+	}
+	e.ckptRemaining--
+	if e.ckptRemaining == 0 {
+		e.completeCheckpointLocked(e.ckptActive)
+		e.activateHeadLocked()
+	}
+}
+
+// completeCheckpointLocked durably records checkpoint cp as done
+// (Alg. 2 lines 24-28): persist the Checkpointed Batch ID with one atomic
+// PMem store, pop the request queue, and release superseded records the
+// space manager retained for it.
+func (e *Engine) completeCheckpointLocked(cp int64) {
+	if err := e.arena.SetCheckpointedBatch(cp); err != nil {
+		e.maintErrs.set(err)
+		return
+	}
+	e.ckptMu.Lock()
+	if len(e.ckptQueue) > 0 && e.ckptQueue[0] == cp {
+		e.ckptQueue = e.ckptQueue[1:]
+	}
+	e.ckptMu.Unlock()
+	e.ckptActive = -1
+	e.ckptFlushList = e.ckptFlushList[:0]
+	e.completedCkpt.Store(cp)
+	e.ckptsDone.Add(1)
+	e.reclaimLocked()
+}
+
+// finalizeCheckpointsLocked guarantees checkpoint progress even when the
+// cache is so effective that evictions are rare (the natural completion
+// path of Alg. 2 relies on eviction pressure). It drains the memoized
+// flush list of the active checkpoint, at most finalizerBudget flushes per
+// call; leftover work resumes next batch. Caller holds e.mu exclusively.
+func (e *Engine) finalizeCheckpointsLocked() error {
+	budget := finalizerBudget
+	for budget > 0 {
+		cp := e.activateHeadLocked()
+		if cp < 0 {
+			return nil
+		}
+		// Pop memoized entries; skip those already persisted (or updated
+		// past the checkpoint and persisted by flush-before-overwrite).
+		n := len(e.ckptFlushList)
+		if n == 0 {
+			// Defensive: remaining > 0 but nothing memoized (cannot happen
+			// while the invariant holds); rescan next activation.
+			return nil
+		}
+		ent := e.ckptFlushList[n-1]
+		e.ckptFlushList = e.ckptFlushList[:n-1]
+		if !ent.ckptPending {
+			continue // already persisted by maintenance or eviction
+		}
+		if err := e.flushLocked(ent); err != nil {
+			return err
+		}
+		budget--
+	}
+	return nil
+}
+
+// reclaimLocked frees retired PMem records that no recoverable checkpoint
+// can need. A retired record (old version v_old superseded by v_new) is
+// needed by a checkpoint cp iff v_old <= cp < v_new; the checkpoints that
+// matter are the last completed one (a crash at any moment must recover to
+// it), every queued one, and any future request (which is at least as new
+// as the last sealed batch, because RequestCheckpoint only accepts the
+// latest sealed batch). Caller holds e.mu.
+func (e *Engine) reclaimLocked() {
+	completed := e.completedCkpt.Load()
+	e.ckptMu.Lock()
+	queued := append([]int64(nil), e.ckptQueue...)
+	e.ckptMu.Unlock()
+	lastEnded := e.lastEnded
+	e.arena.Reclaim(func(oldV, newV int64) bool {
+		if newV > lastEnded {
+			return true // a future checkpoint request may land in range
+		}
+		if completed >= oldV && completed < newV {
+			return true
+		}
+		for _, q := range queued {
+			if q >= oldV && q < newV {
+				return true
+			}
+		}
+		return false
+	})
+}

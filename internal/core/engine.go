@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openembedding/internal/cache"
+	"openembedding/internal/device"
+	"openembedding/internal/pmem"
+	"openembedding/internal/psengine"
+	"openembedding/internal/simclock"
+)
+
+// Engine is the PMem-OE storage engine for one embedding-table shard.
+// It implements psengine.Engine.
+type Engine struct {
+	cfg   psengine.Config
+	arena *pmem.Arena
+	dram  *device.Timed // DRAM timing charges for cache copies
+
+	// mu is the paper's reader/writer lock (Alg. 1 line 3, Alg. 2 line 9):
+	// request threads hold it shared, cache maintenance holds it exclusive.
+	mu    sync.RWMutex
+	index map[uint64]*entry
+	lru   *cache.List[*entry]
+
+	// stripes serialize concurrent pushes to the same entry within the
+	// push phase (several workers can carry gradients for one hot key).
+	stripes [64]sync.Mutex
+
+	// accessQ collects the entries each pull touched (Alg. 1 line 17).
+	accessQ cache.Queue[*entry]
+
+	// ckptMu protects the checkpoint request queue (Fig. 5 right).
+	ckptMu    sync.Mutex
+	ckptQueue []int64
+
+	// Active-checkpoint completion accounting (all under mu): the batch ID
+	// being checkpointed, how many dirty cached entries it still needs
+	// persisted, and those entries memoized for the finalizer.
+	ckptActive    int64
+	ckptRemaining int
+	ckptFlushList []*entry
+
+	// maintenance scheduling
+	maintCh   chan maintTask
+	maintWG   sync.WaitGroup // maintainer goroutines
+	pending   sync.WaitGroup // outstanding maintenance tasks
+	currBatch atomic.Int64
+	maintErrs maintErrBox
+
+	// sideQ collects entries Push promoted inline (cache smaller than one
+	// batch's working set); EndBatch links them into the LRU.
+	sideQ cache.Queue[*entry]
+
+	// lastEnded is the most recent batch EndBatch sealed (under mu).
+	lastEnded int64
+
+	closed atomic.Bool
+
+	// counters
+	hits, misses, evictions atomic.Int64
+	pmemReads, pmemWrites   atomic.Int64
+	ckptsDone               atomic.Int64
+	completedCkpt           atomic.Int64
+
+	// payload scratch buffers
+	payloadPool sync.Pool
+}
+
+type maintTask struct {
+	batch   int64
+	entries []*entry
+}
+
+// New creates a PMem-OE engine storing records in the given arena. The
+// arena's payload size must match the configuration's per-entry floats.
+func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
+	cfg = cfg.WithDefaults()
+	if want := pmem.FloatBytes(cfg.EntryFloats()); arena.PayloadBytes() != want {
+		return nil, fmt.Errorf("core: arena payload %dB does not match entry size %dB", arena.PayloadBytes(), want)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		arena:   arena,
+		dram:    device.NewTimedDRAM(cfg.Meter),
+		index:   make(map[uint64]*entry),
+		lru:     cache.NewList[*entry](),
+		maintCh: make(chan maintTask, 64),
+	}
+	e.completedCkpt.Store(-1)
+	e.currBatch.Store(-1)
+	e.lastEnded = -1
+	e.ckptActive = -1
+	e.payloadPool.New = func() any {
+		b := make([]byte, arena.PayloadBytes())
+		return &b
+	}
+	for i := 0; i < cfg.MaintThreads; i++ {
+		e.maintWG.Add(1)
+		go e.maintainLoop()
+	}
+	return e, nil
+}
+
+// Name implements psengine.Engine.
+func (e *Engine) Name() string { return "pmem-oe" }
+
+// Dim implements psengine.Engine.
+func (e *Engine) Dim() int { return e.cfg.Dim }
+
+// Config returns the engine configuration (defaults applied).
+func (e *Engine) Config() psengine.Config { return e.cfg }
+
+// Arena exposes the underlying PMem arena (used by recovery and tests).
+func (e *Engine) Arena() *pmem.Arena { return e.arena }
+
+// Pull implements Algorithm 1: under the shared lock, resolve every key
+// through the DRAM index, copy weights from DRAM or PMem into dst, and
+// append the touched entries to the access queue for deferred maintenance.
+func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
+	if e.closed.Load() {
+		return psengine.ErrClosed
+	}
+	if err := psengine.CheckBuf(keys, dst, e.cfg.Dim); err != nil {
+		return err
+	}
+	e.currBatch.Store(batch)
+	dim := e.cfg.Dim
+	meter := e.cfg.Meter
+	meter.Charge(simclock.LockSync, psengine.LockCost)
+
+	e.mu.RLock()
+	var missing []int
+	touched := make([]*entry, len(keys))
+	for i, k := range keys {
+		meter.Charge(simclock.Compute, psengine.IndexProbeCost)
+		ent := e.index[k]
+		if ent == nil {
+			missing = append(missing, i)
+			continue
+		}
+		touched[i] = ent
+		if err := e.readWeights(ent, dst[i*dim:(i+1)*dim]); err != nil {
+			e.mu.RUnlock()
+			return err
+		}
+	}
+	e.mu.RUnlock()
+
+	// First-epoch path (Alg. 1 lines 6-12): create entries under the
+	// exclusive lock, then serve them.
+	if len(missing) > 0 {
+		if err := e.createMissing(batch, keys, dst, touched, missing); err != nil {
+			return err
+		}
+	}
+
+	e.accessQ.Push(touched...)
+	if e.cfg.PipelineDisabled {
+		// Ablation: run maintenance inline on the request path.
+		e.runMaintenance(batch, e.accessQ.Drain())
+	}
+	return nil
+}
+
+// readWeights copies the entry's weights into dst from whichever tier holds
+// them, charging the corresponding device cost. Caller holds mu (shared).
+func (e *Engine) readWeights(ent *entry, dst []float32) error {
+	dim := e.cfg.Dim
+	if ent.inDRAM() {
+		copy(dst, ent.weights(dim))
+		e.dram.ChargeRead(4 * dim)
+		e.hits.Add(1)
+		return nil
+	}
+	// Served straight from PMem; promotion to DRAM is deferred to the
+	// maintenance phase so the request path stays read-only.
+	bufp := e.payloadPool.Get().(*[]byte)
+	err := e.arena.ReadPayload(ent.slot, *bufp)
+	if err == nil {
+		pmem.DecodeFloats(dst, *bufp)
+		e.pmemReads.Add(1)
+		e.misses.Add(1)
+	}
+	e.payloadPool.Put(bufp)
+	return err
+}
+
+func (e *Engine) createMissing(batch int64, keys []uint64, dst []float32, touched []*entry, missing []int) error {
+	dim := e.cfg.Dim
+	e.cfg.Meter.Charge(simclock.LockSync, psengine.LockCost)
+	e.mu.Lock()
+	for _, i := range missing {
+		k := keys[i]
+		ent := e.index[k]
+		if ent == nil {
+			if len(e.index) >= e.cfg.Capacity {
+				e.mu.Unlock()
+				return fmt.Errorf("%w: %d entries", psengine.ErrCapacity, len(e.index))
+			}
+			// A fresh entry's initial state is the state as of the end of
+			// the previous batch: stamping batch-1 keeps data versions
+			// unique even when the entry is flushed (tiny cache) and then
+			// pushed within its creation batch.
+			ent = &entry{key: k, version: batch, dataVersion: batch - 1, slot: noSlot, dirty: true}
+			ent.node.Value = ent
+			ent.buf = make([]float32, e.cfg.EntryFloats())
+			e.cfg.Initializer(k, ent.weights(dim))
+			e.cfg.Optimizer.InitState(ent.state(dim))
+			e.dram.ChargeWrite(4 * e.cfg.EntryFloats())
+			e.index[k] = ent
+		}
+		touched[i] = ent
+		copy(dst[i*dim:(i+1)*dim], ent.weights(dim))
+		e.dram.ChargeRead(4 * dim)
+		e.hits.Add(1)
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// Push applies gradients with the server-side optimizer. Entries accessed
+// in the pull phase of the same batch are already (or are being) promoted
+// to DRAM by the maintainers; Push waits for that promotion to complete, as
+// the paper's pipeline guarantees by construction (maintenance runs during
+// the much longer GPU phase).
+func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
+	if e.closed.Load() {
+		return psengine.ErrClosed
+	}
+	if err := psengine.CheckBuf(keys, grads, e.cfg.Dim); err != nil {
+		return err
+	}
+	// Ensure promotion finished so updates land in DRAM, never in PMem.
+	e.WaitMaintenance()
+
+	dim := e.cfg.Dim
+	meter := e.cfg.Meter
+	meter.Charge(simclock.LockSync, psengine.LockCost)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i, k := range keys {
+		meter.Charge(simclock.Compute, psengine.IndexProbeCost)
+		ent := e.index[k]
+		if ent == nil {
+			return fmt.Errorf("core: push of unknown key %d", k)
+		}
+		stripe := &e.stripes[k%uint64(len(e.stripes))]
+		stripe.Lock()
+		if !ent.inDRAM() {
+			// Fallback for caches smaller than one batch's working set:
+			// promote inline (charged as a PMem read) and let EndBatch link
+			// the entry into the LRU.
+			if err := e.promoteLocked(ent); err != nil {
+				stripe.Unlock()
+				return err
+			}
+			e.sideQ.Push(ent)
+		}
+		e.cfg.Optimizer.Apply(ent.weights(dim), ent.state(dim), grads[i*dim:(i+1)*dim])
+		ent.dirty = true
+		ent.dataVersion = batch
+		stripe.Unlock()
+		e.dram.ChargeWrite(4 * dim)
+		meter.Charge(simclock.Compute, optimizerCost(dim))
+	}
+	return nil
+}
+
+// promoteLocked loads an entry's record from PMem into a fresh DRAM buffer.
+// Caller holds the entry's stripe (or the exclusive engine lock).
+func (e *Engine) promoteLocked(ent *entry) error {
+	bufp := e.payloadPool.Get().(*[]byte)
+	defer e.payloadPool.Put(bufp)
+	if err := e.arena.ReadPayload(ent.slot, *bufp); err != nil {
+		return err
+	}
+	ent.buf = make([]float32, e.cfg.EntryFloats())
+	pmem.DecodeFloats(ent.buf, *bufp)
+	e.pmemReads.Add(1)
+	e.dram.ChargeWrite(4 * e.cfg.EntryFloats())
+	e.chargeInlineSerial(device.PMem().ReadCost(e.arena.PayloadBytes()))
+	return nil
+}
+
+// chargeInlineSerial mirrors a PMem access into the globally-serialized
+// lane when maintenance runs inline (pipeline disabled): the exclusive
+// engine lock is held across the device access, so every request thread
+// waits it out (the Fig. 9 ablation's dominant cost).
+func (e *Engine) chargeInlineSerial(d time.Duration) {
+	if e.cfg.PipelineDisabled {
+		e.cfg.Meter.Charge(simclock.GlobalSync, d)
+	}
+}
+
+// Keys returns every key currently stored (order unspecified). Intended
+// for inspection and tests; it holds the shared lock for the duration.
+func (e *Engine) Keys() []uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]uint64, 0, len(e.index))
+	for k := range e.index {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stats implements psengine.Engine.
+func (e *Engine) Stats() psengine.Stats {
+	e.mu.RLock()
+	entries := int64(len(e.index))
+	cached := int64(e.lru.Len())
+	e.mu.RUnlock()
+	return psengine.Stats{
+		Entries:         entries,
+		CachedEntries:   cached,
+		Hits:            e.hits.Load(),
+		Misses:          e.misses.Load(),
+		PMemReads:       e.pmemReads.Load(),
+		PMemWrites:      e.pmemWrites.Load(),
+		Evictions:       e.evictions.Load(),
+		CheckpointsDone: e.ckptsDone.Load(),
+	}
+}
+
+// Close stops the maintainer pool. It does not flush dirty cache entries;
+// call RequestCheckpoint + WaitMaintenance first for a clean shutdown, or
+// rely on recovery semantics (unflushed data is, correctly, lost).
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	close(e.maintCh)
+	e.maintWG.Wait()
+	return nil
+}
+
+// optimizerCost is the calibrated virtual CPU cost of applying a gradient
+// to one dim-sized entry (~0.5 ns per coordinate of fused multiply-add on a
+// modern server core).
+func optimizerCost(dim int) time.Duration {
+	return time.Duration(dim) * time.Nanosecond / 2
+}

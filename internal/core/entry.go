@@ -1,0 +1,76 @@
+// Package core implements PMem-OE, the paper's proposed parameter-server
+// engine (Secs. IV and V): a DRAM hash index whose entries live either in a
+// DRAM cache or in a PMem arena, a pipelined cache-maintenance path that
+// keeps LRU bookkeeping and PMem traffic off the request critical path
+// (Algorithm 1), and a batch-aware checkpoint co-designed with cache
+// replacement (Algorithm 2).
+package core
+
+import (
+	"openembedding/internal/cache"
+)
+
+// noSlot marks an entry with no persisted PMem record yet.
+const noSlot = ^uint32(0)
+
+// entry is one embedding entry as seen by the DRAM hash index.
+//
+// The paper's index stores a tagged pointer whose lowest bit says whether
+// the target is in DRAM or PMem. In Go the same information is carried by
+// buf: a non-nil buf means the entry is cached in DRAM; a nil buf means the
+// authoritative copy is the PMem record at slot.
+type entry struct {
+	key uint64
+
+	// version is the ID of the last batch that accessed the entry
+	// (Alg. 1 line 10, Alg. 2 lines 16/20). LRU order and version order
+	// coincide, which is what lets checkpoint completion be detected from
+	// the LRU tail.
+	version int64
+
+	// dataVersion is the ID of the batch whose update the DRAM buffer
+	// reflects (the last push, or the creation batch for a fresh entry).
+	// PMem records are stamped with dataVersion, not the access version:
+	// when the cache is smaller than a batch's working set, an entry can be
+	// evicted in the same batch that pulled it, and stamping the access
+	// version would then label pre-update data with a post-update batch ID
+	// and break recovery. dataVersion <= version always holds.
+	dataVersion int64
+
+	// buf holds weights followed by optimizer state while cached in DRAM;
+	// nil while the entry lives only in PMem.
+	buf []float32
+
+	// slot is the PMem slot of the newest persisted record, or noSlot.
+	slot uint32
+
+	// persistedVersion is the data version of the record at slot
+	// (meaningless while slot == noSlot). The space manager needs it to
+	// decide whether a superseded record is still covered by a checkpoint.
+	persistedVersion int64
+
+	// dirty reports that buf differs from the persisted record (or that no
+	// record exists yet).
+	dirty bool
+
+	// ckptPending marks an entry counted by the active checkpoint's
+	// activation scan and not yet persisted. Exactly these entries
+	// decrement the completion counter when flushed: an entry *created*
+	// after activation can satisfy the same dirty/dataVersion predicate
+	// (its data version is its birth batch minus one) without having been
+	// counted, and decrementing for it would complete the checkpoint
+	// early, losing counted state.
+	ckptPending bool
+
+	// node links the entry into the LRU list while cached.
+	node cache.Node[*entry]
+}
+
+// inDRAM reports whether the entry currently has a DRAM copy.
+func (e *entry) inDRAM() bool { return e.buf != nil }
+
+// weights returns the weight portion of the DRAM buffer.
+func (e *entry) weights(dim int) []float32 { return e.buf[:dim] }
+
+// state returns the optimizer-state portion of the DRAM buffer.
+func (e *entry) state(dim int) []float32 { return e.buf[dim:] }

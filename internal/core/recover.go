@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"openembedding/internal/pmem"
+	"openembedding/internal/psengine"
+)
+
+// Recover rebuilds a PMem-OE engine from a device after a failure
+// (Sec. V-C): open the arena, read the durable Checkpointed Batch ID, scan
+// every record, discard versions newer than the checkpoint, keep the newest
+// surviving record per key, and reconstruct the DRAM hash index. The
+// returned engine resumes training at checkpoint+1 with a cold cache.
+//
+// Recovery cost (the Fig. 14 experiment) is dominated by the sequential
+// PMem scan plus index reconstruction, both charged to cfg.Meter.
+//
+// One fine point: an entry first touched in the batch *after* the
+// checkpoint carries the checkpoint's batch as its data version (its
+// initial state is "the state as of the previous batch's end"), so if its
+// init-valued record reached PMem it is recovered too. That is exactly the
+// deterministic state the entry would be reborn with on first touch after
+// resuming, so recovered training is bit-identical either way.
+func Recover(cfg psengine.Config, dev *pmem.Device) (*Engine, int64, error) {
+	return RecoverParallel(cfg, dev, 1)
+}
+
+// RecoverParallel is Recover with the partitioned speed-up the paper
+// proposes in Sec. VI-E: the arena's slot range is split across workers
+// goroutines that scan and filter concurrently, and the surviving records
+// are merged into the index afterwards. workers <= 0 uses GOMAXPROCS.
+func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engine, int64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	arena, err := pmem.OpenArena(dev)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: recover: %w", err)
+	}
+	ckpt, err := arena.CheckpointedBatch()
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: recover: %w", err)
+	}
+
+	eng, err := New(cfg, arena)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ckpt < 0 {
+		// No checkpoint ever completed: training restarts from scratch
+		// (the paper's semantics — records on PMem carry no batch-level
+		// consistency guarantee before the first checkpoint).
+		arena.FinishRecovery()
+		return eng, -1, nil
+	}
+
+	type best struct {
+		slot    uint32
+		version int64
+	}
+
+	// Phase 1: partitioned scan. Each worker filters its slot range —
+	// records newer than the checkpoint are dropped (Observation 2's
+	// batch-range atomicity) — keeping the newest survivor per key.
+	slots := uint32(arena.Slots())
+	if uint32(workers) > slots {
+		workers = int(slots)
+		if workers == 0 {
+			workers = 1
+		}
+	}
+	partials := make([]map[uint64]best, workers)
+	scanErrs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := slots / uint32(workers) * uint32(w)
+		hi := slots / uint32(workers) * uint32(w+1)
+		if w == workers-1 {
+			hi = slots
+		}
+		wg.Add(1)
+		go func(w int, lo, hi uint32) {
+			defer wg.Done()
+			local := make(map[uint64]best)
+			scanErrs[w] = arena.ScanRange(lo, hi, func(r pmem.Record) error {
+				if r.Version > ckpt {
+					return nil
+				}
+				if prev, ok := local[r.Key]; !ok || r.Version > prev.version {
+					local[r.Key] = best{slot: r.Slot, version: r.Version}
+				}
+				return nil
+			})
+			partials[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range scanErrs {
+		if err != nil {
+			eng.Close()
+			return nil, 0, fmt.Errorf("core: recover: %w", err)
+		}
+	}
+
+	// Phase 2: merge partitions (a key's records can land in any
+	// partition; newest version wins).
+	newest := partials[0]
+	for _, local := range partials[1:] {
+		for key, b := range local {
+			if prev, ok := newest[key]; !ok || b.version > prev.version {
+				newest[key] = b
+			}
+		}
+	}
+
+	// Phase 3: rebuild the DRAM hash index; entries stay in PMem.
+	for key, b := range newest {
+		ent := &entry{key: key, version: b.version, dataVersion: b.version, slot: b.slot, persistedVersion: b.version}
+		ent.node.Value = ent
+		eng.index[key] = ent
+		arena.MarkOccupied(b.slot)
+		eng.dram.ChargeWrite(entryIndexBytes)
+	}
+	arena.FinishRecovery()
+	if len(eng.index) > cfg.WithDefaults().Capacity {
+		eng.Close()
+		return nil, 0, fmt.Errorf("%w: recovered %d entries", psengine.ErrCapacity, len(eng.index))
+	}
+	eng.lastEnded = ckpt
+	eng.completedCkpt.Store(ckpt)
+	return eng, ckpt, nil
+}
+
+// entryIndexBytes is the DRAM footprint charged per rebuilt index entry
+// (hash bucket slot plus entry header).
+const entryIndexBytes = 64

@@ -1,0 +1,50 @@
+// Package costmodel reproduces Table V: the dollar cost of the parameter-
+// server tier per training epoch, combining the paper's published
+// "Pay-As-You-Go" Alibaba Cloud prices with measured epoch times.
+package costmodel
+
+// Deployment is one PS provisioning option from Table V.
+type Deployment struct {
+	// Name matches the paper's system label.
+	Name string
+	// Machines and InstanceType describe the PS tier.
+	Machines     int
+	InstanceType string
+	// DRAMPerMachineGB / PMemPerMachineGB are the per-machine capacities.
+	DRAMPerMachineGB, PMemPerMachineGB int
+	// DollarsPerHour is the PS-tier hourly price (all machines).
+	DollarsPerHour float64
+}
+
+// Table V deployments (prices as published).
+var (
+	DRAMPS = Deployment{
+		Name: "DRAM-PS", Machines: 2, InstanceType: "r6e.13xlarge",
+		DRAMPerMachineGB: 384, DollarsPerHour: 6.07,
+	}
+	PMemOE = Deployment{
+		Name: "PMem-OE", Machines: 1, InstanceType: "re6p.13xlarge",
+		DRAMPerMachineGB: 192, PMemPerMachineGB: 756, DollarsPerHour: 3.80,
+	}
+	OriCache = Deployment{
+		Name: "Ori-Cache", Machines: 1, InstanceType: "re6p.13xlarge",
+		DRAMPerMachineGB: 192, PMemPerMachineGB: 756, DollarsPerHour: 3.80,
+	}
+)
+
+// CostPerEpoch returns the PS-tier dollars for one epoch of the given
+// duration in hours.
+func (d Deployment) CostPerEpoch(epochHours float64) float64 {
+	return d.DollarsPerHour * epochHours
+}
+
+// SavingsVs returns the fractional cost saving of d against other for the
+// given epoch times.
+func (d Deployment) SavingsVs(other Deployment, epochHours, otherEpochHours float64) float64 {
+	mine := d.CostPerEpoch(epochHours)
+	theirs := other.CostPerEpoch(otherEpochHours)
+	if theirs == 0 {
+		return 0
+	}
+	return 1 - mine/theirs
+}

@@ -1,0 +1,44 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableVConstants(t *testing.T) {
+	if DRAMPS.Machines != 2 || PMemOE.Machines != 1 || OriCache.Machines != 1 {
+		t.Fatal("machine counts disagree with Table V")
+	}
+	if DRAMPS.DollarsPerHour != 6.07 || PMemOE.DollarsPerHour != 3.80 {
+		t.Fatal("prices disagree with Table V")
+	}
+	if PMemOE.PMemPerMachineGB != 756 || DRAMPS.PMemPerMachineGB != 0 {
+		t.Fatal("PMem capacities disagree with Table V")
+	}
+}
+
+func TestCostPerEpochPaperNumbers(t *testing.T) {
+	// With the paper's epoch times, the costs must match Table V.
+	if got := DRAMPS.CostPerEpoch(5.75); math.Abs(got-34.9) > 0.1 {
+		t.Fatalf("DRAM-PS $/epoch = %.2f, paper 34.9", got)
+	}
+	if got := PMemOE.CostPerEpoch(5.33); math.Abs(got-20.3) > 0.1 {
+		t.Fatalf("PMem-OE $/epoch = %.2f, paper 20.3", got)
+	}
+	if got := OriCache.CostPerEpoch(7.01); math.Abs(got-26.6) > 0.1 {
+		t.Fatalf("Ori-Cache $/epoch = %.2f, paper 26.6", got)
+	}
+}
+
+func TestSavings(t *testing.T) {
+	// Paper: PMem-OE saves 42% over DRAM-PS, 24% over Ori-Cache.
+	if got := PMemOE.SavingsVs(DRAMPS, 5.33, 5.75); math.Abs(got-0.42) > 0.01 {
+		t.Fatalf("saving vs DRAM-PS = %.3f, paper ~0.42", got)
+	}
+	if got := PMemOE.SavingsVs(OriCache, 5.33, 7.01); math.Abs(got-0.24) > 0.01 {
+		t.Fatalf("saving vs Ori-Cache = %.3f, paper ~0.24", got)
+	}
+	if got := PMemOE.SavingsVs(Deployment{}, 1, 0); got != 0 {
+		t.Fatalf("zero-cost comparison = %v", got)
+	}
+}

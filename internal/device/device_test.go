@@ -1,0 +1,116 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"openembedding/internal/simclock"
+)
+
+// TestTableIOrdering checks that the calibrated models preserve the paper's
+// Table I ordering: DRAM faster than PMem, PMem much faster than SSD, and
+// PMem's write bandwidth well below its read bandwidth.
+func TestTableIOrdering(t *testing.T) {
+	dram, pm, ssd := DRAM(), PMem(), FlashSSD()
+
+	if !(dram.ReadLatency < pm.ReadLatency && pm.ReadLatency < ssd.ReadLatency) {
+		t.Fatal("read latency ordering violated")
+	}
+	if !(dram.ReadBandwidth > pm.ReadBandwidth && pm.ReadBandwidth > ssd.ReadBandwidth) {
+		t.Fatal("read bandwidth ordering violated")
+	}
+	// Paper: PMem read bw ~1/3 of DRAM, write bw ~1/5 of DRAM.
+	if r := dram.ReadBandwidth / pm.ReadBandwidth; r < 2.5 || r > 3.5 {
+		t.Fatalf("DRAM/PMem read bw ratio = %.2f, want ~3", r)
+	}
+	if r := dram.WriteBandwidth / pm.WriteBandwidth; r < 4.5 || r > 6.5 {
+		t.Fatalf("DRAM/PMem write bw ratio = %.2f, want ~5-6", r)
+	}
+	// SSD latency is "almost two orders of magnitude" above DRAM.
+	if r := float64(ssd.ReadLatency) / float64(dram.ReadLatency); r < 50 {
+		t.Fatalf("SSD/DRAM latency ratio = %.0f, want > 50", r)
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	m := PMem()
+	if m.ReadCost(64) >= m.ReadCost(4096) {
+		t.Fatal("read cost not increasing with size")
+	}
+	if m.WriteCost(0) != m.WriteLatency {
+		t.Fatal("zero-byte write should cost exactly the latency")
+	}
+	if m.ReadCost(0) != m.ReadLatency {
+		t.Fatal("zero-byte read should cost exactly the latency")
+	}
+}
+
+func TestStreamCostAmortizesLatency(t *testing.T) {
+	m := PMem()
+	// 1 MiB as a stream must be far cheaper than 1 MiB as 4 KiB accesses.
+	streamed := m.StreamReadCost(1 << 20)
+	var chunked time.Duration
+	for i := 0; i < (1<<20)/4096; i++ {
+		chunked += m.ReadCost(4096)
+	}
+	if streamed >= chunked {
+		t.Fatalf("stream %v not cheaper than chunked %v", streamed, chunked)
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	m := DRAM()
+	// For large accesses the effective bandwidth approaches the device rate.
+	eff := m.EffectiveReadBandwidth(1 << 20)
+	if eff < 0.8*m.ReadBandwidth {
+		t.Fatalf("effective bw %.1f GB/s too far below device rate", eff/1e9)
+	}
+	// For tiny accesses latency dominates.
+	if small := m.EffectiveReadBandwidth(64); small > 0.1*m.ReadBandwidth {
+		t.Fatalf("64B effective bw %.1f unexpectedly high", small/1e9)
+	}
+}
+
+func TestTimedCharges(t *testing.T) {
+	meter := simclock.NewMeter()
+	td := NewTimedPMem(meter)
+	td.ChargeRead(256)
+	td.ChargeWrite(256)
+	td.ChargeStreamRead(1 << 20)
+	td.ChargeStreamWrite(1 << 20)
+	if meter.Ops(simclock.PMemRead) != 2 || meter.Ops(simclock.PMemWrite) != 2 {
+		t.Fatalf("ops = %d/%d", meter.Ops(simclock.PMemRead), meter.Ops(simclock.PMemWrite))
+	}
+	if meter.Total(simclock.PMemRead) <= 0 || meter.Total(simclock.PMemWrite) <= 0 {
+		t.Fatal("nothing charged")
+	}
+}
+
+func TestTimedNilSafe(t *testing.T) {
+	var td *Timed
+	td.ChargeRead(1)
+	td.ChargeWrite(1)
+	td.ChargeStreamRead(1)
+	td.ChargeStreamWrite(1) // must not panic
+}
+
+func TestTimedConstructorsUseRightCategories(t *testing.T) {
+	meter := simclock.NewMeter()
+	NewTimedDRAM(meter).ChargeRead(8)
+	NewTimedPMem(meter).ChargeRead(8)
+	NewTimedSSD(meter).ChargeRead(8)
+	for _, c := range []simclock.Category{simclock.DRAMRead, simclock.PMemRead, simclock.SSDRead} {
+		if meter.Ops(c) != 1 {
+			t.Fatalf("category %v ops = %d", c, meter.Ops(c))
+		}
+	}
+}
+
+func TestNetworkModel(t *testing.T) {
+	n := Network30Gb()
+	// 30 Gb/s = 3.75 GB/s; 1 GiB transfer ~ 0.29 s.
+	c := n.StreamWriteCost(1 << 30)
+	if c < 200*time.Millisecond || c > 400*time.Millisecond {
+		t.Fatalf("1GiB over 30Gb link = %v, want ~286ms", c)
+	}
+}

@@ -1,0 +1,11 @@
+package experiments
+
+import "openembedding/internal/costmodel"
+
+type deployment = costmodel.Deployment
+
+var (
+	depDRAM = costmodel.DRAMPS
+	depPMem = costmodel.PMemOE
+	depOri  = costmodel.OriCache
+)

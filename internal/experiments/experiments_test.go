@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, id string) *Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	tab, err := e.Run(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	if tab.ID != id {
+		t.Fatalf("%s: table id %q", id, tab.ID)
+	}
+	return tab
+}
+
+func parseCell(t *testing.T, tab *Table, row, col string) float64 {
+	t.Helper()
+	cell := tab.Cell(row, col)
+	if cell == "" {
+		t.Fatalf("%s: missing cell (%s, %s)\n%s", tab.ID, row, col, tab)
+	}
+	cell = strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%s,%s)=%q not numeric", tab.ID, row, col, cell)
+	}
+	return v
+}
+
+func TestAllRegisteredAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(seen) != 15 {
+		t.Fatalf("expected 15 experiments (every paper table+figure), got %d", len(seen))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	tab := runExp(t, "table1")
+	if v := parseCell(t, tab, "DRAM", "Read BW"); v != 115 {
+		t.Fatalf("DRAM read bw = %v", v)
+	}
+	if v := parseCell(t, tab, "PMem", "Read lat"); v != 305 {
+		t.Fatalf("PMem read lat = %v", v)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	tab := runExp(t, "table2")
+	for _, c := range []struct {
+		row  string
+		want float64
+	}{
+		{"top 0.05%", 85.7}, {"top 0.10%", 89.5}, {"top 1.00%", 95.7},
+	} {
+		got := parseCell(t, tab, c.row, "Measured")
+		if got < c.want-3 || got > c.want+3 {
+			t.Fatalf("%s measured %.1f, paper %.1f", c.row, got, c.want)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab := runExp(t, "fig7")
+	oe16 := parseCell(t, tab, "pmem-oe", "16 GPUs")
+	dram16 := parseCell(t, tab, "dram-ps", "16 GPUs")
+	ori16 := parseCell(t, tab, "ori-cache", "16 GPUs")
+	if oe16 < dram16 || oe16 > dram16*1.15 {
+		t.Fatalf("PMem-OE@16 = %.3f, want within 15%% above DRAM-PS %.3f", oe16, dram16)
+	}
+	if ori16 < dram16*1.8 {
+		t.Fatalf("Ori-Cache@16 = %.3f, want >= 1.8x DRAM-PS %.3f", ori16, dram16)
+	}
+	// DRAM-PS scaling: 16 GPUs well under half the 4-GPU time.
+	if d4 := parseCell(t, tab, "dram-ps", "4 GPUs"); dram16 > 0.45*d4 {
+		t.Fatalf("DRAM-PS did not scale: %.3f -> %.3f", d4, dram16)
+	}
+}
+
+func TestFig6ProposedBeatsIncremental(t *testing.T) {
+	tab := runExp(t, "fig6")
+	for _, col := range []string{"4 GPUs", "16 GPUs"} {
+		oe := parseCell(t, tab, "pmem-oe", col)
+		dram := parseCell(t, tab, "dram-ps", col)
+		if oe >= dram {
+			t.Fatalf("with checkpoints PMem-OE (%.3f) should beat DRAM-PS (%.3f) at %s", oe, dram, col)
+		}
+	}
+}
+
+func TestFig9Ordering(t *testing.T) {
+	tab := runExp(t, "fig9")
+	neither := parseCell(t, tab, "no cache, no pipeline", "Normalized time")
+	cacheOnly := parseCell(t, tab, "cache only", "Normalized time")
+	pipeOnly := parseCell(t, tab, "pipeline only", "Normalized time")
+	both := parseCell(t, tab, "cache + pipeline (PMem-OE)", "Normalized time")
+	if !(both < pipeOnly && pipeOnly < cacheOnly && cacheOnly < neither) {
+		t.Fatalf("ablation ordering: %v %v %v %v", neither, cacheOnly, pipeOnly, both)
+	}
+}
+
+func TestFig11MissRates(t *testing.T) {
+	tab := runExp(t, "fig11")
+	more := parseCell(t, tab, "more skew", "Miss rate")
+	orig := parseCell(t, tab, "original", "Miss rate")
+	less := parseCell(t, tab, "less skew", "Miss rate")
+	if !(more < orig && orig < less) {
+		t.Fatalf("miss rates not ordered by skew: %.1f %.1f %.1f", more, orig, less)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab := runExp(t, "fig12")
+	for _, interval := range []string{"10 min", "40 min"} {
+		prop := parseCell(t, tab, interval, "Proposed")
+		sparse := parseCell(t, tab, interval, "Sparse only")
+		inc := parseCell(t, tab, interval, "Incremental")
+		if sparse > 1.02 {
+			t.Fatalf("%s: sparse-only overhead %.3f", interval, sparse)
+		}
+		if !(prop < inc) {
+			t.Fatalf("%s: proposed %.3f not cheaper than incremental %.3f", interval, prop, inc)
+		}
+	}
+	// More frequent checkpoints cost more.
+	if p10, p40 := parseCell(t, tab, "10 min", "Proposed"), parseCell(t, tab, "40 min", "Proposed"); p10 <= p40 {
+		t.Fatalf("proposed overhead not decreasing with interval: %.3f vs %.3f", p10, p40)
+	}
+}
+
+func TestFig14Speedup(t *testing.T) {
+	tab := runExp(t, "fig14")
+	ssd := parseCell(t, tab, "DRAM-PS (checkpoint on SSD)", "Total (s)")
+	oe := parseCell(t, tab, "PMem-OE (scan + index rebuild)", "Total (s)")
+	if s := ssd / oe; s < 3 || s > 5 {
+		t.Fatalf("recovery speedup %.2fx outside the paper's band", s)
+	}
+}
+
+func TestFig15TFTrends(t *testing.T) {
+	tab := runExp(t, "fig15")
+	// PMem-OE beats TF, more so at 4 GPUs and at dim 64.
+	tf1 := parseCell(t, tab, "tf", "dim16/1GPU")
+	oe1 := parseCell(t, tab, "pmem-oe", "dim16/1GPU")
+	tf4 := parseCell(t, tab, "tf", "dim16/4GPU")
+	oe4 := parseCell(t, tab, "pmem-oe", "dim16/4GPU")
+	if oe1 >= tf1 || oe4 >= tf4 {
+		t.Fatal("PMem-OE not beating TF")
+	}
+	if (tf4-oe4)/tf4 <= (tf1-oe1)/tf1 {
+		t.Fatal("TF gap not growing with GPUs")
+	}
+	tf4d64 := parseCell(t, tab, "tf", "dim64/4GPU")
+	oe4d64 := parseCell(t, tab, "pmem-oe", "dim64/4GPU")
+	if (tf4d64-oe4d64)/tf4d64 <= (tf4-oe4)/tf4 {
+		t.Fatal("TF gap not growing with dim")
+	}
+}
+
+func TestTable5CheaperPMem(t *testing.T) {
+	tab := runExp(t, "table5")
+	dram := parseCell(t, tab, "DRAM-PS", "$/epoch")
+	oe := parseCell(t, tab, "PMem-OE", "$/epoch")
+	ori := parseCell(t, tab, "Ori-Cache", "$/epoch")
+	if !(oe < ori && ori < dram) {
+		t.Fatalf("cost ordering violated: oe=%.1f ori=%.1f dram=%.1f", oe, ori, dram)
+	}
+	// The paper reports ~42% saving over DRAM-PS.
+	if saving := 1 - oe/dram; saving < 0.3 || saving > 0.55 {
+		t.Fatalf("PMem-OE saving %.0f%% outside the paper's ~42%% band", saving*100)
+	}
+}
+
+func TestFig2BurstPairs(t *testing.T) {
+	tab := runExp(t, "fig2")
+	if len(tab.Rows) < 2 {
+		t.Fatal("no burst rows")
+	}
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[0], "pairs") {
+		t.Fatal("pair note missing")
+	}
+}
+
+func TestFig8Monotone(t *testing.T) {
+	tab := runExp(t, "fig8")
+	first := parseCell(t, tab, "10MB", "Normalized time")
+	last := parseCell(t, tab, "20GB", "Normalized time")
+	if first != 1.0 {
+		t.Fatalf("baseline not 1.0: %v", first)
+	}
+	if last >= first {
+		t.Fatal("bigger cache did not help")
+	}
+	// Flat past 2GB (paper: <1% more).
+	two := parseCell(t, tab, "2GB", "Normalized time")
+	if two-last > 0.03 {
+		t.Fatalf("2GB->20GB improvement %.3f too large", two-last)
+	}
+}
+
+func TestFig10LambdaOrdering(t *testing.T) {
+	tab := runExp(t, "fig10")
+	more := parseCell(t, tab, "more skew (tail x0.74)", "Fitted lambda")
+	orig := parseCell(t, tab, "original (Table II fit)", "Fitted lambda")
+	less := parseCell(t, tab, "less skew (tail x1.25)", "Fitted lambda")
+	if !(more > orig && orig > less) {
+		t.Fatalf("lambda ordering violated: %v %v %v", more, orig, less)
+	}
+}
+
+func TestFig3PenaltyOrdering(t *testing.T) {
+	tab := runExp(t, "fig3")
+	ori := parseCell(t, tab, "ori-cache", "4 GPUs")
+	pmh := parseCell(t, tab, "pmem-hash", "4 GPUs")
+	if !(1.1 < ori && ori < pmh) {
+		t.Fatalf("motivation penalties out of order: ori=%.3f pmh=%.3f", ori, pmh)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Columns: []string{"A", "B"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("note %d", 1)
+	out := tab.String()
+	for _, want := range []string{"== x: t ==", "A", "note: note 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if tab.Cell("1", "B") != "2" {
+		t.Fatal("Cell lookup failed")
+	}
+	if tab.Cell("1", "C") != "" || tab.Cell("9", "B") != "" {
+		t.Fatal("missing cell not empty")
+	}
+}

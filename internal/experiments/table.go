@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. VI). Each experiment returns a Table whose rows mirror
+// the series the paper plots; cmd/oesim prints them and the root bench
+// suite wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one reproduced artifact (a paper table or the data behind a
+// figure).
+type Table struct {
+	// ID is the experiment identifier ("fig7", "table2", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold formatted cells.
+	Rows [][]string
+	// Notes carry paper-comparison remarks printed under the table.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Cell finds the cell at (rowLabel, column), or "" when absent. Rows are
+// matched on their first cell.
+func (t *Table) Cell(rowLabel, column string) string {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i
+		}
+	}
+	if col < 0 {
+		return ""
+	}
+	for _, row := range t.Rows {
+		if len(row) > col && row[0] == rowLabel {
+			return row[col]
+		}
+	}
+	return ""
+}

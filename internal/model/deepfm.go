@@ -1,0 +1,338 @@
+// Package model implements the dense part of the DLRM the evaluation
+// trains: DeepFM [36] — a factorization machine over the field embeddings
+// plus a multi-layer perceptron — with real float32 forward/backward math.
+//
+// In the paper this part runs on the GPU workers; here it runs on the CPU.
+// The parameter-server experiments only need its *interaction pattern*
+// (pull embeddings, compute, push gradients) plus a calibrated per-batch
+// compute time, but a real trainable model keeps the functional path honest:
+// examples/ctr_deepfm shows the loss actually decreasing through the full
+// PS stack.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DeepFMConfig sizes a DeepFM model.
+type DeepFMConfig struct {
+	// Fields is the number of categorical fields (one embedding per field
+	// per example).
+	Fields int
+	// Dim is the embedding dimension.
+	Dim int
+	// Dense is the number of continuous features.
+	Dense int
+	// Hidden lists the MLP hidden-layer widths. Defaults to [64, 32].
+	Hidden []int
+	// LR is the learning rate for the dense parameters (plain SGD).
+	LR float32
+	// Seed initializes the dense parameters.
+	Seed int64
+}
+
+func (c DeepFMConfig) withDefaults() DeepFMConfig {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 32}
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	return c
+}
+
+// layer is one fully connected layer.
+type layer struct {
+	in, out int
+	w       []float32 // out x in, row-major
+	b       []float32
+}
+
+// DeepFM is the dense model. It is not safe for concurrent use; in
+// data-parallel training each worker owns a replica and gradients are
+// averaged (the Horovod allreduce of the paper's setup, which
+// internal/train performs).
+type DeepFM struct {
+	cfg    DeepFMConfig
+	layers []layer // MLP over [embeddings ++ dense], final layer scalar
+	wDense []float32
+	bias   float32
+}
+
+// NewDeepFM builds a model with Xavier-initialized dense parameters.
+func NewDeepFM(cfg DeepFMConfig) *DeepFM {
+	cfg = cfg.withDefaults()
+	if cfg.Fields <= 0 || cfg.Dim <= 0 {
+		panic("model: Fields and Dim must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &DeepFM{cfg: cfg, wDense: make([]float32, cfg.Dense)}
+	for i := range m.wDense {
+		m.wDense[i] = float32(rng.NormFloat64()) * 0.1
+	}
+	in := cfg.Fields*cfg.Dim + cfg.Dense
+	widths := append(append([]int{}, cfg.Hidden...), 1)
+	for _, out := range widths {
+		l := layer{in: in, out: out, w: make([]float32, in*out), b: make([]float32, out)}
+		bound := float32(math.Sqrt(6 / float64(in+out)))
+		for i := range l.w {
+			l.w[i] = (rng.Float32()*2 - 1) * bound
+		}
+		m.layers = append(m.layers, l)
+		in = out
+	}
+	return m
+}
+
+// Config returns the model configuration (defaults applied).
+func (m *DeepFM) Config() DeepFMConfig { return m.cfg }
+
+// InputFloats returns the embedding floats one example consumes
+// (Fields * Dim).
+func (m *DeepFM) InputFloats() int { return m.cfg.Fields * m.cfg.Dim }
+
+// forwardOne runs one example, returning the logit and the activations
+// needed for backprop.
+type forwardState struct {
+	input []float32   // embeddings ++ dense
+	acts  [][]float32 // post-ReLU activations per layer (last = linear out)
+	fmSum []float32   // sum of field embedding vectors
+	fm    float32     // second-order FM term
+}
+
+func (m *DeepFM) forwardOne(emb, dense []float32) forwardState {
+	cfg := m.cfg
+	st := forwardState{}
+
+	// FM second order: 0.5 * (||sum_f v_f||^2 - sum_f ||v_f||^2).
+	st.fmSum = make([]float32, cfg.Dim)
+	var sumSq float32
+	for f := 0; f < cfg.Fields; f++ {
+		v := emb[f*cfg.Dim : (f+1)*cfg.Dim]
+		for d, x := range v {
+			st.fmSum[d] += x
+			sumSq += x * x
+		}
+	}
+	var normSq float32
+	for _, x := range st.fmSum {
+		normSq += x * x
+	}
+	st.fm = 0.5 * (normSq - sumSq)
+
+	// MLP over [embeddings ++ dense].
+	st.input = make([]float32, len(emb)+len(dense))
+	copy(st.input, emb)
+	copy(st.input[len(emb):], dense)
+	a := st.input
+	for li, l := range m.layers {
+		out := make([]float32, l.out)
+		for o := 0; o < l.out; o++ {
+			s := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, x := range a {
+				s += row[i] * x
+			}
+			if li < len(m.layers)-1 && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			out[o] = s
+		}
+		st.acts = append(st.acts, out)
+		a = out
+	}
+	return st
+}
+
+// logit combines the model terms for one forward state plus the dense
+// linear part.
+func (m *DeepFM) logit(st forwardState, dense []float32) float32 {
+	z := m.bias + st.fm + st.acts[len(st.acts)-1][0]
+	for i, x := range dense {
+		z += m.wDense[i] * x
+	}
+	return z
+}
+
+func sigmoid(z float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(z))))
+}
+
+// Step trains on one mini-batch. emb holds the pulled embeddings, one
+// example after another (n * Fields * Dim floats); dense holds n * Dense
+// floats; labels holds n values in {0, 1}.
+//
+// It returns the mean log loss and the gradient of the loss with respect to
+// every embedding input (same layout as emb) for pushing back to the
+// parameter server. Dense parameters are updated in place with SGD.
+func (m *DeepFM) Step(emb, dense, labels []float32) (float64, []float32, error) {
+	cfg := m.cfg
+	n := len(labels)
+	if len(emb) != n*cfg.Fields*cfg.Dim {
+		return 0, nil, fmt.Errorf("model: emb has %d floats, want %d", len(emb), n*cfg.Fields*cfg.Dim)
+	}
+	if len(dense) != n*cfg.Dense {
+		return 0, nil, fmt.Errorf("model: dense has %d floats, want %d", len(dense), n*cfg.Dense)
+	}
+
+	embGrad := make([]float32, len(emb))
+	// Accumulated dense-parameter gradients (applied after the batch).
+	gW := make([][]float32, len(m.layers))
+	gB := make([][]float32, len(m.layers))
+	for li, l := range m.layers {
+		gW[li] = make([]float32, len(l.w))
+		gB[li] = make([]float32, len(l.b))
+	}
+	gDense := make([]float32, cfg.Dense)
+	var gBias float32
+	var totalLoss float64
+
+	for ex := 0; ex < n; ex++ {
+		embEx := emb[ex*cfg.Fields*cfg.Dim : (ex+1)*cfg.Fields*cfg.Dim]
+		denseEx := dense[ex*cfg.Dense : (ex+1)*cfg.Dense]
+		st := m.forwardOne(embEx, denseEx)
+		z := m.logit(st, denseEx)
+		p := sigmoid(z)
+		y := labels[ex]
+		totalLoss += logLossOne(float64(p), float64(y))
+
+		// dLoss/dz for sigmoid + BCE.
+		dz := (p - y) / float32(n)
+		gBias += dz
+		for i, x := range denseEx {
+			gDense[i] += dz * x
+		}
+
+		// FM second-order gradient: d fm / d v_f = fmSum - v_f.
+		gEmbEx := embGrad[ex*cfg.Fields*cfg.Dim : (ex+1)*cfg.Fields*cfg.Dim]
+		for f := 0; f < cfg.Fields; f++ {
+			v := embEx[f*cfg.Dim : (f+1)*cfg.Dim]
+			g := gEmbEx[f*cfg.Dim : (f+1)*cfg.Dim]
+			for d := range v {
+				g[d] += dz * (st.fmSum[d] - v[d])
+			}
+		}
+
+		// MLP backprop.
+		delta := []float32{dz} // gradient at the (linear) output layer
+		for li := len(m.layers) - 1; li >= 0; li-- {
+			l := m.layers[li]
+			var aPrev []float32
+			if li == 0 {
+				aPrev = st.input
+			} else {
+				aPrev = st.acts[li-1]
+			}
+			next := make([]float32, l.in)
+			for o := 0; o < l.out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				row := l.w[o*l.in : (o+1)*l.in]
+				gRow := gW[li][o*l.in : (o+1)*l.in]
+				for i, x := range aPrev {
+					gRow[i] += d * x
+					next[i] += d * row[i]
+				}
+				gB[li][o] += d
+			}
+			if li > 0 {
+				// ReLU gate of the previous layer.
+				for i, a := range aPrev {
+					if a <= 0 {
+						next[i] = 0
+					}
+				}
+			}
+			delta = next
+		}
+		// delta now holds dLoss/dInput; its embedding prefix adds to the
+		// embedding gradient.
+		for i := 0; i < cfg.Fields*cfg.Dim; i++ {
+			gEmbEx[i] += delta[i]
+		}
+	}
+
+	// Apply SGD to the dense parameters.
+	lr := cfg.LR
+	for li := range m.layers {
+		l := &m.layers[li]
+		for i := range l.w {
+			l.w[i] -= lr * gW[li][i]
+		}
+		for i := range l.b {
+			l.b[i] -= lr * gB[li][i]
+		}
+	}
+	for i := range m.wDense {
+		m.wDense[i] -= lr * gDense[i]
+	}
+	m.bias -= lr * gBias
+
+	return totalLoss / float64(n), embGrad, nil
+}
+
+// Predict returns click probabilities for a batch without updating
+// parameters.
+func (m *DeepFM) Predict(emb, dense []float32, n int) ([]float32, error) {
+	cfg := m.cfg
+	if len(emb) != n*cfg.Fields*cfg.Dim || len(dense) != n*cfg.Dense {
+		return nil, fmt.Errorf("model: predict buffer sizes wrong")
+	}
+	out := make([]float32, n)
+	for ex := 0; ex < n; ex++ {
+		embEx := emb[ex*cfg.Fields*cfg.Dim : (ex+1)*cfg.Fields*cfg.Dim]
+		denseEx := dense[ex*cfg.Dense : (ex+1)*cfg.Dense]
+		st := m.forwardOne(embEx, denseEx)
+		out[ex] = sigmoid(m.logit(st, denseEx))
+	}
+	return out, nil
+}
+
+// Loss computes the mean log loss of predictions against labels without a
+// gradient pass.
+func (m *DeepFM) Loss(emb, dense, labels []float32) (float64, error) {
+	p, err := m.Predict(emb, dense, len(labels))
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for i := range labels {
+		total += logLossOne(float64(p[i]), float64(labels[i]))
+	}
+	return total / float64(len(labels)), nil
+}
+
+// Params returns a flat copy of every dense parameter (used by the
+// allreduce in data-parallel training and by dense checkpointing).
+func (m *DeepFM) Params() []float32 {
+	var out []float32
+	for _, l := range m.layers {
+		out = append(out, l.w...)
+		out = append(out, l.b...)
+	}
+	out = append(out, m.wDense...)
+	out = append(out, m.bias)
+	return out
+}
+
+// SetParams overwrites every dense parameter from a flat slice produced by
+// Params.
+func (m *DeepFM) SetParams(p []float32) error {
+	want := len(m.Params())
+	if len(p) != want {
+		return fmt.Errorf("model: SetParams got %d floats, want %d", len(p), want)
+	}
+	off := 0
+	for li := range m.layers {
+		l := &m.layers[li]
+		off += copy(l.w, p[off:off+len(l.w)])
+		off += copy(l.b, p[off:off+len(l.b)])
+	}
+	off += copy(m.wDense, p[off:off+len(m.wDense)])
+	m.bias = p[off]
+	return nil
+}

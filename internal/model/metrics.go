@@ -1,0 +1,81 @@
+package model
+
+import (
+	"math"
+	"sort"
+)
+
+// logLossOne is the binary cross-entropy of one prediction, clamped away
+// from 0 and 1 for numerical safety.
+func logLossOne(p, y float64) float64 {
+	const eps = 1e-7
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	if y >= 0.5 {
+		return -math.Log(p)
+	}
+	return -math.Log(1 - p)
+}
+
+// LogLoss returns the mean binary cross-entropy of predictions against
+// labels.
+func LogLoss(preds, labels []float32) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	var total float64
+	for i := range preds {
+		total += logLossOne(float64(preds[i]), float64(labels[i]))
+	}
+	return total / float64(len(preds))
+}
+
+// AUC computes the area under the ROC curve via the rank statistic
+// (probability a random positive scores above a random negative, ties
+// counted half).
+func AUC(preds, labels []float32) float64 {
+	type pair struct {
+		p float32
+		y float32
+	}
+	pairs := make([]pair, len(preds))
+	for i := range preds {
+		pairs[i] = pair{preds[i], labels[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].p < pairs[j].p })
+
+	var pos, neg float64
+	for _, pr := range pairs {
+		if pr.y >= 0.5 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	// Sum of ranks of positives, averaging ranks within tie groups.
+	var rankSum float64
+	i := 0
+	rank := 1.0
+	for i < len(pairs) {
+		j := i
+		for j < len(pairs) && pairs[j].p == pairs[i].p {
+			j++
+		}
+		avgRank := rank + float64(j-i-1)/2
+		for k := i; k < j; k++ {
+			if pairs[k].y >= 0.5 {
+				rankSum += avgRank
+			}
+		}
+		rank += float64(j - i)
+		i = j
+	}
+	return (rankSum - pos*(pos+1)/2) / (pos * neg)
+}

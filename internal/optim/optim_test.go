@@ -1,0 +1,120 @@
+package optim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSGDApply(t *testing.T) {
+	o := NewSGD(0.5)
+	w := []float32{1, 2}
+	o.Apply(w, nil, []float32{2, -2})
+	if w[0] != 0 || w[1] != 3 {
+		t.Fatalf("w = %v", w)
+	}
+	if o.StateFloats(64) != 0 {
+		t.Fatal("SGD should be stateless")
+	}
+}
+
+func TestAdaGradDecreasingSteps(t *testing.T) {
+	o := NewAdaGrad(0.1)
+	dim := 1
+	w := []float32{0}
+	state := make([]float32, o.StateFloats(dim))
+	o.InitState(state)
+
+	var steps []float64
+	prev := float64(w[0])
+	for i := 0; i < 5; i++ {
+		o.Apply(w, state, []float32{1})
+		steps = append(steps, math.Abs(float64(w[0])-prev))
+		prev = float64(w[0])
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] >= steps[i-1] {
+			t.Fatalf("AdaGrad step %d (%g) not smaller than previous (%g)", i, steps[i], steps[i-1])
+		}
+	}
+}
+
+func TestAdaGradInitState(t *testing.T) {
+	o := NewAdaGrad(0.1)
+	state := make([]float32, 4)
+	o.InitState(state)
+	for _, v := range state {
+		if v != o.InitAccum {
+			t.Fatalf("state = %v", state)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sgd", "adagrad"} {
+		o, err := ByName(name, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Name() != name {
+			t.Fatalf("Name = %q, want %q", o.Name(), name)
+		}
+	}
+	if _, err := ByName("adam", 0.01); err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+}
+
+// TestOptimizerReducesQuadraticLoss: both optimizers must make progress on
+// min ||w - target||^2, the sanity property the training loop depends on.
+func TestOptimizerReducesQuadraticLoss(t *testing.T) {
+	for _, o := range []Optimizer{NewSGD(0.05), NewAdaGrad(0.5)} {
+		t.Run(o.Name(), func(t *testing.T) {
+			target := []float32{1, -2, 3, 0.5}
+			w := make([]float32, len(target))
+			state := make([]float32, o.StateFloats(len(target)))
+			o.InitState(state)
+			loss := func() float64 {
+				var s float64
+				for i := range w {
+					d := float64(w[i] - target[i])
+					s += d * d
+				}
+				return s
+			}
+			initial := loss()
+			grad := make([]float32, len(target))
+			for step := 0; step < 200; step++ {
+				for i := range grad {
+					grad[i] = 2 * (w[i] - target[i])
+				}
+				o.Apply(w, state, grad)
+			}
+			if final := loss(); final > initial/10 {
+				t.Fatalf("loss %g -> %g: no convergence", initial, final)
+			}
+		})
+	}
+}
+
+// TestSGDLinearityProperty: SGD applied to a zero gradient never changes
+// weights, and the update is linear in the gradient.
+func TestSGDLinearityProperty(t *testing.T) {
+	o := NewSGD(0.1)
+	f := func(w0, g float32) bool {
+		if math.IsNaN(float64(w0)) || math.IsNaN(float64(g)) ||
+			math.IsInf(float64(w0), 0) || math.IsInf(float64(g), 0) {
+			return true
+		}
+		w := []float32{w0}
+		o.Apply(w, nil, []float32{0})
+		if w[0] != w0 {
+			return false
+		}
+		o.Apply(w, nil, []float32{g})
+		return w[0] == w0-0.1*g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

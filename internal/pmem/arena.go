@@ -1,0 +1,373 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+)
+
+// Arena is the space-management layer the paper delegates to PMDK: a
+// slab of fixed-size embedding-entry records inside a Device, with
+// crash-consistent record writes and checkpoint-aware reclamation.
+//
+// Records are versioned with the batch ID of the update they carry.
+// A superseded record is not reused immediately; it is *retired* and only
+// reclaimed once a checkpoint at least as new as its superseding version
+// has completed (Sec. V-C: "the space manager will recycle the space of
+// these entries once the new checkpoint is done"). That retention is what
+// makes batch-consistent recovery possible without a separate snapshot.
+type Arena struct {
+	dev          *Device
+	payloadBytes int
+	slotSize     int
+	slots        int
+
+	mu       sync.Mutex
+	free     []uint32        // reusable slot indices
+	bump     uint32          // next never-used slot
+	retired  []retiredSlot   // superseded slots awaiting a covering checkpoint
+	occupied map[uint32]bool // debug/stat tracking of live slots
+}
+
+type retiredSlot struct {
+	slot         uint32
+	oldVersion   int64 // version of the record being retired
+	supersededBy int64 // version of the record that replaced it
+}
+
+const (
+	arenaMagic     = uint64(0x4f45415245004131) // "OEAREA.A1"
+	arenaHeaderLen = 64
+	slotHeaderLen  = 24 // key(8) + version(8) + payloadLen(4) + crc(4)
+
+	offMagic   = 0
+	offPayload = 8
+	offSlots   = 12
+	offCkptID  = 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ArenaLayout computes the device capacity needed for an arena with the
+// given record payload size (bytes) and slot count.
+func ArenaLayout(payloadBytes, slots int) int {
+	slotSize := alignUp(slotHeaderLen+payloadBytes, 8)
+	return arenaHeaderLen + slotSize*slots
+}
+
+func alignUp(n, a int) int { return (n + a - 1) / a * a }
+
+// NewArena formats an arena on dev with fixed-size payloads. Any previous
+// contents of the device are ignored. The initial checkpointed batch ID
+// is -1 (nothing checkpointed).
+func NewArena(dev *Device, payloadBytes, slots int) (*Arena, error) {
+	if need := ArenaLayout(payloadBytes, slots); need > dev.Capacity() {
+		return nil, fmt.Errorf("pmem: device too small: need %d have %d", need, dev.Capacity())
+	}
+	a := &Arena{
+		dev:          dev,
+		payloadBytes: payloadBytes,
+		slotSize:     alignUp(slotHeaderLen+payloadBytes, 8),
+		slots:        slots,
+		occupied:     make(map[uint32]bool),
+	}
+	hdr := make([]byte, arenaHeaderLen)
+	binary.LittleEndian.PutUint64(hdr[offMagic:], arenaMagic)
+	binary.LittleEndian.PutUint32(hdr[offPayload:], uint32(payloadBytes))
+	binary.LittleEndian.PutUint32(hdr[offSlots:], uint32(slots))
+	binary.LittleEndian.PutUint64(hdr[offCkptID:], uint64(math.MaxUint64)) // -1
+	if err := dev.Persist(0, hdr); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// OpenArena attaches to an arena previously formatted on dev (after a crash
+// or a process restart). The slot occupancy map is NOT rebuilt here; that is
+// the recovery scan's job (see Scan and internal/recovery).
+func OpenArena(dev *Device) (*Arena, error) {
+	hdr := make([]byte, arenaHeaderLen)
+	if err := dev.Read(0, hdr); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(hdr[offMagic:]) != arenaMagic {
+		return nil, fmt.Errorf("%w: arena magic mismatch", ErrBadImage)
+	}
+	payload := int(binary.LittleEndian.Uint32(hdr[offPayload:]))
+	slots := int(binary.LittleEndian.Uint32(hdr[offSlots:]))
+	if ArenaLayout(payload, slots) > dev.Capacity() {
+		return nil, fmt.Errorf("%w: arena larger than device", ErrBadImage)
+	}
+	return &Arena{
+		dev:          dev,
+		payloadBytes: payload,
+		slotSize:     alignUp(slotHeaderLen+payload, 8),
+		slots:        slots,
+		occupied:     make(map[uint32]bool),
+	}, nil
+}
+
+// PayloadBytes returns the fixed record payload size.
+func (a *Arena) PayloadBytes() int { return a.payloadBytes }
+
+// Slots returns the arena capacity in records.
+func (a *Arena) Slots() int { return a.slots }
+
+// Device returns the underlying device.
+func (a *Arena) Device() *Device { return a.dev }
+
+func (a *Arena) slotOffset(slot uint32) int {
+	return arenaHeaderLen + int(slot)*a.slotSize
+}
+
+// Alloc reserves a slot. It returns ErrFull when no slot is available;
+// retired-but-unreclaimed slots do not count as available (they are still
+// needed by a pending checkpoint).
+func (a *Arena) Alloc() (uint32, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var slot uint32
+	switch {
+	case len(a.free) > 0:
+		slot = a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+	case int(a.bump) < a.slots:
+		slot = a.bump
+		a.bump++
+	default:
+		return 0, ErrFull
+	}
+	a.occupied[slot] = true
+	return slot, nil
+}
+
+// Free returns a slot to the free list immediately. Use Retire instead when
+// the slot's record may still be needed by a pending checkpoint.
+func (a *Arena) Free(slot uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.freeLocked(slot)
+}
+
+func (a *Arena) freeLocked(slot uint32) {
+	if !a.occupied[slot] {
+		panic(fmt.Sprintf("pmem: double free of slot %d", slot))
+	}
+	delete(a.occupied, slot)
+	a.free = append(a.free, slot)
+}
+
+// Retire marks the record in slot — whose own version is oldVersion — as
+// superseded by a record of version supersededBy. The slot is reclaimed by
+// a later Reclaim call once no checkpoint can need a version in
+// [oldVersion, supersededBy).
+func (a *Arena) Retire(slot uint32, oldVersion, supersededBy int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.occupied[slot] {
+		panic(fmt.Sprintf("pmem: retire of unoccupied slot %d", slot))
+	}
+	a.retired = append(a.retired, retiredSlot{slot: slot, oldVersion: oldVersion, supersededBy: supersededBy})
+}
+
+// Reclaim frees every retired slot for which keep returns false. keep
+// receives the retired record's own version and the version that superseded
+// it; the engine keeps a record exactly when some recoverable checkpoint
+// falls in [oldVersion, supersededBy). Reclaim returns the number of slots
+// freed.
+func (a *Arena) Reclaim(keep func(oldVersion, supersededBy int64) bool) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kept := a.retired[:0]
+	n := 0
+	for _, r := range a.retired {
+		if keep(r.oldVersion, r.supersededBy) {
+			kept = append(kept, r)
+		} else {
+			a.freeLocked(r.slot)
+			n++
+		}
+	}
+	a.retired = kept
+	return n
+}
+
+// ReclaimUpTo frees every retired slot whose superseding version is at most
+// ckpt: once a checkpoint at ckpt completes, any record superseded by a
+// version the checkpoint already covers can never be read again.
+func (a *Arena) ReclaimUpTo(ckpt int64) int {
+	return a.Reclaim(func(_, supersededBy int64) bool { return supersededBy > ckpt })
+}
+
+// RetiredCount reports how many slots await reclamation.
+func (a *Arena) RetiredCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.retired)
+}
+
+// LiveSlots reports how many slots are currently allocated (including
+// retired ones not yet reclaimed).
+func (a *Arena) LiveSlots() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.occupied)
+}
+
+// MarkOccupied registers a slot as live during recovery (when the free list
+// is rebuilt from a scan instead of allocation history).
+func (a *Arena) MarkOccupied(slot uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.occupied[slot] = true
+	if slot >= a.bump {
+		a.bump = slot + 1
+	}
+}
+
+// FinishRecovery rebuilds the free list: every slot below the bump pointer
+// that was not marked occupied becomes free.
+func (a *Arena) FinishRecovery() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free = a.free[:0]
+	for s := uint32(0); s < a.bump; s++ {
+		if !a.occupied[s] {
+			a.free = append(a.free, s)
+		}
+	}
+}
+
+// WriteRecord persists a record (key, version, payload) into slot with a
+// single flush. The record is crash-consistent: recovery accepts it only if
+// its checksum validates, so a torn write is discarded rather than observed.
+func (a *Arena) WriteRecord(slot uint32, key uint64, version int64, payload []byte) error {
+	if len(payload) != a.payloadBytes {
+		return fmt.Errorf("pmem: payload size %d != record payload %d", len(payload), a.payloadBytes)
+	}
+	buf := make([]byte, slotHeaderLen+len(payload))
+	binary.LittleEndian.PutUint64(buf[0:], key)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(version))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(payload)))
+	copy(buf[slotHeaderLen:], payload)
+	binary.LittleEndian.PutUint32(buf[20:], a.recordCRC(buf))
+	return a.dev.Persist(a.slotOffset(slot), buf)
+}
+
+// recordCRC covers key, version, payloadLen and payload (the crc field
+// itself is skipped).
+func (a *Arena) recordCRC(buf []byte) uint32 {
+	h := crc32.New(crcTable)
+	h.Write(buf[0:20])
+	h.Write(buf[slotHeaderLen:])
+	return h.Sum32()
+}
+
+// Record is a decoded arena record.
+type Record struct {
+	Slot    uint32
+	Key     uint64
+	Version int64
+	Payload []byte // view into the device image; copy before retaining
+}
+
+// ReadRecord decodes the record in slot. It returns ErrCorrupt if the
+// checksum does not validate (torn or never-written slot).
+func (a *Arena) ReadRecord(slot uint32) (Record, error) {
+	off := a.slotOffset(slot)
+	buf, err := a.dev.View(off, slotHeaderLen+a.payloadBytes)
+	if err != nil {
+		return Record{}, err
+	}
+	return a.decode(slot, buf)
+}
+
+// ReadPayload copies the payload of the record in slot into dst (which must
+// be at least PayloadBytes long) without checksum validation; the caller is
+// on the hot pull path and the record is known-live.
+func (a *Arena) ReadPayload(slot uint32, dst []byte) error {
+	off := a.slotOffset(slot) + slotHeaderLen
+	return a.dev.Read(off, dst[:a.payloadBytes])
+}
+
+// Version returns the version field of the record in slot without decoding
+// the payload.
+func (a *Arena) Version(slot uint32) (int64, error) {
+	buf, err := a.dev.View(a.slotOffset(slot)+8, 8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf)), nil
+}
+
+func (a *Arena) decode(slot uint32, buf []byte) (Record, error) {
+	plen := binary.LittleEndian.Uint32(buf[16:])
+	if int(plen) != a.payloadBytes {
+		return Record{}, fmt.Errorf("%w: slot %d payload len %d", ErrCorrupt, slot, plen)
+	}
+	stored := binary.LittleEndian.Uint32(buf[20:])
+	if stored != a.recordCRC(buf) {
+		return Record{}, fmt.Errorf("%w: slot %d checksum mismatch", ErrCorrupt, slot)
+	}
+	return Record{
+		Slot:    slot,
+		Key:     binary.LittleEndian.Uint64(buf[0:]),
+		Version: int64(binary.LittleEndian.Uint64(buf[8:])),
+		Payload: buf[slotHeaderLen:],
+	}, nil
+}
+
+// Scan iterates over every slot, calling fn for each record whose checksum
+// validates. Slots that were never written, torn by a crash, or zeroed are
+// skipped silently — exactly the recovery-scan semantics of Sec. V-C.
+// Scan charges a sequential stream read of the whole arena.
+func (a *Arena) Scan(fn func(Record) error) error {
+	return a.ScanRange(0, uint32(a.slots), fn)
+}
+
+// ScanRange scans slots [lo, hi) only, charging a sequential stream read of
+// that range. Disjoint ranges may be scanned concurrently — the partitioned
+// recovery the paper proposes in Sec. VI-E ("both scanning and the
+// rebuilding can be executed [in] parallel on each part of the embedding
+// tables").
+func (a *Arena) ScanRange(lo, hi uint32, fn func(Record) error) error {
+	if int(hi) > a.slots || lo > hi {
+		return fmt.Errorf("%w: scan range [%d,%d) of %d slots", ErrOutOfRange, lo, hi, a.slots)
+	}
+	a.dev.Timed().ChargeStreamRead(int64(hi-lo) * int64(a.slotSize))
+	for s := lo; s < hi; s++ {
+		off := a.slotOffset(s)
+		// Raw view without per-slot charge: the stream charge above covers it.
+		buf := a.dev.image[off : off+slotHeaderLen+a.payloadBytes]
+		rec, err := a.decode(s, buf)
+		if err != nil {
+			continue // invalid slot: free space or torn write
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetCheckpointedBatch atomically persists the ID of the latest completed
+// checkpoint (Alg. 2 line 25, "PMem.atomicUpdateCheckpointId"). An aligned
+// 8-byte store is power-fail atomic on real PMem; the simulation preserves
+// that by persisting the full word in one flush.
+func (a *Arena) SetCheckpointedBatch(id int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(id))
+	return a.dev.Persist(offCkptID, buf[:])
+}
+
+// CheckpointedBatch returns the persisted completed-checkpoint ID, or -1 if
+// no checkpoint has ever completed.
+func (a *Arena) CheckpointedBatch() (int64, error) {
+	buf, err := a.dev.View(offCkptID, 8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf)), nil
+}

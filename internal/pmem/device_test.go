@@ -1,0 +1,173 @@
+package pmem
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/device"
+	"openembedding/internal/simclock"
+)
+
+func newTestDevice(t *testing.T, capacity int) (*Device, *simclock.Meter) {
+	t.Helper()
+	m := simclock.NewMeter()
+	return NewDevice(capacity, device.NewTimedPMem(m)), m
+}
+
+func TestDeviceWriteIsVolatileUntilFlush(t *testing.T) {
+	d, _ := newTestDevice(t, 1024)
+	data := []byte("hello pmem")
+	if err := d.Write(100, data); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	got := make([]byte, len(data))
+	if err := d.Read(100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, len(data))) {
+		t.Fatalf("unflushed write survived crash: %q", got)
+	}
+}
+
+func TestDeviceFlushSurvivesCrash(t *testing.T) {
+	d, _ := newTestDevice(t, 1024)
+	data := []byte("durable")
+	if err := d.Persist(64, data); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	got := make([]byte, len(data))
+	if err := d.Read(64, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("flushed write lost: got %q want %q", got, data)
+	}
+}
+
+func TestDevicePartialFlush(t *testing.T) {
+	d, _ := newTestDevice(t, 1024)
+	if err := d.Write(0, []byte("aaaabbbb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(0, 4); err != nil { // only first half persisted
+		t.Fatal(err)
+	}
+	d.Crash()
+	got := make([]byte, 8)
+	if err := d.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("aaaa"), 0, 0, 0, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("partial flush wrong: got %q want %q", got, want)
+	}
+}
+
+func TestDeviceOutOfRange(t *testing.T) {
+	d, _ := newTestDevice(t, 16)
+	if err := d.Write(10, make([]byte, 10)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	if err := d.Read(-1, make([]byte, 1)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	if err := d.Flush(0, 17); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	if _, err := d.View(16, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+}
+
+func TestDeviceChargesMeter(t *testing.T) {
+	d, m := newTestDevice(t, 1024)
+	if err := d.Persist(0, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Total(simclock.PMemWrite); got <= 0 {
+		t.Fatalf("flush charged nothing")
+	}
+	buf := make([]byte, 256)
+	if err := d.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Total(simclock.PMemRead); got < device.PMem().ReadLatency {
+		t.Fatalf("read charged %v, want at least read latency", got)
+	}
+	// Writes without flush charge nothing: persistence cost is paid at flush.
+	before := m.Total(simclock.PMemWrite)
+	if err := d.Write(0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Total(simclock.PMemWrite); got != before {
+		t.Fatalf("unflushed write charged PMem time")
+	}
+}
+
+func TestDeviceStats(t *testing.T) {
+	d, _ := newTestDevice(t, 1024)
+	if err := d.Write(0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.BytesWritten != 100 || s.BytesFlushed != 50 || s.FlushOps != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDeviceSaveAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pmem.img")
+
+	d, _ := newTestDevice(t, 512)
+	if err := d.Persist(10, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(100, []byte("volatile")); err != nil { // never flushed
+		t.Fatal(err)
+	}
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Capacity() != 512 {
+		t.Fatalf("capacity = %d", re.Capacity())
+	}
+	got := make([]byte, 9)
+	if err := re.Read(10, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persisted" {
+		t.Fatalf("flushed data lost across save/open: %q", got)
+	}
+	vol := make([]byte, 8)
+	if err := re.Read(100, vol); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vol, make([]byte, 8)) {
+		t.Fatalf("volatile data survived save/open: %q", vol)
+	}
+}
+
+func TestOpenFileRejectsBadImage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.img")
+	if err := os.WriteFile(path, []byte("not a pmem image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, nil); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("want ErrBadImage, got %v", err)
+	}
+}

@@ -1,0 +1,28 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// FloatBytes returns the encoded size of n float32 values.
+func FloatBytes(n int) int { return 4 * n }
+
+// EncodeFloats writes src as little-endian float32s into dst, which must be
+// at least 4*len(src) bytes, and returns the number of bytes written.
+// Embedding-entry payloads (weights plus optimizer state) use this encoding.
+func EncodeFloats(dst []byte, src []float32) int {
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+	return 4 * len(src)
+}
+
+// DecodeFloats reads len(dst) float32s from src into dst and returns the
+// number of bytes consumed.
+func DecodeFloats(dst []float32, src []byte) int {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return 4 * len(dst)
+}

@@ -1,0 +1,170 @@
+// Package ps assembles a parameter-server node: a storage engine of a
+// chosen kind behind the RPC server, with the PMem device image optionally
+// persisted to a file so the node can recover after a restart (Sec. V-C).
+package ps
+
+import (
+	"fmt"
+	"os"
+
+	"openembedding/internal/core"
+	"openembedding/internal/device"
+	"openembedding/internal/engines/dramps"
+	"openembedding/internal/engines/oricache"
+	"openembedding/internal/engines/pmemhash"
+	"openembedding/internal/pmem"
+	"openembedding/internal/psengine"
+	"openembedding/internal/rpc"
+)
+
+// NodeConfig configures one PS node.
+type NodeConfig struct {
+	// Engine selects the storage engine: "pmem-oe" (default), "dram-ps",
+	// "ori-cache" or "pmem-hash".
+	Engine string
+	// Store is the psengine configuration.
+	Store psengine.Config
+	// ArenaSlotsFactor sizes the PMem arena as Capacity * factor records
+	// (the headroom holds retained checkpoint versions). Defaults to 3.
+	ArenaSlotsFactor int
+	// PMemImage, when non-empty, is the file the PMem device image is
+	// loaded from (if present) and saved to on Close.
+	PMemImage string
+	// CheckpointDir configures the incremental checkpointer for the
+	// baseline engines.
+	CheckpointDir string
+}
+
+// Node is one running parameter-server node.
+type Node struct {
+	cfg    NodeConfig
+	engine psengine.Engine
+	dev    *pmem.Device // nil for dram-ps
+	srv    *rpc.Server
+
+	// RecoveredBatch is the checkpoint the engine recovered to when the
+	// node started from an existing PMem image (-1 otherwise).
+	RecoveredBatch int64
+}
+
+// StartNode builds the engine (recovering from an existing PMem image when
+// one is configured and present) and serves it on addr.
+func StartNode(addr string, cfg NodeConfig) (*Node, error) {
+	if cfg.Engine == "" {
+		cfg.Engine = "pmem-oe"
+	}
+	if cfg.ArenaSlotsFactor <= 0 {
+		cfg.ArenaSlotsFactor = 3
+	}
+	store := cfg.Store.WithDefaults()
+	cfg.Store = store
+
+	n := &Node{cfg: cfg, RecoveredBatch: -1}
+	payload := pmem.FloatBytes(store.EntryFloats())
+	slots := store.Capacity * cfg.ArenaSlotsFactor
+
+	newDevice := func() (*pmem.Device, bool, error) {
+		timed := device.NewTimedPMem(store.Meter)
+		if cfg.PMemImage != "" {
+			if _, err := os.Stat(cfg.PMemImage); err == nil {
+				d, err := pmem.OpenFile(cfg.PMemImage, timed)
+				return d, true, err
+			}
+		}
+		return pmem.NewDevice(pmem.ArenaLayout(payload, slots), timed), false, nil
+	}
+
+	switch cfg.Engine {
+	case "pmem-oe":
+		dev, existing, err := newDevice()
+		if err != nil {
+			return nil, err
+		}
+		n.dev = dev
+		if existing {
+			eng, ckpt, err := core.Recover(store, dev)
+			if err != nil {
+				return nil, fmt.Errorf("ps: recover: %w", err)
+			}
+			n.engine = eng
+			n.RecoveredBatch = ckpt
+		} else {
+			arena, err := pmem.NewArena(dev, payload, slots)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := core.New(store, arena)
+			if err != nil {
+				return nil, err
+			}
+			n.engine = eng
+		}
+	case "dram-ps":
+		eng, err := dramps.New(store, dramps.Options{CheckpointDir: cfg.CheckpointDir})
+		if err != nil {
+			return nil, err
+		}
+		n.engine = eng
+	case "ori-cache":
+		dev, _, err := newDevice()
+		if err != nil {
+			return nil, err
+		}
+		n.dev = dev
+		arena, err := pmem.NewArena(dev, payload, slots)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := oricache.New(store, arena, oricache.Options{CheckpointDir: cfg.CheckpointDir})
+		if err != nil {
+			return nil, err
+		}
+		n.engine = eng
+	case "pmem-hash":
+		dev, _, err := newDevice()
+		if err != nil {
+			return nil, err
+		}
+		n.dev = dev
+		arena, err := pmem.NewArena(dev, payload, slots)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := pmemhash.New(store, arena)
+		if err != nil {
+			return nil, err
+		}
+		n.engine = eng
+	default:
+		return nil, fmt.Errorf("ps: unknown engine %q", cfg.Engine)
+	}
+
+	srv, err := rpc.Serve(addr, n.engine)
+	if err != nil {
+		n.engine.Close()
+		return nil, err
+	}
+	n.srv = srv
+	return n, nil
+}
+
+// Addr returns the node's bound address.
+func (n *Node) Addr() string { return n.srv.Addr() }
+
+// Engine exposes the underlying storage engine (for embedded use).
+func (n *Node) Engine() psengine.Engine { return n.engine }
+
+// Close stops serving, closes the engine and, when configured, saves the
+// PMem image so a restarted node can recover.
+func (n *Node) Close() error {
+	err := n.srv.Close()
+	if cerr := n.engine.Close(); err == nil {
+		err = cerr
+	}
+	if n.dev != nil && n.cfg.PMemImage != "" {
+		if serr := n.dev.Save(n.cfg.PMemImage); err == nil {
+			err = serr
+		}
+	}
+	return err
+}

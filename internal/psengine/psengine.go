@@ -1,0 +1,206 @@
+// Package psengine defines the storage-engine contract shared by every
+// parameter-server backend in the reproduction: the proposed PMem-OE engine
+// (internal/core) and the paper's comparison points DRAM-PS, Ori-Cache and
+// PMem-Hash (internal/engines/...).
+//
+// The batch protocol mirrors synchronous DLRM training (Sec. II-A):
+//
+//	for each batch n:
+//	    Pull(n, keys, dst)        // possibly from many worker threads
+//	    EndPullPhase(n)           // all pulls done; GPU compute begins;
+//	                              // pipelined engines start maintenance
+//	    ... dense forward/backward on workers ...
+//	    Push(n, keys, grads)      // gradients back, optimizer applied
+//	    EndBatch(n)               // barrier: batch n fully applied
+//
+// Checkpoints are requested with RequestCheckpoint(n) after EndBatch(n) and
+// complete asynchronously; CompletedCheckpoint reports durable progress.
+package psengine
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"openembedding/internal/optim"
+	"openembedding/internal/simclock"
+)
+
+// Common engine errors.
+var (
+	// ErrClosed is returned by operations on a closed engine.
+	ErrClosed = errors.New("psengine: engine closed")
+	// ErrDimension indicates a buffer whose length does not match keys*dim.
+	ErrDimension = errors.New("psengine: buffer length does not match keys*dim")
+	// ErrCapacity indicates the engine cannot hold more entries.
+	ErrCapacity = errors.New("psengine: entry capacity exceeded")
+)
+
+// Initializer fills the initial weights of a new embedding entry.
+// It must be deterministic in key so that recovery tests and distributed
+// replicas agree on never-checkpointed entries.
+type Initializer func(key uint64, weights []float32)
+
+// XavierInit returns a deterministic uniform(-bound, bound) initializer with
+// bound = 1/sqrt(dim), seeded per key (splitmix64 over key and coordinate).
+func XavierInit(dim int) Initializer {
+	bound := 1.0 / math.Sqrt(float64(dim))
+	return func(key uint64, weights []float32) {
+		x := key ^ 0x9e3779b97f4a7c15
+		for i := range weights {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			u := float64(z>>11) / float64(1<<53) // [0,1)
+			weights[i] = float32((2*u - 1) * bound)
+		}
+	}
+}
+
+// ZeroInit fills new entries with zeros.
+func ZeroInit(key uint64, weights []float32) {
+	for i := range weights {
+		weights[i] = 0
+	}
+}
+
+// Config configures an engine. Zero values get sensible defaults from
+// (*Config).WithDefaults.
+type Config struct {
+	// Dim is the embedding dimension (floats per entry).
+	Dim int
+	// Optimizer is applied server-side on Push.
+	Optimizer optim.Optimizer
+	// Initializer fills new entries on first touch.
+	Initializer Initializer
+	// Capacity is the maximum number of distinct entries (PMem arena slots
+	// for PMem-backed engines, a hard bound for DRAM engines).
+	Capacity int
+	// CacheEntries bounds the DRAM cache for hybrid engines; ignored by
+	// DRAM-PS and PMem-Hash.
+	CacheEntries int
+	// Meter receives virtual-time charges for every device access the
+	// engine performs. Nil disables accounting.
+	Meter *simclock.Meter
+	// MaintThreads is the cache-maintainer pool size for pipelined engines.
+	MaintThreads int
+	// LRUUpdateOnPush makes Push reorder the LRU list too, as a generic
+	// black-box cache would (the behaviour the paper's Sec. II-B critiques).
+	// PMem-OE leaves it false: pull and push of a batch touch the same keys,
+	// so one reorder per batch suffices. Ori-Cache sets it true.
+	LRUUpdateOnPush bool
+	// PipelineDisabled runs cache maintenance inline on the request path
+	// instead of behind the GPU phase. Used by the Fig. 9 ablation.
+	PipelineDisabled bool
+	// CacheDisabled bypasses the DRAM cache entirely (every access goes to
+	// PMem). Used by the Fig. 9 ablation.
+	CacheDisabled bool
+}
+
+// WithDefaults returns a copy of c with zero fields defaulted.
+func (c Config) WithDefaults() Config {
+	if c.Dim == 0 {
+		c.Dim = 64
+	}
+	if c.Optimizer == nil {
+		c.Optimizer = optim.NewAdaGrad(0.05)
+	}
+	if c.Initializer == nil {
+		c.Initializer = XavierInit(c.Dim)
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1 << 20
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = c.Capacity / 8
+	}
+	if c.MaintThreads == 0 {
+		c.MaintThreads = 1
+	}
+	return c
+}
+
+// EntryFloats returns the per-entry float count: weights plus optimizer
+// state.
+func (c Config) EntryFloats() int { return c.Dim + c.Optimizer.StateFloats(c.Dim) }
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Entries is the number of distinct embedding entries stored.
+	Entries int64
+	// CachedEntries is the number of entries currently in the DRAM cache.
+	CachedEntries int64
+	// Hits and Misses count pull lookups served from DRAM vs PMem.
+	Hits, Misses int64
+	// PMemReads/PMemWrites count record-granularity PMem accesses.
+	PMemReads, PMemWrites int64
+	// Evictions counts cache evictions.
+	Evictions int64
+	// CheckpointsDone counts completed checkpoints.
+	CheckpointsDone int64
+}
+
+// MissRate returns Misses / (Hits + Misses), or 0 with no lookups.
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// Engine is a parameter-server storage backend for one embedding table
+// shard. Pull and Push may be called concurrently from many request
+// threads; the phase-boundary calls (EndPullPhase, EndBatch) come from a
+// single coordinator.
+type Engine interface {
+	// Name identifies the engine configuration ("pmem-oe", "dram-ps", ...).
+	Name() string
+	// Dim returns the embedding dimension.
+	Dim() int
+	// Pull copies the weights for keys into dst (len(keys)*Dim floats),
+	// creating entries on first touch. batch is the current batch ID.
+	Pull(batch int64, keys []uint64, dst []float32) error
+	// EndPullPhase signals that every pull of the batch has been issued;
+	// pipelined engines start cache maintenance here (Fig. 5).
+	EndPullPhase(batch int64)
+	// WaitMaintenance blocks until deferred maintenance (cache replacement,
+	// flushes, checkpoint progress) for all signalled batches has drained.
+	// Inline engines return immediately.
+	WaitMaintenance()
+	// Push applies the optimizer to keys given grads (len(keys)*Dim floats).
+	Push(batch int64, keys []uint64, grads []float32) error
+	// EndBatch marks batch n complete: after it returns the engine is
+	// consistent for checkpoint requests at n.
+	EndBatch(batch int64) error
+	// RequestCheckpoint asks for a checkpoint capturing state as of the
+	// given completed batch. It returns immediately; completion is
+	// asynchronous (observed via CompletedCheckpoint).
+	RequestCheckpoint(batch int64) error
+	// CompletedCheckpoint returns the newest durable checkpoint batch ID,
+	// or -1 when none has completed.
+	CompletedCheckpoint() int64
+	// Stats returns a snapshot of the engine counters.
+	Stats() Stats
+	// Close releases resources (maintainer threads, files).
+	Close() error
+}
+
+// CheckBuf validates that buf holds exactly len(keys)*dim floats.
+func CheckBuf(keys []uint64, buf []float32, dim int) error {
+	if len(buf) != len(keys)*dim {
+		return ErrDimension
+	}
+	return nil
+}
+
+// LockCost is the calibrated virtual cost of one uncontended lock
+// acquisition/release pair on the request path; engines charge it under
+// simclock.LockSync so the simulator's contention model can scale it.
+const LockCost = 20 * time.Nanosecond
+
+// IndexProbeCost is the calibrated virtual CPU cost of one hash-index probe
+// (hashing plus bucket walk), charged under simclock.Compute.
+const IndexProbeCost = 30 * time.Nanosecond

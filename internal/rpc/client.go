@@ -1,0 +1,115 @@
+package rpc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"openembedding/internal/psengine"
+)
+
+// Client is a connection to one parameter-server node. A Client serializes
+// its requests; workers that want parallelism across shards hold one Client
+// per node (as internal/cluster does).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// do sends one request body and returns the decoded response reader.
+func (c *Client) do(body []byte) (*Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, body); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(resp)
+}
+
+// Pull fetches weights for keys (len(keys)*dim floats).
+func (c *Client) Pull(batch int64, keys []uint64) ([]float32, error) {
+	b := NewBuffer(MsgPull, batch)
+	b.PutKeys(keys)
+	r, err := c.do(b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return r.Floats()
+}
+
+// Push sends gradients for keys.
+func (c *Client) Push(batch int64, keys []uint64, grads []float32) error {
+	b := NewBuffer(MsgPush, batch)
+	b.PutKeys(keys)
+	b.PutFloats(grads)
+	_, err := c.do(b.Bytes())
+	return err
+}
+
+// EndPullPhase signals pull completion for batch.
+func (c *Client) EndPullPhase(batch int64) error {
+	_, err := c.do(NewBuffer(MsgEndPullPhase, batch).Bytes())
+	return err
+}
+
+// EndBatch seals batch.
+func (c *Client) EndBatch(batch int64) error {
+	_, err := c.do(NewBuffer(MsgEndBatch, batch).Bytes())
+	return err
+}
+
+// RequestCheckpoint asks the node to checkpoint batch.
+func (c *Client) RequestCheckpoint(batch int64) error {
+	_, err := c.do(NewBuffer(MsgCheckpoint, batch).Bytes())
+	return err
+}
+
+// CompletedCheckpoint reads the node's durable checkpoint progress.
+func (c *Client) CompletedCheckpoint() (int64, error) {
+	r, err := c.do(NewBuffer(MsgCompletedCkpt, 0).Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return r.I64()
+}
+
+// Stats fetches the node's counters.
+func (c *Client) Stats() (psengine.Stats, error) {
+	r, err := c.do(NewBuffer(MsgStats, 0).Bytes())
+	if err != nil {
+		return psengine.Stats{}, err
+	}
+	return DecodeStats(r)
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	_, err := c.do(NewBuffer(MsgPing, 0).Bytes())
+	return err
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

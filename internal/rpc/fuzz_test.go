@@ -1,0 +1,100 @@
+package rpc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestWireRoundTripProperty: arbitrary key/float/string payloads must
+// survive encode -> frame -> decode bit-exactly.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(batch int64, keys []uint64, vals []float32, s string) bool {
+		if len(s) > 1<<16 {
+			s = s[:1<<16]
+		}
+		b := NewBuffer(MsgPush, batch)
+		b.PutKeys(keys)
+		b.PutFloats(vals)
+		b.PutString(s)
+
+		var wire bytes.Buffer
+		if err := WriteFrame(&wire, b.Bytes()); err != nil {
+			return false
+		}
+		body, err := ReadFrame(&wire)
+		if err != nil {
+			return false
+		}
+		r := NewReader(body)
+		typ, err := r.Type()
+		if err != nil || typ != MsgPush {
+			return false
+		}
+		gotBatch, err := r.I64()
+		if err != nil || gotBatch != batch {
+			return false
+		}
+		gotKeys, err := r.Keys()
+		if err != nil || len(gotKeys) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if gotKeys[i] != keys[i] {
+				return false
+			}
+		}
+		gotVals, err := r.Floats()
+		if err != nil || len(gotVals) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float32bits(gotVals[i]) != math.Float32bits(vals[i]) {
+				return false
+			}
+		}
+		gotS, err := r.String()
+		return err == nil && gotS == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerHandleNeverPanics: arbitrary request bodies must produce a
+// response (usually MsgErr), never a panic or a hang.
+func TestServerHandleNeverPanics(t *testing.T) {
+	srv := &Server{engine: testEngine(t)}
+	f := func(body []byte) bool {
+		resp := srv.handle(body)
+		if len(resp) == 0 {
+			return false
+		}
+		// Every response must decode as OK, Data or a remote error.
+		_, err := DecodeResponse(resp)
+		_ = err // remote errors are fine; malformed responses are not
+		switch resp[0] {
+		case MsgOK, MsgData, MsgErr:
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Targeted malformed cases.
+	for _, body := range [][]byte{
+		nil,
+		{},
+		{MsgPull},                         // missing batch
+		{MsgPull, 0, 0, 0, 0, 0, 0, 0, 0}, // missing keys
+		{MsgPush, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0}, // truncated count
+		{0x7f, 0, 0, 0, 0, 0, 0, 0, 0},             // unknown type
+	} {
+		resp := srv.handle(body)
+		if len(resp) == 0 || resp[0] != MsgErr {
+			t.Fatalf("malformed body %v got response %v", body, resp)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package rpc implements the wire protocol between training workers and
+// parameter-server nodes: length-prefixed binary frames over TCP (the
+// paper's deployment uses RDMA with a low-overhead RPC; TCP via net is the
+// portable stand-in, with the network's virtual cost modeled separately by
+// the simulator).
+//
+// Frame layout: 4-byte little-endian body length, then the body:
+//
+//	[1]  message type
+//	[8]  batch ID (where applicable)
+//	[..] type-specific payload (counts are uint32, keys uint64, floats
+//	     float32 bit patterns, all little-endian)
+//
+// Responses reuse the same framing: MsgOK / MsgErr / typed payloads.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Message types.
+const (
+	MsgPull byte = iota + 1
+	MsgPush
+	MsgEndPullPhase
+	MsgEndBatch
+	MsgCheckpoint
+	MsgCompletedCkpt
+	MsgStats
+	MsgPing
+
+	MsgOK   byte = 0x80
+	MsgErr  byte = 0x81
+	MsgData byte = 0x82
+)
+
+// MaxFrame bounds a frame body; larger frames indicate protocol corruption.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge indicates a frame over MaxFrame.
+var ErrFrameTooLarge = errors.New("rpc: frame too large")
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Buffer builds frame bodies.
+type Buffer struct{ b []byte }
+
+// NewBuffer returns a body builder starting with the message type and batch.
+func NewBuffer(msg byte, batch int64) *Buffer {
+	buf := &Buffer{b: make([]byte, 0, 64)}
+	buf.b = append(buf.b, msg)
+	buf.PutI64(batch)
+	return buf
+}
+
+// PutI64 appends an int64.
+func (p *Buffer) PutI64(v int64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+	p.b = append(p.b, tmp[:]...)
+}
+
+// PutKeys appends a count-prefixed key list.
+func (p *Buffer) PutKeys(keys []uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(keys)))
+	p.b = append(p.b, tmp[:4]...)
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(tmp[:], k)
+		p.b = append(p.b, tmp[:]...)
+	}
+}
+
+// PutFloats appends a count-prefixed float32 list.
+func (p *Buffer) PutFloats(vals []float32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(vals)))
+	p.b = append(p.b, tmp[:]...)
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
+		p.b = append(p.b, tmp[:]...)
+	}
+}
+
+// PutString appends a count-prefixed string.
+func (p *Buffer) PutString(s string) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s)))
+	p.b = append(p.b, tmp[:]...)
+	p.b = append(p.b, s...)
+}
+
+// Bytes returns the built body.
+func (p *Buffer) Bytes() []byte { return p.b }
+
+// Reader decodes frame bodies.
+type Reader struct {
+	b   []byte
+	off int
+}
+
+// NewReader wraps a frame body.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// ErrTruncated indicates a body shorter than its encoding claims.
+var ErrTruncated = errors.New("rpc: truncated frame")
+
+// Type consumes and returns the message type byte.
+func (r *Reader) Type() (byte, error) {
+	if r.off+1 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	t := r.b[r.off]
+	r.off++
+	return t, nil
+}
+
+// I64 consumes an int64.
+func (r *Reader) I64() (int64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := int64(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+// Keys consumes a count-prefixed key list.
+func (r *Reader) Keys() ([]uint64, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+8*n > len(r.b) {
+		return nil, ErrTruncated
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(r.b[r.off:])
+		r.off += 8
+	}
+	return keys, nil
+}
+
+// Floats consumes a count-prefixed float32 list.
+func (r *Reader) Floats() ([]float32, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+4*n > len(r.b) {
+		return nil, ErrTruncated
+	}
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
+	}
+	return vals, nil
+}
+
+// String consumes a count-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.count()
+	if err != nil {
+		return "", err
+	}
+	if r.off+n > len(r.b) {
+		return "", ErrTruncated
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *Reader) count() (int, error) {
+	if r.off+4 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(r.b[r.off:]))
+	r.off += 4
+	if n < 0 || n > MaxFrame {
+		return 0, fmt.Errorf("rpc: bad count %d", n)
+	}
+	return n, nil
+}
+
+// OKBody is the canonical success response body.
+func OKBody() []byte { return []byte{MsgOK} }
+
+// ErrBody encodes an error response.
+func ErrBody(err error) []byte {
+	b := &Buffer{b: []byte{MsgErr}}
+	b.PutString(err.Error())
+	return b.Bytes()
+}
+
+// DecodeResponse inspects a response body: nil error for MsgOK/MsgData
+// (returning the remaining reader), or the remote error for MsgErr.
+func DecodeResponse(body []byte) (*Reader, error) {
+	r := NewReader(body)
+	t, err := r.Type()
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case MsgOK, MsgData:
+		return r, nil
+	case MsgErr:
+		msg, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("rpc: remote: %s", msg)
+	default:
+		return nil, fmt.Errorf("rpc: unexpected response type 0x%02x", t)
+	}
+}

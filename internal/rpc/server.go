@@ -1,0 +1,187 @@
+package rpc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"openembedding/internal/psengine"
+)
+
+// Server exposes one storage engine (one shard) over TCP. Each accepted
+// connection is served by its own goroutine; a worker that wants request
+// parallelism opens several connections, as the paper's multi-threaded
+// pull handlers do.
+type Server struct {
+	engine psengine.Engine
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Serve starts a server for engine on addr ("127.0.0.1:0" picks a free
+// port). The returned server is already accepting.
+func Serve(addr string, engine psengine.Engine) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen: %w", err)
+	}
+	s := &Server{engine: engine, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		body, err := ReadFrame(br)
+		if err != nil {
+			return // EOF or broken conn
+		}
+		resp := s.handle(body)
+		if err := WriteFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request body and returns the response body.
+func (s *Server) handle(body []byte) []byte {
+	r := NewReader(body)
+	t, err := r.Type()
+	if err != nil {
+		return ErrBody(err)
+	}
+	batch, err := r.I64()
+	if err != nil {
+		return ErrBody(err)
+	}
+	switch t {
+	case MsgPull:
+		keys, err := r.Keys()
+		if err != nil {
+			return ErrBody(err)
+		}
+		dst := make([]float32, len(keys)*s.engine.Dim())
+		if err := s.engine.Pull(batch, keys, dst); err != nil {
+			return ErrBody(err)
+		}
+		out := &Buffer{b: []byte{MsgData}}
+		out.PutFloats(dst)
+		return out.Bytes()
+	case MsgPush:
+		keys, err := r.Keys()
+		if err != nil {
+			return ErrBody(err)
+		}
+		grads, err := r.Floats()
+		if err != nil {
+			return ErrBody(err)
+		}
+		if err := s.engine.Push(batch, keys, grads); err != nil {
+			return ErrBody(err)
+		}
+		return OKBody()
+	case MsgEndPullPhase:
+		s.engine.EndPullPhase(batch)
+		return OKBody()
+	case MsgEndBatch:
+		if err := s.engine.EndBatch(batch); err != nil {
+			return ErrBody(err)
+		}
+		return OKBody()
+	case MsgCheckpoint:
+		if err := s.engine.RequestCheckpoint(batch); err != nil {
+			return ErrBody(err)
+		}
+		return OKBody()
+	case MsgCompletedCkpt:
+		out := &Buffer{b: []byte{MsgData}}
+		out.PutI64(s.engine.CompletedCheckpoint())
+		return out.Bytes()
+	case MsgStats:
+		st := s.engine.Stats()
+		out := &Buffer{b: []byte{MsgData}}
+		for _, v := range []int64{st.Entries, st.CachedEntries, st.Hits, st.Misses,
+			st.PMemReads, st.PMemWrites, st.Evictions, st.CheckpointsDone} {
+			out.PutI64(v)
+		}
+		return out.Bytes()
+	case MsgPing:
+		return OKBody()
+	default:
+		return ErrBody(fmt.Errorf("unknown message type 0x%02x", t))
+	}
+}
+
+// Close stops accepting, closes live connections and waits for handlers.
+// The engine is not closed; the caller owns it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// DecodeStats parses a MsgStats response payload.
+func DecodeStats(r *Reader) (psengine.Stats, error) {
+	var st psengine.Stats
+	fields := []*int64{&st.Entries, &st.CachedEntries, &st.Hits, &st.Misses,
+		&st.PMemReads, &st.PMemWrites, &st.Evictions, &st.CheckpointsDone}
+	for _, f := range fields {
+		v, err := r.I64()
+		if err != nil {
+			return st, err
+		}
+		*f = v
+	}
+	return st, nil
+}

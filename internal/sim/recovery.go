@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"time"
+
+	"openembedding/internal/device"
+)
+
+// RecoveryEstimate is one bar of Fig. 14.
+type RecoveryEstimate struct {
+	// Label identifies the configuration.
+	Label string
+	// ReadTime is the time to bring checkpoint/model bytes off the
+	// persistent device.
+	ReadTime time.Duration
+	// BuildTime is the DRAM reconstruction (hash inserts, and for DRAM-PS
+	// also payload copies).
+	BuildTime time.Duration
+}
+
+// Total returns the recovery wall time.
+func (r RecoveryEstimate) Total() time.Duration { return r.ReadTime + r.BuildTime }
+
+// RecoveryTimes reproduces Fig. 14 at production scale (500 GB model,
+// ~1 B entries): DRAM-PS restoring its checkpoint from SSD, DRAM-PS
+// restoring from PMem, and PMem-OE's scan-and-rebuild (Sec. V-C), whose
+// entries never leave PMem — only the index is rebuilt, which is why it
+// recovers up to ~4x faster.
+func RecoveryTimes() []RecoveryEstimate {
+	model := float64(ModelBytesReal)
+	entries := time.Duration(RealEntries)
+
+	ssdRead := time.Duration(model / CheckpointSSDReadBW * float64(time.Second))
+	pmemRead := device.PMem().StreamReadCost(int64(model))
+	fullBuild := entries * EntryBuildFullCost
+	oeScan := device.PMem().StreamReadCost(int64(model * ArenaSlotOverhead))
+	oeBuild := entries * EntryBuildIndexCost
+
+	return []RecoveryEstimate{
+		{Label: "DRAM-PS (checkpoint on SSD)", ReadTime: ssdRead, BuildTime: fullBuild},
+		{Label: "DRAM-PS (checkpoint on PMem)", ReadTime: pmemRead, BuildTime: fullBuild},
+		{Label: "PMem-OE (scan + index rebuild)", ReadTime: oeScan, BuildTime: oeBuild},
+	}
+}
+
+// ParallelRecoveryTime extends Fig. 14 with the speed-up the paper
+// proposes (Sec. VI-E): partition the table across processes so scanning
+// and index rebuilding parallelize (core.RecoverParallel implements it).
+// The PMem scan stays bandwidth-bound (shared DIMMs), while the CPU-bound
+// index rebuild divides across partitions.
+func ParallelRecoveryTime(partitions int) RecoveryEstimate {
+	if partitions < 1 {
+		partitions = 1
+	}
+	base := RecoveryTimes()[2]
+	return RecoveryEstimate{
+		Label:     "PMem-OE (parallel recovery)",
+		ReadTime:  base.ReadTime,
+		BuildTime: base.BuildTime / time.Duration(partitions),
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"time"
+
+	"openembedding/internal/device"
+	"openembedding/internal/simclock"
+)
+
+// Resources describes the hardware a phase's demand is served by.
+type Resources struct {
+	// Nodes is the number of PS nodes the shards are spread over.
+	Nodes int
+	// ThreadsPerNode is the request-serving thread pool per node.
+	ThreadsPerNode int
+	// PMemConcurrency is the concurrent-access capacity of one node's PMem.
+	PMemConcurrency int
+	// Workers is the number of concurrently bursting GPU workers (drives
+	// global-lock convoy length).
+	Workers int
+}
+
+// resourcesFor returns the deployment shape of an engine kind (Table V:
+// DRAM-PS needs two DRAM servers; the PMem engines fit in one PMem server).
+func resourcesFor(engine string, gpus int) Resources {
+	nodes := PMemNodes
+	if engine == "dram-ps" || engine == "tf" {
+		nodes = DRAMPSNodes
+	}
+	return Resources{
+		Nodes:           nodes,
+		ThreadsPerNode:  ThreadsPerNode,
+		PMemConcurrency: PMemConcurrency,
+		Workers:         gpus,
+	}
+}
+
+// PhaseTime converts one phase's charged demand into wall time: each
+// resource class serves its demand at its own parallelism, the phase ends
+// when the slowest class finishes (they overlap), and globally-serialized
+// demand pays a convoy penalty that grows with the number of bursting
+// workers (Observation 1's parallelism overhead).
+func PhaseTime(d simclock.Snapshot, r Resources, scaleUp float64) time.Duration {
+	cpu := d.Sum(simclock.Compute, simclock.DRAMRead, simclock.DRAMWrite, simclock.LockSync)
+	pm := d.Sum(simclock.PMemRead, simclock.PMemWrite)
+	gl := d.Total(simclock.GlobalSync)
+	ssd := d.Sum(simclock.SSDRead, simclock.SSDWrite)
+
+	cpuT := scale(cpu, scaleUp/float64(r.Nodes*r.ThreadsPerNode))
+	pmT := scale(pm, scaleUp/float64(r.Nodes*r.PMemConcurrency))
+	glT := scale(gl, scaleUp*(1+GlobalLockContention*float64(r.Workers)))
+	ssdT := scale(ssd, scaleUp)
+
+	return maxDur(cpuT, pmT, glT, ssdT)
+}
+
+func scale(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
+}
+
+func maxDur(ds ...time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// netTime is the wire time of moving totalBytes between the worker
+// machines and the PS nodes in one phase: each side's links can bottleneck
+// (workers share one 30 Gb NIC per 4-GPU machine; each PS node has one).
+func netTime(totalBytes int64, gpus, psNodes int) time.Duration {
+	net := device.Network30Gb()
+	machines := (gpus + GPUsPerMachine - 1) / GPUsPerMachine
+	workerSide := net.StreamWriteCost(totalBytes / int64(machines))
+	psSide := net.StreamWriteCost(totalBytes / int64(psNodes))
+	return maxDur(workerSide, psSide)
+}
+
+// allreduceTime models a ring allreduce of grad bytes across g workers
+// sharing the machine NICs: 2*(g-1)/g of the payload crosses each link.
+func allreduceTime(bytesPerWorker int64, gpus int) time.Duration {
+	if gpus <= 1 {
+		return 0
+	}
+	net := device.Network30Gb()
+	factor := 2 * float64(gpus-1) / float64(gpus)
+	machines := (gpus + GPUsPerMachine - 1) / GPUsPerMachine
+	if machines == 1 {
+		// Intra-machine (NVLink-class) allreduce: an order of magnitude
+		// faster than the NIC path.
+		return scale(net.StreamWriteCost(int64(float64(bytesPerWorker)*factor)), 0.1)
+	}
+	return net.StreamWriteCost(int64(float64(bytesPerWorker) * factor))
+}

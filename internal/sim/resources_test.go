@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"openembedding/internal/simclock"
+)
+
+func snapshotWith(c simclock.Category, d time.Duration) simclock.Snapshot {
+	m := simclock.NewMeter()
+	m.Charge(c, d)
+	return m.Snapshot()
+}
+
+func TestPhaseTimeParallelism(t *testing.T) {
+	r := Resources{Nodes: 2, ThreadsPerNode: 8, PMemConcurrency: 1, Workers: 4}
+	cpu := snapshotWith(simclock.Compute, 160*time.Millisecond)
+	if got := PhaseTime(cpu, r, 1); got != 10*time.Millisecond {
+		t.Fatalf("cpu demand split wrong: %v", got)
+	}
+	pm := snapshotWith(simclock.PMemRead, 10*time.Millisecond)
+	if got := PhaseTime(pm, r, 1); got != 5*time.Millisecond {
+		t.Fatalf("pmem demand split wrong: %v", got)
+	}
+}
+
+func TestPhaseTimeGlobalConvoy(t *testing.T) {
+	gl := snapshotWith(simclock.GlobalSync, 10*time.Millisecond)
+	small := PhaseTime(gl, Resources{Nodes: 1, ThreadsPerNode: 8, PMemConcurrency: 1, Workers: 4}, 1)
+	big := PhaseTime(gl, Resources{Nodes: 1, ThreadsPerNode: 8, PMemConcurrency: 1, Workers: 16}, 1)
+	if big <= small {
+		t.Fatalf("global convoy did not grow with workers: %v vs %v", small, big)
+	}
+	// Adding nodes must NOT help globally-serialized demand.
+	moreNodes := PhaseTime(gl, Resources{Nodes: 4, ThreadsPerNode: 8, PMemConcurrency: 1, Workers: 4}, 1)
+	if moreNodes != small {
+		t.Fatalf("global demand parallelized across nodes: %v vs %v", moreNodes, small)
+	}
+}
+
+func TestPhaseTimeTakesMax(t *testing.T) {
+	m := simclock.NewMeter()
+	m.Charge(simclock.Compute, 16*time.Millisecond) // /16 threads -> 1ms
+	m.Charge(simclock.PMemRead, 5*time.Millisecond) // /1 -> 5ms
+	r := Resources{Nodes: 1, ThreadsPerNode: 16, PMemConcurrency: 1, Workers: 1}
+	if got := PhaseTime(m.Snapshot(), r, 1); got != 5*time.Millisecond {
+		t.Fatalf("phase time = %v, want the slower class (5ms)", got)
+	}
+}
+
+func TestPhaseTimeScaleUp(t *testing.T) {
+	r := Resources{Nodes: 1, ThreadsPerNode: 1, PMemConcurrency: 1, Workers: 1}
+	d := snapshotWith(simclock.Compute, time.Millisecond)
+	if got := PhaseTime(d, r, 10); got != 10*time.Millisecond {
+		t.Fatalf("scale-up ignored: %v", got)
+	}
+}
+
+func TestResourcesFor(t *testing.T) {
+	if r := resourcesFor("dram-ps", 8); r.Nodes != DRAMPSNodes || r.Workers != 8 {
+		t.Fatalf("dram-ps resources = %+v", r)
+	}
+	if r := resourcesFor("pmem-oe", 4); r.Nodes != PMemNodes {
+		t.Fatalf("pmem-oe resources = %+v", r)
+	}
+	if r := resourcesFor("tf", 4); r.Nodes != DRAMPSNodes {
+		t.Fatalf("tf resources = %+v", r)
+	}
+}
+
+func TestNetTimeBottlenecks(t *testing.T) {
+	// With one PS node, the PS side carries everything; with more GPUs the
+	// worker side spreads over more machines, so PS-side dominates.
+	oneNode := netTime(100<<20, 16, 1)
+	twoNodes := netTime(100<<20, 16, 2)
+	if twoNodes >= oneNode {
+		t.Fatalf("more PS nodes did not reduce wire time: %v vs %v", twoNodes, oneNode)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	if got := allreduceTime(1<<20, 1); got != 0 {
+		t.Fatalf("single-GPU allreduce = %v", got)
+	}
+	// Multi-machine slower than intra-machine for the same payload.
+	intra := allreduceTime(1<<20, 4) // one machine
+	inter := allreduceTime(1<<20, 8) // two machines
+	if intra >= inter {
+		t.Fatalf("intra-machine allreduce (%v) should beat inter-machine (%v)", intra, inter)
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math"
+
+	"openembedding/internal/workload"
+)
+
+// ExpectedUniqueTableII returns the expected number of distinct keys in
+// draws samples from the Table II skew over a keyspace of n keys:
+// E[unique] = sum over keys of (1 - (1-p_k)^draws), evaluated by numeric
+// integration over the piecewise-geometric rank density.
+//
+// The incremental-checkpoint model needs it at production scale (how many
+// entries were dirtied in a 20-minute interval of 16-GPU training), where
+// direct simulation is unaffordable.
+func ExpectedUniqueTableII(draws float64, n float64) float64 {
+	if draws <= 0 || n <= 0 {
+		return 0
+	}
+	var total float64
+	prevRF, prevCS := 0.0, 0.0
+	for _, a := range workload.TableIIAnchors {
+		mass := a.CumShare - prevCS
+		width := a.RankFrac - prevRF
+		if mass <= 0 || width <= 0 {
+			prevRF, prevCS = a.RankFrac, a.CumShare
+			continue
+		}
+		if prevRF == 0 {
+			// First segment: linear rank interpolation — uniform density
+			// mass/width per unit rank fraction.
+			total += integrateUniform(draws, n, mass, width)
+		} else {
+			// Geometric segment: rank fraction rf(t) = lo*(hi/lo)^t with
+			// share linear in t, so the per-rank density is
+			// mass / (rf * ln(hi/lo)).
+			total += integrateGeometric(draws, n, mass, prevRF, a.RankFrac)
+		}
+		prevRF, prevCS = a.RankFrac, a.CumShare
+	}
+	return total
+}
+
+func integrateUniform(draws, n, mass, width float64) float64 {
+	keys := width * n
+	if keys < 1 {
+		keys = 1
+	}
+	p := mass / keys // per-key access probability
+	return keys * (1 - math.Exp(-draws*p))
+}
+
+func integrateGeometric(draws, n, mass, lo, hi float64) float64 {
+	const steps = 400
+	lnRatio := math.Log(hi / lo)
+	var total float64
+	for i := 0; i < steps; i++ {
+		t0 := float64(i) / steps
+		t1 := float64(i+1) / steps
+		rf0 := lo * math.Pow(hi/lo, t0)
+		rf1 := lo * math.Pow(hi/lo, t1)
+		keys := (rf1 - rf0) * n
+		if keys <= 0 {
+			continue
+		}
+		rfMid := (rf0 + rf1) / 2
+		density := mass / (rfMid * lnRatio) // share per unit rank fraction
+		p := density / n                    // per-key probability
+		total += keys * (1 - math.Exp(-draws*p))
+	}
+	return total
+}

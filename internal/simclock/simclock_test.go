@@ -1,0 +1,134 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterChargeAndTotals(t *testing.T) {
+	m := NewMeter()
+	m.Charge(PMemRead, 100*time.Nanosecond)
+	m.Charge(PMemRead, 50*time.Nanosecond)
+	m.Charge(DRAMWrite, 10*time.Nanosecond)
+	if got := m.Total(PMemRead); got != 150*time.Nanosecond {
+		t.Fatalf("Total(PMemRead) = %v", got)
+	}
+	if got := m.Ops(PMemRead); got != 2 {
+		t.Fatalf("Ops(PMemRead) = %d", got)
+	}
+	if got := m.Sum(PMemRead, DRAMWrite); got != 160*time.Nanosecond {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got := m.Sum(); got != 160*time.Nanosecond {
+		t.Fatalf("Sum(all) = %v", got)
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.Charge(PMemRead, time.Nanosecond) // must not panic
+	if m.Total(PMemRead) != 0 || m.Ops(PMemRead) != 0 || m.Sum() != 0 {
+		t.Fatal("nil meter returned non-zero")
+	}
+	_ = m.Snapshot()
+	m.Reset()
+}
+
+func TestMeterConcurrentCharges(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Charge(Compute, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Total(Compute); got != 8000*time.Nanosecond {
+		t.Fatalf("Total = %v, want 8000ns", got)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	m := NewMeter()
+	m.Charge(SSDWrite, 5*time.Nanosecond)
+	s1 := m.Snapshot()
+	m.Charge(SSDWrite, 7*time.Nanosecond)
+	m.Charge(NetTx, 3*time.Nanosecond)
+	d := m.Snapshot().Sub(s1)
+	if d.Total(SSDWrite) != 7*time.Nanosecond || d.OpCount(SSDWrite) != 1 {
+		t.Fatalf("delta ssd = %v/%d", d.Total(SSDWrite), d.OpCount(SSDWrite))
+	}
+	if d.Total(NetTx) != 3*time.Nanosecond {
+		t.Fatalf("delta net = %v", d.Total(NetTx))
+	}
+	if d.Sum() != 10*time.Nanosecond {
+		t.Fatalf("delta sum = %v", d.Sum())
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter()
+	m.Charge(LockSync, time.Microsecond)
+	m.Reset()
+	if m.Sum() != 0 {
+		t.Fatal("reset left residue")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for _, c := range Categories() {
+		if s := c.String(); s == "" || s[0] == '(' {
+			t.Fatalf("category %d has bad name %q", int(c), s)
+		}
+	}
+	if Category(99).String() != "category(99)" {
+		t.Fatal("unknown category name")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("clock not at zero")
+	}
+	c.Advance(time.Second)
+	if c.Now() != time.Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Set(2 * time.Second)
+	if c.Now() != 2*time.Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards Set did not panic")
+		}
+	}()
+	c.Set(time.Second)
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	c.Advance(-time.Nanosecond)
+}
+
+func TestSnapshotString(t *testing.T) {
+	m := NewMeter()
+	if s := m.Snapshot().String(); s != "(empty)" {
+		t.Fatalf("empty snapshot string = %q", s)
+	}
+	m.Charge(PMemWrite, time.Nanosecond)
+	if s := m.Snapshot().String(); s == "(empty)" {
+		t.Fatal("non-empty snapshot printed as empty")
+	}
+}

@@ -1,0 +1,112 @@
+// Package trace records parameter-server access events on the virtual
+// timeline, reproducing the paper's workload analyses: the per-millisecond
+// request counting of Fig. 2 (paired pull/update bursts at batch
+// boundaries) and the access-frequency statistics behind Table II.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Op is the request kind.
+type Op int
+
+// Request kinds.
+const (
+	Pull Op = iota
+	Push
+)
+
+// Event is one batched request arrival: n embedding-entry accesses of one
+// kind at one virtual instant.
+type Event struct {
+	At       time.Duration
+	Op       Op
+	Requests int
+	Batch    int64
+}
+
+// Recorder accumulates events; it is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends one event.
+func (r *Recorder) Record(at time.Duration, op Op, batch int64, requests int) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{At: at, Op: op, Requests: requests, Batch: batch})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by time.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// MsBucket is one millisecond of the Fig. 2 timeline.
+type MsBucket struct {
+	Ms     int
+	Pulls  int
+	Pushes int
+}
+
+// PerMillisecond buckets the recorded requests per virtual millisecond,
+// the series Fig. 2 plots.
+func (r *Recorder) PerMillisecond() []MsBucket {
+	events := r.Events()
+	if len(events) == 0 {
+		return nil
+	}
+	last := int(events[len(events)-1].At / time.Millisecond)
+	buckets := make([]MsBucket, last+1)
+	for i := range buckets {
+		buckets[i].Ms = i
+	}
+	for _, e := range events {
+		b := &buckets[int(e.At/time.Millisecond)]
+		if e.Op == Pull {
+			b.Pulls += e.Requests
+		} else {
+			b.Pushes += e.Requests
+		}
+	}
+	return buckets
+}
+
+// PairCounts returns total pull and push accesses — equal totals are the
+// paper's "burst I/O in pairs" observation.
+func (r *Recorder) PairCounts() (pulls, pushes int64) {
+	for _, e := range r.Events() {
+		if e.Op == Pull {
+			pulls += int64(e.Requests)
+		} else {
+			pushes += int64(e.Requests)
+		}
+	}
+	return
+}
+
+// BatchSpan reports the first and last event time of a batch, or ok=false
+// if the batch was never recorded.
+func (r *Recorder) BatchSpan(batch int64) (first, last time.Duration, ok bool) {
+	for _, e := range r.Events() {
+		if e.Batch != batch {
+			continue
+		}
+		if !ok || e.At < first {
+			first = e.At
+		}
+		if e.At > last {
+			last = e.At
+		}
+		ok = true
+	}
+	return
+}

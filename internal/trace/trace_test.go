@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderEventsSorted(t *testing.T) {
+	var r Recorder
+	r.Record(5*time.Millisecond, Push, 0, 10)
+	r.Record(1*time.Millisecond, Pull, 0, 10)
+	r.Record(3*time.Millisecond, Pull, 0, 5)
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At < ev[i-1].At {
+			t.Fatal("events not sorted by time")
+		}
+	}
+}
+
+func TestPerMillisecond(t *testing.T) {
+	var r Recorder
+	r.Record(0, Pull, 0, 100)
+	r.Record(500*time.Microsecond, Pull, 0, 50) // same ms bucket
+	r.Record(2*time.Millisecond, Push, 0, 150)
+	buckets := r.PerMillisecond()
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if buckets[0].Pulls != 150 || buckets[0].Pushes != 0 {
+		t.Fatalf("bucket 0 = %+v", buckets[0])
+	}
+	if buckets[1].Pulls != 0 || buckets[1].Pushes != 0 {
+		t.Fatalf("bucket 1 not idle: %+v", buckets[1])
+	}
+	if buckets[2].Pushes != 150 {
+		t.Fatalf("bucket 2 = %+v", buckets[2])
+	}
+}
+
+func TestPerMillisecondEmpty(t *testing.T) {
+	var r Recorder
+	if got := r.PerMillisecond(); got != nil {
+		t.Fatalf("empty recorder buckets = %v", got)
+	}
+}
+
+func TestPairCounts(t *testing.T) {
+	var r Recorder
+	r.Record(0, Pull, 0, 7)
+	r.Record(time.Millisecond, Push, 0, 7)
+	r.Record(2*time.Millisecond, Pull, 1, 3)
+	pulls, pushes := r.PairCounts()
+	if pulls != 10 || pushes != 7 {
+		t.Fatalf("pulls=%d pushes=%d", pulls, pushes)
+	}
+}
+
+func TestBatchSpan(t *testing.T) {
+	var r Recorder
+	r.Record(2*time.Millisecond, Pull, 5, 1)
+	r.Record(9*time.Millisecond, Push, 5, 1)
+	r.Record(4*time.Millisecond, Pull, 6, 1)
+	first, last, ok := r.BatchSpan(5)
+	if !ok || first != 2*time.Millisecond || last != 9*time.Millisecond {
+		t.Fatalf("span = %v..%v ok=%v", first, last, ok)
+	}
+	if _, _, ok := r.BatchSpan(99); ok {
+		t.Fatal("missing batch found")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record(time.Duration(j)*time.Millisecond, Pull, int64(i), 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 800 {
+		t.Fatalf("events = %d", got)
+	}
+}

@@ -1,0 +1,294 @@
+// Package train implements synchronous data-parallel DLRM training
+// (Sec. II-A): every worker pulls its batch's embedding entries, the dense
+// model runs forward/backward, gradients are pushed back, and a barrier
+// separates batches. Dense parameters are kept in sync across workers by
+// averaging after every batch (the Horovod allreduce of the paper's setup).
+//
+// The trainer drives any parameter server that speaks the batch protocol —
+// a local engine (psengine.Engine via Local) or a TCP cluster
+// (cluster.Client) — which is exactly how the examples exercise the full
+// stack with a real DeepFM.
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"openembedding/internal/model"
+	"openembedding/internal/psengine"
+	"openembedding/internal/workload"
+)
+
+// ParamServer is the trainer's view of the embedding store.
+type ParamServer interface {
+	Pull(batch int64, keys []uint64, dst []float32) error
+	Push(batch int64, keys []uint64, grads []float32) error
+	EndPullPhase(batch int64) error
+	EndBatch(batch int64) error
+	RequestCheckpoint(batch int64) error
+	CompletedCheckpoint() (int64, error)
+}
+
+// Local adapts a psengine.Engine to the ParamServer interface.
+type Local struct{ Engine psengine.Engine }
+
+// Pull implements ParamServer.
+func (l Local) Pull(batch int64, keys []uint64, dst []float32) error {
+	return l.Engine.Pull(batch, keys, dst)
+}
+
+// Push implements ParamServer.
+func (l Local) Push(batch int64, keys []uint64, grads []float32) error {
+	return l.Engine.Push(batch, keys, grads)
+}
+
+// EndPullPhase implements ParamServer.
+func (l Local) EndPullPhase(batch int64) error {
+	l.Engine.EndPullPhase(batch)
+	return nil
+}
+
+// EndBatch implements ParamServer.
+func (l Local) EndBatch(batch int64) error { return l.Engine.EndBatch(batch) }
+
+// RequestCheckpoint implements ParamServer.
+func (l Local) RequestCheckpoint(batch int64) error { return l.Engine.RequestCheckpoint(batch) }
+
+// CompletedCheckpoint implements ParamServer.
+func (l Local) CompletedCheckpoint() (int64, error) { return l.Engine.CompletedCheckpoint(), nil }
+
+// Config configures a training run.
+type Config struct {
+	// Workers is the number of data-parallel workers (the paper's GPUs).
+	Workers int
+	// BatchSize is the per-worker samples per step (the paper's default
+	// global batch is 4096).
+	BatchSize int
+	// Model configures the dense DeepFM part; Fields/Dim must match the
+	// data and the PS engine dimension.
+	Model model.DeepFMConfig
+	// DataSeed seeds each worker's data stream (worker w uses DataSeed+w).
+	DataSeed int64
+	// Data builds a per-worker sample stream.
+	Data func(seed int64) *workload.CriteoSynthetic
+	// CheckpointEvery requests a checkpoint every N batches (0 disables).
+	CheckpointEvery int
+	// DenseCheckpointDir, when set, also dumps the dense model at every
+	// checkpoint (worker 0's copy — all replicas are identical after the
+	// allreduce), completing the paper's "Proposed Checkpoint".
+	DenseCheckpointDir string
+	// StartBatch is the first batch ID (checkpoint+1 when resuming).
+	StartBatch int64
+}
+
+// Trainer runs synchronous training against a parameter server.
+type Trainer struct {
+	cfg     Config
+	ps      ParamServer
+	workers []*worker
+}
+
+type worker struct {
+	id    int
+	model *model.DeepFM
+	data  *workload.CriteoSynthetic
+}
+
+// New builds a trainer. Every worker starts from identical dense
+// parameters (same model seed), as a broadcast would ensure.
+func New(cfg Config, ps ParamServer) (*Trainer, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.Data == nil {
+		return nil, fmt.Errorf("train: Data source required")
+	}
+	tr := &Trainer{cfg: cfg, ps: ps}
+	for w := 0; w < cfg.Workers; w++ {
+		tr.workers = append(tr.workers, &worker{
+			id:    w,
+			model: model.NewDeepFM(cfg.Model),
+			data:  cfg.Data(cfg.DataSeed + int64(w)),
+		})
+	}
+	return tr, nil
+}
+
+// StepStats reports one global batch.
+type StepStats struct {
+	Batch int64
+	// Loss is the mean training log loss across workers.
+	Loss float64
+}
+
+// EpochStats summarizes a Run.
+type EpochStats struct {
+	Steps       []StepStats
+	FinalLoss   float64
+	Checkpoints int64
+}
+
+// Run executes steps synchronous batches and returns per-step statistics.
+func (tr *Trainer) Run(steps int) (EpochStats, error) {
+	var out EpochStats
+	cfg := tr.cfg
+	fields := cfg.Model.Fields
+	dim := cfg.Model.Dim
+
+	for s := 0; s < steps; s++ {
+		batch := cfg.StartBatch + int64(s)
+
+		type workItem struct {
+			samples []workload.Sample
+			keys    []uint64
+			keyIdx  map[uint64]int
+			weights []float32
+			loss    float64
+			grads   []float32 // per unique key, summed
+			err     error
+		}
+		items := make([]*workItem, len(tr.workers))
+
+		// Pull phase: all workers in parallel (the paper's burst).
+		var wg sync.WaitGroup
+		for i, w := range tr.workers {
+			wg.Add(1)
+			go func(i int, w *worker) {
+				defer wg.Done()
+				it := &workItem{}
+				items[i] = it
+				it.samples = w.data.NextBatch(cfg.BatchSize)
+				it.keys = workload.UniqueKeys(it.samples)
+				it.keyIdx = make(map[uint64]int, len(it.keys))
+				for j, k := range it.keys {
+					it.keyIdx[k] = j
+				}
+				it.weights = make([]float32, len(it.keys)*dim)
+				it.err = tr.ps.Pull(batch, it.keys, it.weights)
+			}(i, w)
+		}
+		wg.Wait()
+		for _, it := range items {
+			if it.err != nil {
+				return out, it.err
+			}
+		}
+		if err := tr.ps.EndPullPhase(batch); err != nil {
+			return out, err
+		}
+
+		// Compute phase: dense forward/backward per worker, gradients
+		// aggregated per unique key.
+		for i, w := range tr.workers {
+			wg.Add(1)
+			go func(i int, w *worker) {
+				defer wg.Done()
+				it := items[i]
+				n := len(it.samples)
+				emb := make([]float32, n*fields*dim)
+				dense := make([]float32, n*cfg.Model.Dense)
+				labels := make([]float32, n)
+				for ex, sm := range it.samples {
+					for f := 0; f < fields; f++ {
+						ki := it.keyIdx[sm.Sparse[f]]
+						copy(emb[(ex*fields+f)*dim:(ex*fields+f+1)*dim], it.weights[ki*dim:(ki+1)*dim])
+					}
+					copy(dense[ex*cfg.Model.Dense:(ex+1)*cfg.Model.Dense], sm.Dense[:cfg.Model.Dense])
+					labels[ex] = sm.Label
+				}
+				loss, embGrad, err := w.model.Step(emb, dense, labels)
+				if err != nil {
+					it.err = err
+					return
+				}
+				it.loss = loss
+				it.grads = make([]float32, len(it.keys)*dim)
+				for ex := range it.samples {
+					for f := 0; f < fields; f++ {
+						ki := it.keyIdx[it.samples[ex].Sparse[f]]
+						src := embGrad[(ex*fields+f)*dim : (ex*fields+f+1)*dim]
+						dst := it.grads[ki*dim : (ki+1)*dim]
+						for d := range src {
+							dst[d] += src[d]
+						}
+					}
+				}
+			}(i, w)
+		}
+		wg.Wait()
+		for _, it := range items {
+			if it.err != nil {
+				return out, it.err
+			}
+		}
+
+		// Dense allreduce: average parameters across workers.
+		tr.allreduce()
+
+		// Push phase: all workers in parallel.
+		var stepLoss float64
+		for i, w := range tr.workers {
+			wg.Add(1)
+			go func(i int, w *worker) {
+				defer wg.Done()
+				it := items[i]
+				it.err = tr.ps.Push(batch, it.keys, it.grads)
+			}(i, w)
+		}
+		wg.Wait()
+		for _, it := range items {
+			if it.err != nil {
+				return out, it.err
+			}
+			stepLoss += it.loss
+		}
+		stepLoss /= float64(len(tr.workers))
+
+		if err := tr.ps.EndBatch(batch); err != nil {
+			return out, err
+		}
+		if cfg.CheckpointEvery > 0 && (s+1)%cfg.CheckpointEvery == 0 {
+			if err := tr.ps.RequestCheckpoint(batch); err != nil {
+				return out, err
+			}
+			if cfg.DenseCheckpointDir != "" {
+				if err := tr.SaveDense(cfg.DenseCheckpointDir, batch, nil); err != nil {
+					return out, err
+				}
+			}
+			out.Checkpoints++
+		}
+		out.Steps = append(out.Steps, StepStats{Batch: batch, Loss: stepLoss})
+		out.FinalLoss = stepLoss
+	}
+	return out, nil
+}
+
+// allreduce averages every worker's dense parameters — the synchronous
+// data-parallel guarantee that all replicas stay identical.
+func (tr *Trainer) allreduce() {
+	if len(tr.workers) == 1 {
+		return
+	}
+	sum := tr.workers[0].model.Params()
+	for _, w := range tr.workers[1:] {
+		for i, v := range w.model.Params() {
+			sum[i] += v
+		}
+	}
+	inv := float32(1) / float32(len(tr.workers))
+	for i := range sum {
+		sum[i] *= inv
+	}
+	for _, w := range tr.workers {
+		// SetParams only fails on length mismatch, impossible here.
+		_ = w.model.SetParams(sum)
+	}
+}
+
+// Model returns worker 0's dense model (all replicas are identical after
+// each batch).
+func (tr *Trainer) Model() *model.DeepFM { return tr.workers[0].model }

@@ -1,0 +1,142 @@
+package train
+
+import (
+	"testing"
+
+	"openembedding/internal/core"
+	"openembedding/internal/device"
+	"openembedding/internal/model"
+	"openembedding/internal/optim"
+	"openembedding/internal/pmem"
+	"openembedding/internal/psengine"
+	"openembedding/internal/simclock"
+	"openembedding/internal/workload"
+)
+
+func newOEEngine(t *testing.T, dim, capacity, cacheEntries int) *core.Engine {
+	t.Helper()
+	cfg := psengine.Config{
+		Dim:          dim,
+		Optimizer:    optim.NewAdaGrad(0.05),
+		Capacity:     capacity,
+		CacheEntries: cacheEntries,
+		Meter:        simclock.NewMeter(),
+	}.WithDefaults()
+	payload := pmem.FloatBytes(cfg.EntryFloats())
+	slots := capacity * 3
+	dev := pmem.NewDevice(pmem.ArenaLayout(payload, slots), device.NewTimedPMem(cfg.Meter))
+	arena, err := pmem.NewArena(dev, payload, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(cfg, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func trainerConfig(workers int) Config {
+	return Config{
+		Workers:   workers,
+		BatchSize: 64,
+		Model: model.DeepFMConfig{
+			Fields: workload.CriteoNumSparse,
+			Dim:    8,
+			Dense:  workload.CriteoNumDense,
+			Hidden: []int{16},
+			LR:     0.02,
+			Seed:   1,
+		},
+		DataSeed: 100,
+		Data: func(seed int64) *workload.CriteoSynthetic {
+			return workload.NewCriteo(workload.CriteoConfig{Scale: 0.0002, Seed: 5, StreamSeed: seed})
+		},
+	}
+}
+
+// TestEndToEndTrainingLearns runs real DeepFM training through the PMem-OE
+// engine and expects the log loss to improve over the stream.
+func TestEndToEndTrainingLearns(t *testing.T) {
+	eng := newOEEngine(t, 8, 1<<18, 4096)
+	tr, err := New(trainerConfig(2), Local{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Steps) != 30 {
+		t.Fatalf("ran %d steps", len(stats.Steps))
+	}
+	head := avgLoss(stats.Steps[:5])
+	tail := avgLoss(stats.Steps[25:])
+	if tail >= head {
+		t.Fatalf("loss did not improve: first-5 %.4f, last-5 %.4f", head, tail)
+	}
+	st := eng.Stats()
+	if st.Entries == 0 || st.Hits+st.Misses == 0 {
+		t.Fatalf("engine unused: %+v", st)
+	}
+}
+
+func avgLoss(steps []StepStats) float64 {
+	var s float64
+	for _, st := range steps {
+		s += st.Loss
+	}
+	return s / float64(len(steps))
+}
+
+// TestCheckpointDuringTraining verifies periodic checkpoints complete while
+// training continues.
+func TestCheckpointDuringTraining(t *testing.T) {
+	eng := newOEEngine(t, 8, 1<<18, 2048)
+	cfg := trainerConfig(1)
+	cfg.CheckpointEvery = 5
+	tr, err := New(cfg, Local{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checkpoints != 2 {
+		t.Fatalf("requested %d checkpoints, want 2", stats.Checkpoints)
+	}
+	done, err := Local{Engine: eng}.CompletedCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < 4 {
+		t.Fatalf("completed checkpoint %d, want >= 4", done)
+	}
+}
+
+// TestResumeFromCheckpointBatchIDs verifies StartBatch continues the batch
+// numbering after recovery.
+func TestResumeFromCheckpointBatchIDs(t *testing.T) {
+	eng := newOEEngine(t, 8, 1<<18, 2048)
+	cfg := trainerConfig(1)
+	cfg.StartBatch = 7
+	tr, err := New(cfg, Local{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps[0].Batch != 7 || stats.Steps[2].Batch != 9 {
+		t.Fatalf("batches = %v", stats.Steps)
+	}
+}
+
+func TestTrainerValidation(t *testing.T) {
+	if _, err := New(Config{}, Local{}); err == nil {
+		t.Fatal("missing data source accepted")
+	}
+}

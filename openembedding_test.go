@@ -1,0 +1,187 @@
+package openembedding
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func driveBatch(t *testing.T, s *Server, batch int64, keys []uint64, grads []float32) []float32 {
+	t.Helper()
+	dst := make([]float32, len(keys)*s.Dim())
+	if err := s.Pull(batch, keys, dst); err != nil {
+		t.Fatal(err)
+	}
+	s.EndPullPhase(batch)
+	if grads != nil {
+		if err := s.Push(batch, keys, grads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.EndBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func TestOpenDefaults(t *testing.T) {
+	s := testServer(t, Config{Dim: 8, Capacity: 1024})
+	if s.Dim() != 8 || s.RecoveredBatch != -1 {
+		t.Fatalf("dim=%d recovered=%d", s.Dim(), s.RecoveredBatch)
+	}
+	keys := []uint64{1, 2, 3}
+	grads := make([]float32, len(keys)*8)
+	for i := range grads {
+		grads[i] = 1
+	}
+	before := driveBatch(t, s, 0, keys, grads)
+	after := driveBatch(t, s, 1, keys, nil)
+	for i := range after {
+		if after[i] == before[i] {
+			t.Fatal("push had no effect")
+		}
+	}
+	if st := s.Stats(); st.Entries != 3 {
+		t.Fatalf("entries = %d", st.Entries)
+	}
+}
+
+func TestOpenRejectsBadOptimizer(t *testing.T) {
+	if _, err := Open(Config{Optimizer: "adamw"}); err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+}
+
+func TestCrashRecoverInPlace(t *testing.T) {
+	s := testServer(t, Config{Dim: 4, Capacity: 512, CacheEntries: 8, Optimizer: "sgd", LearningRate: 0.1})
+	keys := []uint64{10, 20}
+	grads := make([]float32, len(keys)*4)
+	for i := range grads {
+		grads[i] = 1
+	}
+	driveBatch(t, s, 0, keys, grads)
+	driveBatch(t, s, 1, keys, grads)
+	if err := s.RequestCheckpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	atCkpt := driveBatch(t, s, 2, keys, grads) // pulls show post-batch-1 state
+	driveBatch(t, s, 3, keys, grads)
+	if s.CompletedCheckpoint() != 1 {
+		t.Fatalf("checkpoint not completed: %d", s.CompletedCheckpoint())
+	}
+
+	s.SimulateCrash()
+	ckpt, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt != 1 {
+		t.Fatalf("recovered to %d, want 1", ckpt)
+	}
+	got := driveBatch(t, s, 2, keys, nil)
+	for i := range got {
+		if got[i] != atCkpt[i] {
+			t.Fatalf("recovered[%d] = %v, want checkpoint state %v", i, got[i], atCkpt[i])
+		}
+	}
+}
+
+func TestDurableAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pmem.img")
+	cfg := Config{Dim: 4, Capacity: 256, CacheEntries: 16, PMemPath: path, Optimizer: "sgd", LearningRate: 0.1}
+
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []uint64{5}
+	grads := []float32{1, 1, 1, 1}
+	driveBatch(t, s, 0, keys, grads)
+	want := driveBatch(t, s, 1, keys, nil)
+	if err := s.RequestCheckpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	driveBatch(t, s, 2, keys, nil) // lets the checkpoint complete
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(cfg) // same path: recovery
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.RecoveredBatch != 1 {
+		t.Fatalf("reopened at checkpoint %d, want 1", re.RecoveredBatch)
+	}
+	got := driveBatch(t, re, 2, keys, nil)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("reopened[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestServeAndDial(t *testing.T) {
+	s1 := testServer(t, Config{Dim: 4, Capacity: 512})
+	s2 := testServer(t, Config{Dim: 4, Capacity: 512})
+	n1, err := s1.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := s2.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+
+	cl, err := Dial(4, n1.Addr(), n2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	dst := make([]float32, len(keys)*4)
+	if err := cl.Pull(0, keys, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EndPullPhase(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Push(0, keys, make([]float32, len(keys)*4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EndBatch(0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != int64(len(keys)) {
+		t.Fatalf("cluster entries = %d", st.Entries)
+	}
+	// Both shards got some keys.
+	if s1.Stats().Entries == 0 || s2.Stats().Entries == 0 {
+		t.Fatalf("partitioning sent everything to one shard: %d/%d",
+			s1.Stats().Entries, s2.Stats().Entries)
+	}
+}
+
+func TestSaveWithoutPath(t *testing.T) {
+	s := testServer(t, Config{Dim: 2, Capacity: 16})
+	if err := s.Save(); err == nil {
+		t.Fatal("Save without PMemPath accepted")
+	}
+}

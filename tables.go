@@ -1,0 +1,144 @@
+package openembedding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableSpec names one embedding table in a group.
+type TableSpec struct {
+	// Name identifies the table (e.g. the sparse layer it backs).
+	Name string
+	// Config configures the table's shard; dimensions may differ per table.
+	Config Config
+}
+
+// Tables is a group of independently-dimensioned embedding tables driven
+// through one synchronous batch protocol — the shape of a real DLRM, where
+// every sparse layer has its own table but all advance batch by batch
+// together. Checkpoints are group-wide: a batch is durable only once every
+// table has it.
+type Tables struct {
+	names  []string
+	tables map[string]*Server
+}
+
+// OpenTables opens every table in the group. On error, tables opened so
+// far are closed.
+func OpenTables(specs ...TableSpec) (*Tables, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("openembedding: no table specs")
+	}
+	g := &Tables{tables: make(map[string]*Server, len(specs))}
+	for _, spec := range specs {
+		if spec.Name == "" {
+			g.Close()
+			return nil, fmt.Errorf("openembedding: table with empty name")
+		}
+		if _, dup := g.tables[spec.Name]; dup {
+			g.Close()
+			return nil, fmt.Errorf("openembedding: duplicate table %q", spec.Name)
+		}
+		s, err := Open(spec.Config)
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("openembedding: table %q: %w", spec.Name, err)
+		}
+		g.tables[spec.Name] = s
+		g.names = append(g.names, spec.Name)
+	}
+	sort.Strings(g.names)
+	return g, nil
+}
+
+// Table returns the named table's server, or nil when absent.
+func (g *Tables) Table(name string) *Server { return g.tables[name] }
+
+// Names lists the tables in sorted order.
+func (g *Tables) Names() []string { return append([]string(nil), g.names...) }
+
+// Pull fetches from the named table.
+func (g *Tables) Pull(table string, batch int64, keys []uint64, dst []float32) error {
+	s := g.tables[table]
+	if s == nil {
+		return fmt.Errorf("openembedding: unknown table %q", table)
+	}
+	return s.Pull(batch, keys, dst)
+}
+
+// Push applies gradients to the named table.
+func (g *Tables) Push(table string, batch int64, keys []uint64, grads []float32) error {
+	s := g.tables[table]
+	if s == nil {
+		return fmt.Errorf("openembedding: unknown table %q", table)
+	}
+	return s.Push(batch, keys, grads)
+}
+
+// EndPullPhase signals pull completion to every table.
+func (g *Tables) EndPullPhase(batch int64) {
+	for _, name := range g.names {
+		g.tables[name].EndPullPhase(batch)
+	}
+}
+
+// EndBatch seals the batch on every table.
+func (g *Tables) EndBatch(batch int64) error {
+	for _, name := range g.names {
+		if err := g.tables[name].EndBatch(batch); err != nil {
+			return fmt.Errorf("openembedding: table %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// RequestCheckpoint enqueues a group-wide checkpoint of the most recently
+// sealed batch.
+func (g *Tables) RequestCheckpoint(batch int64) error {
+	for _, name := range g.names {
+		if err := g.tables[name].RequestCheckpoint(batch); err != nil {
+			return fmt.Errorf("openembedding: table %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// CompletedCheckpoint reports the group's durable checkpoint: the minimum
+// over tables (a checkpoint counts only when every table has it).
+func (g *Tables) CompletedCheckpoint() int64 {
+	min := int64(1<<62 - 1)
+	for _, name := range g.names {
+		if v := g.tables[name].CompletedCheckpoint(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Stats sums counters across tables.
+func (g *Tables) Stats() Stats {
+	var total Stats
+	for _, name := range g.names {
+		st := g.tables[name].Stats()
+		total.Entries += st.Entries
+		total.CachedEntries += st.CachedEntries
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.PMemReads += st.PMemReads
+		total.PMemWrites += st.PMemWrites
+		total.Evictions += st.Evictions
+		total.CheckpointsDone += st.CheckpointsDone
+	}
+	return total
+}
+
+// Close closes every table, returning the first error.
+func (g *Tables) Close() error {
+	var first error
+	for _, s := range g.tables {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,165 @@
+package openembedding
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func openTestTables(t *testing.T) *Tables {
+	t.Helper()
+	g, err := OpenTables(
+		TableSpec{Name: "user", Config: Config{Dim: 8, Capacity: 256, CacheEntries: 16}},
+		TableSpec{Name: "item", Config: Config{Dim: 16, Capacity: 256, CacheEntries: 16}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+func TestTablesIndependentDims(t *testing.T) {
+	g := openTestTables(t)
+	if g.Table("user").Dim() != 8 || g.Table("item").Dim() != 16 {
+		t.Fatal("per-table dims lost")
+	}
+	if g.Table("missing") != nil {
+		t.Fatal("unknown table returned")
+	}
+	names := g.Names()
+	if len(names) != 2 || names[0] != "item" || names[1] != "user" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTablesBatchProtocol(t *testing.T) {
+	g := openTestTables(t)
+	userKeys := []uint64{1, 2}
+	itemKeys := []uint64{10}
+	uw := make([]float32, len(userKeys)*8)
+	iw := make([]float32, len(itemKeys)*16)
+
+	for batch := int64(0); batch < 3; batch++ {
+		if err := g.Pull("user", batch, userKeys, uw); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Pull("item", batch, itemKeys, iw); err != nil {
+			t.Fatal(err)
+		}
+		g.EndPullPhase(batch)
+		if err := g.Push("user", batch, userKeys, make([]float32, len(uw))); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Push("item", batch, itemKeys, make([]float32, len(iw))); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.EndBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.RequestCheckpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	// One more batch lets both tables complete.
+	if err := g.Pull("user", 3, userKeys, uw); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Pull("item", 3, itemKeys, iw); err != nil {
+		t.Fatal(err)
+	}
+	g.EndPullPhase(3)
+	if err := g.EndBatch(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CompletedCheckpoint(); got != 2 {
+		t.Fatalf("group checkpoint = %d, want 2", got)
+	}
+	st := g.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3 across tables", st.Entries)
+	}
+}
+
+func TestTablesErrors(t *testing.T) {
+	if _, err := OpenTables(); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := OpenTables(TableSpec{Name: "", Config: Config{}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := OpenTables(
+		TableSpec{Name: "a", Config: Config{Dim: 4, Capacity: 8}},
+		TableSpec{Name: "a", Config: Config{Dim: 4, Capacity: 8}},
+	); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	g := openTestTables(t)
+	if err := g.Pull("nope", 0, []uint64{1}, make([]float32, 8)); err == nil {
+		t.Fatal("pull from unknown table accepted")
+	}
+	if err := g.Push("nope", 0, []uint64{1}, make([]float32, 8)); err == nil {
+		t.Fatal("push to unknown table accepted")
+	}
+}
+
+func TestTablesDurablePaths(t *testing.T) {
+	dir := t.TempDir()
+	specs := []TableSpec{
+		{Name: "a", Config: Config{Dim: 4, Capacity: 64, CacheEntries: 8,
+			Optimizer: "sgd", LearningRate: 0.1, PMemPath: filepath.Join(dir, "a.img")}},
+		{Name: "b", Config: Config{Dim: 4, Capacity: 64, CacheEntries: 8,
+			Optimizer: "sgd", LearningRate: 0.1, PMemPath: filepath.Join(dir, "b.img")}},
+	}
+	g, err := OpenTables(specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []uint64{1}
+	w := make([]float32, 4)
+	grads := []float32{1, 1, 1, 1}
+	for batch := int64(0); batch < 2; batch++ {
+		for _, name := range []string{"a", "b"} {
+			if err := g.Pull(name, batch, keys, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g.EndPullPhase(batch)
+		for _, name := range []string{"a", "b"} {
+			if err := g.Push(name, batch, keys, grads); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.EndBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.RequestCheckpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	// Let checkpoints complete, then persist.
+	if err := g.Pull("a", 2, keys, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Pull("b", 2, keys, w); err != nil {
+		t.Fatal(err)
+	}
+	g.EndPullPhase(2)
+	if err := g.EndBatch(2); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float32, 4)
+	copy(want, w)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenTables(specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Table("a").RecoveredBatch != 1 || re.Table("b").RecoveredBatch != 1 {
+		t.Fatalf("recovered batches %d/%d, want 1/1",
+			re.Table("a").RecoveredBatch, re.Table("b").RecoveredBatch)
+	}
+}
