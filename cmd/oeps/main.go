@@ -30,6 +30,7 @@ func main() {
 		cache    = flag.Int("cache", 0, "DRAM cache entries (default capacity/8)")
 		optName  = flag.String("optimizer", "adagrad", "server-side optimizer: adagrad|sgd")
 		lr       = flag.Float64("lr", 0.05, "learning rate")
+		shards   = flag.Int("shards", 0, "engine key-space shards, rounded to a power of two (default GOMAXPROCS)")
 		image    = flag.String("pmem-image", "", "PMem image file (recover on start, save on stop)")
 		ckptDir  = flag.String("checkpoint-dir", "", "incremental-checkpoint directory (baseline engines)")
 	)
@@ -46,6 +47,7 @@ func main() {
 			Capacity:     *capacity,
 			CacheEntries: *cache,
 			Optimizer:    opt,
+			Shards:       *shards,
 		},
 		PMemImage:     *image,
 		CheckpointDir: *ckptDir,

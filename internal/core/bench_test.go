@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"openembedding/internal/device"
+	"openembedding/internal/optim"
+	"openembedding/internal/pmem"
+	"openembedding/internal/psengine"
+	"openembedding/internal/workload"
+)
+
+const (
+	benchDim      = 16
+	benchKeySpace = 1 << 14
+	benchBatchLen = 64
+)
+
+// newBenchEngine builds an engine whose DRAM cache covers the whole
+// benchmark key space (the steady state under measurement is lock and
+// index contention, not eviction churn) and pre-populates every key.
+func newBenchEngine(b *testing.B, shards int) *Engine {
+	b.Helper()
+	cfg := psengine.Config{
+		Dim:          benchDim,
+		Optimizer:    optim.NewSGD(0.1),
+		Capacity:     1 << 16,
+		CacheEntries: benchKeySpace,
+		MaintThreads: 4,
+		Shards:       shards,
+		// Meter left nil: virtual-time charges are no-ops, so the numbers
+		// measure the real synchronization cost.
+	}.WithDefaults()
+	payload := pmem.FloatBytes(cfg.EntryFloats())
+	slots := cfg.Capacity * 4
+	dev := pmem.NewDevice(pmem.ArenaLayout(payload, slots), device.NewTimedPMem(nil))
+	arena, err := pmem.NewArena(dev, payload, slots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(cfg, arena)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+
+	keys := make([]uint64, benchKeySpace)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	dst := make([]float32, benchKeySpace*benchDim)
+	if err := eng.Pull(0, keys, dst); err != nil {
+		b.Fatal(err)
+	}
+	eng.EndPullPhase(0)
+	eng.WaitMaintenance()
+	if err := eng.EndBatch(0); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// benchBatches pre-generates Zipfian pull batches (Table II skew, the
+// paper's workload shape) so the sampler does not run inside the timed
+// loop.
+func benchBatches(n int) [][]uint64 {
+	s := workload.NewTableIISkew(benchKeySpace, 42)
+	out := make([][]uint64, n)
+	for i := range out {
+		out[i] = workload.Batch(s, benchBatchLen)
+	}
+	return out
+}
+
+// drainAccessQueues empties the shards' access queues directly. The
+// benchmarks issue pulls outside the batch protocol (no EndPullPhase), so
+// without this the queues would grow unboundedly; draining through the
+// protocol instead would time maintenance, not the pull path.
+func drainAccessQueues(e *Engine) {
+	for _, s := range e.shards {
+		s.accessQ.Drain()
+	}
+}
+
+// BenchmarkEnginePullParallel measures concurrent hot-path pulls (all keys
+// DRAM-resident) at 1 shard — the pre-sharding engine layout — versus 8.
+// Run with -cpu to set the worker count; shard scaling only shows on
+// multi-core hosts.
+func BenchmarkEnginePullParallel(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := newBenchEngine(b, shards)
+			batches := benchBatches(256)
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.SetBytes(benchBatchLen * benchDim * 4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(worker.Add(1)) * 31 // de-phase workers' batch streams
+				dst := make([]float32, benchBatchLen*benchDim)
+				n := 0
+				for pb.Next() {
+					keys := batches[i%len(batches)]
+					i++
+					if err := e.Pull(1, keys, dst[:len(keys)*benchDim]); err != nil {
+						b.Error(err)
+						return
+					}
+					if n++; n%256 == 0 {
+						drainAccessQueues(e)
+					}
+				}
+			})
+			b.StopTimer()
+			drainAccessQueues(e)
+		})
+	}
+}
+
+// BenchmarkEnginePushParallel measures concurrent gradient pushes into the
+// DRAM-resident working set: per-shard read locks plus per-stripe write
+// locks around the optimizer step.
+func BenchmarkEnginePushParallel(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := newBenchEngine(b, shards)
+			batches := benchBatches(256)
+			grads := make([]float32, benchBatchLen*benchDim)
+			for i := range grads {
+				grads[i] = 0.01
+			}
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.SetBytes(benchBatchLen * benchDim * 4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(worker.Add(1)) * 31
+				for pb.Next() {
+					keys := batches[i%len(batches)]
+					i++
+					if err := e.Push(1, keys, grads[:len(keys)*benchDim]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

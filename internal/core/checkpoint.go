@@ -15,11 +15,29 @@ import (
 // operating assumption that the cache always holds a full batch's working
 // set. This implementation keeps the same flush schedule but tracks
 // completion exactly: when a checkpoint becomes the active head, one scan
-// of the cache counts the dirty entries whose data it needs
+// over every shard's cache counts the dirty entries whose data it needs
 // (ckptRemaining); every flush that persists such an entry decrements the
 // counter; zero means complete. The scan also memoizes those entries so the
 // per-batch finalizer can push the checkpoint to completion even when the
 // cache is so effective that evictions never occur.
+//
+// The accounting stays centralized at the coordinator rather than per
+// shard: a checkpoint is one cross-shard predicate ("every dirty entry with
+// dataVersion <= cp is persisted"), and completing it publishes one durable
+// Checkpointed Batch ID — splitting the count N ways would still need a
+// global merge step on every flush to detect the zero crossing, so N-way
+// counters buy nothing. Instead the counter is a single atomic that
+// per-shard flushes decrement lock-free, and the queue/flush-list live
+// under the small ckptMu.
+//
+// Lock ordering: shard.mu → ckptMu → arena.mu. A flush calls noteFlushed
+// (and possibly completeCheckpoint) while holding its shard's lock, so
+// ckptMu must never be held while acquiring a shard lock. The activation
+// scan needs every shard's lock; activateHead therefore publishes its
+// intent under ckptMu (ckptActivating plus a bias on the counter), releases
+// ckptMu, scans the shards lock by lock, and only then folds the count in.
+// The bias keeps concurrent decrements from reaching zero mid-scan, so the
+// zero crossing — and hence completion — still happens exactly once.
 
 // RequestCheckpoint implements psengine.Engine: it appends the batch to the
 // Checkpoint Request Queue (Fig. 5 right). "No other work needs to be done
@@ -31,10 +49,7 @@ import (
 // next batch's Push phase — because a push overwrites in DRAM exactly the
 // state the checkpoint captures.
 func (e *Engine) RequestCheckpoint(batch int64) error {
-	e.mu.RLock()
-	sealed := e.lastEnded
-	e.mu.RUnlock()
-	if batch != sealed {
+	if sealed := e.lastEnded.Load(); batch != sealed {
 		return fmt.Errorf("core: checkpoint batch %d is not the last sealed batch %d", batch, sealed)
 	}
 	e.ckptMu.Lock()
@@ -59,16 +74,6 @@ func (e *Engine) PendingCheckpoints() int {
 	return len(e.ckptQueue)
 }
 
-// headCheckpoint returns the on-going checkpoint's batch ID or -1.
-func (e *Engine) headCheckpoint() int64 {
-	e.ckptMu.Lock()
-	defer e.ckptMu.Unlock()
-	if len(e.ckptQueue) == 0 {
-		return -1
-	}
-	return e.ckptQueue[0]
-}
-
 // newestCheckpoint returns the newest queued checkpoint's batch ID or -1.
 // The flush-before-overwrite test uses it so that data needed by *any*
 // pending checkpoint is persisted before a newer push destroys it.
@@ -81,59 +86,97 @@ func (e *Engine) newestCheckpoint() int64 {
 	return e.ckptQueue[len(e.ckptQueue)-1]
 }
 
-// activateHeadLocked makes the queue head the active checkpoint if it is
-// not already, counting (and memoizing) the dirty cached entries whose data
-// the checkpoint needs. A checkpoint with nothing left to persist completes
-// immediately. Caller holds e.mu exclusively.
-func (e *Engine) activateHeadLocked() int64 {
+// ckptScanBias keeps ckptRemaining positive while an activation scan is in
+// flight, so flushes that race with the scan cannot drive it to zero before
+// the scan's count has been folded in.
+const ckptScanBias = int64(1) << 40
+
+// activateHead makes the queue head the active checkpoint if it is not
+// already, counting (and memoizing) the dirty cached entries across all
+// shards whose data the checkpoint needs. A checkpoint with nothing left to
+// persist completes immediately. It returns the active checkpoint's batch
+// ID, or -1 when none is pending.
+//
+// Callers hold no shard lock (the scan acquires them one at a time). It is
+// called from the coordinator paths only: EndPullPhase, the finalizer and
+// the inline-maintenance path.
+func (e *Engine) activateHead() int64 {
 	for {
-		head := e.headCheckpoint()
-		if head == e.ckptActive {
+		e.ckptMu.Lock()
+		if e.ckptActivating || e.ckptActive >= 0 {
+			head := e.ckptActive
+			e.ckptMu.Unlock()
 			return head
 		}
-		if head < 0 {
-			e.ckptActive = -1
-			e.ckptFlushList = e.ckptFlushList[:0]
+		if len(e.ckptQueue) == 0 {
+			e.ckptMu.Unlock()
 			return -1
 		}
+		head := e.ckptQueue[0]
 		e.ckptActive = head
-		e.ckptRemaining = 0
+		e.ckptActivating = true
 		e.ckptFlushList = e.ckptFlushList[:0]
-		e.lru.Each(func(ent *entry) bool {
-			if ent.dirty && ent.dataVersion <= head {
-				ent.ckptPending = true
-				e.ckptRemaining++
-				e.ckptFlushList = append(e.ckptFlushList, ent)
-			}
-			return true
-		})
-		if e.ckptRemaining > 0 {
+		e.ckptRemaining.Store(ckptScanBias)
+		e.ckptMu.Unlock()
+
+		// Scan outside ckptMu: shard locks must never nest inside it.
+		var (
+			count  int64
+			marked []*entry
+		)
+		for _, s := range e.shards {
+			s.mu.Lock()
+			s.lru.Each(func(ent *entry) bool {
+				if ent.dirty && ent.dataVersion <= head {
+					ent.ckptPending = true
+					count++
+					marked = append(marked, ent)
+				}
+				return true
+			})
+			s.mu.Unlock()
+		}
+
+		e.ckptMu.Lock()
+		e.ckptFlushList = append(e.ckptFlushList, marked...)
+		e.ckptActivating = false
+		e.ckptMu.Unlock()
+		if rem := e.ckptRemaining.Add(count - ckptScanBias); rem > 0 {
 			return head
 		}
-		e.completeCheckpointLocked(head)
-		// Loop: the next queued checkpoint (if any) becomes active.
+		// Everything the checkpoint needed was already persisted (or was
+		// flushed while we scanned): complete it and loop so the next
+		// queued checkpoint (if any) becomes active.
+		e.completeCheckpoint(head)
 	}
 }
 
-// noteFlushedLocked records that a dirty entry needed by the active
-// checkpoint has been persisted, completing the checkpoint when it was the
-// last one. Caller holds e.mu exclusively and has just flushed ent.
-func (e *Engine) noteFlushedLocked(neededByActive bool) {
-	if !neededByActive {
+// noteFlushed records that a dirty entry needed by the active checkpoint
+// has been persisted, completing the checkpoint when it was the last one.
+// Called from flushLocked with the flushing shard's lock held; the
+// decrement is a bare atomic, so flushes on different shards never contend
+// here. Exactly one caller observes the zero crossing, and until that
+// caller runs completeCheckpoint no new activation can begin, so reading
+// ckptActive afterwards is stable.
+func (e *Engine) noteFlushed(needed bool) {
+	if !needed {
 		return
 	}
-	e.ckptRemaining--
-	if e.ckptRemaining == 0 {
-		e.completeCheckpointLocked(e.ckptActive)
-		e.activateHeadLocked()
+	if e.ckptRemaining.Add(-1) != 0 {
+		return
 	}
+	e.ckptMu.Lock()
+	cp := e.ckptActive
+	e.ckptMu.Unlock()
+	e.completeCheckpoint(cp)
 }
 
-// completeCheckpointLocked durably records checkpoint cp as done
+// completeCheckpoint durably records checkpoint cp as done
 // (Alg. 2 lines 24-28): persist the Checkpointed Batch ID with one atomic
 // PMem store, pop the request queue, and release superseded records the
-// space manager retained for it.
-func (e *Engine) completeCheckpointLocked(cp int64) {
+// space manager retained for it. Safe to call with a shard lock held
+// (ckptMu and the arena's own lock order after shard locks).
+func (e *Engine) completeCheckpoint(cp int64) {
 	if err := e.arena.SetCheckpointedBatch(cp); err != nil {
 		e.maintErrs.set(err)
 		return
@@ -142,40 +185,56 @@ func (e *Engine) completeCheckpointLocked(cp int64) {
 	if len(e.ckptQueue) > 0 && e.ckptQueue[0] == cp {
 		e.ckptQueue = e.ckptQueue[1:]
 	}
-	e.ckptMu.Unlock()
 	e.ckptActive = -1
 	e.ckptFlushList = e.ckptFlushList[:0]
+	e.ckptMu.Unlock()
 	e.completedCkpt.Store(cp)
 	e.ckptsDone.Add(1)
-	e.reclaimLocked()
+	e.reclaim()
 }
 
-// finalizeCheckpointsLocked guarantees checkpoint progress even when the
-// cache is so effective that evictions are rare (the natural completion
-// path of Alg. 2 relies on eviction pressure). It drains the memoized
-// flush list of the active checkpoint, at most finalizerBudget flushes per
-// call; leftover work resumes next batch. Caller holds e.mu exclusively.
-func (e *Engine) finalizeCheckpointsLocked() error {
+// finalizeCheckpoints guarantees checkpoint progress even when the cache is
+// so effective that evictions are rare (the natural completion path of
+// Alg. 2 relies on eviction pressure). It drains the memoized flush list of
+// the active checkpoint, locking each entry's own shard for the flush, at
+// most finalizerBudget flushes per call; leftover work resumes next batch.
+// Callers hold no shard lock.
+func (e *Engine) finalizeCheckpoints() error {
 	budget := finalizerBudget
 	for budget > 0 {
-		cp := e.activateHeadLocked()
+		cp := e.activateHead()
 		if cp < 0 {
 			return nil
 		}
-		// Pop memoized entries; skip those already persisted (or updated
+		// Pop a memoized entry; skip those already persisted (or updated
 		// past the checkpoint and persisted by flush-before-overwrite).
+		e.ckptMu.Lock()
+		if e.ckptActivating || e.ckptActive != cp {
+			// Another thread is mid-activation or completed cp between our
+			// activateHead and here; let the next finalizer continue.
+			e.ckptMu.Unlock()
+			return nil
+		}
 		n := len(e.ckptFlushList)
 		if n == 0 {
 			// Defensive: remaining > 0 but nothing memoized (cannot happen
 			// while the invariant holds); rescan next activation.
+			e.ckptMu.Unlock()
 			return nil
 		}
 		ent := e.ckptFlushList[n-1]
 		e.ckptFlushList = e.ckptFlushList[:n-1]
+		e.ckptMu.Unlock()
+
+		s := e.shardFor(ent.key)
+		s.mu.Lock()
 		if !ent.ckptPending {
+			s.mu.Unlock()
 			continue // already persisted by maintenance or eviction
 		}
-		if err := e.flushLocked(ent); err != nil {
+		err := s.flushLocked(ent)
+		s.mu.Unlock()
+		if err != nil {
 			return err
 		}
 		budget--
@@ -183,19 +242,19 @@ func (e *Engine) finalizeCheckpointsLocked() error {
 	return nil
 }
 
-// reclaimLocked frees retired PMem records that no recoverable checkpoint
-// can need. A retired record (old version v_old superseded by v_new) is
-// needed by a checkpoint cp iff v_old <= cp < v_new; the checkpoints that
-// matter are the last completed one (a crash at any moment must recover to
-// it), every queued one, and any future request (which is at least as new
-// as the last sealed batch, because RequestCheckpoint only accepts the
-// latest sealed batch). Caller holds e.mu.
-func (e *Engine) reclaimLocked() {
+// reclaim frees retired PMem records that no recoverable checkpoint can
+// need. A retired record (old version v_old superseded by v_new) is needed
+// by a checkpoint cp iff v_old <= cp < v_new; the checkpoints that matter
+// are the last completed one (a crash at any moment must recover to it),
+// every queued one, and any future request (which is at least as new as the
+// last sealed batch, because RequestCheckpoint only accepts the latest
+// sealed batch). Takes no shard locks, so it is safe from any context.
+func (e *Engine) reclaim() {
 	completed := e.completedCkpt.Load()
 	e.ckptMu.Lock()
 	queued := append([]int64(nil), e.ckptQueue...)
 	e.ckptMu.Unlock()
-	lastEnded := e.lastEnded
+	lastEnded := e.lastEnded.Load()
 	e.arena.Reclaim(func(oldV, newV int64) bool {
 		if newV > lastEnded {
 			return true // a future checkpoint request may land in range

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,36 +15,45 @@ import (
 	"openembedding/internal/simclock"
 )
 
-// Engine is the PMem-OE storage engine for one embedding-table shard.
-// It implements psengine.Engine.
+// Engine is the PMem-OE storage engine for one embedding table. It
+// implements psengine.Engine.
+//
+// The engine is a thin coordinator over cfg.Shards independent shards, each
+// owning its slice of the key space (index, LRU, access/side queues, lock).
+// Pull and Push partition their key batch by hash and fan the per-shard
+// sublists out across a bounded worker pool; the phase boundaries
+// (EndPullPhase, EndBatch) barrier over all shards, so the batch protocol
+// and checkpoint semantics are exactly those of the unsharded engine.
+// Shards=1 reproduces the unsharded layout bit-for-bit in simulated time.
+//
+// The PMem arena is shared: it is internally locked, and concurrent
+// per-shard flushes target disjoint slots, which the device documents as
+// safe.
 type Engine struct {
 	cfg   psengine.Config
 	arena *pmem.Arena
 	dram  *device.Timed // DRAM timing charges for cache copies
 
-	// mu is the paper's reader/writer lock (Alg. 1 line 3, Alg. 2 line 9):
-	// request threads hold it shared, cache maintenance holds it exclusive.
-	mu    sync.RWMutex
-	index map[uint64]*entry
-	lru   *cache.List[*entry]
+	shards     []*shard
+	shardShift uint // 64 - log2(len(shards)); see shardIndex
 
-	// stripes serialize concurrent pushes to the same entry within the
-	// push phase (several workers can carry gradients for one hot key).
-	stripes [64]sync.Mutex
+	// entries counts distinct entries across all shards; Capacity is
+	// enforced by atomic reservation so shards stay independent.
+	entries atomic.Int64
 
-	// accessQ collects the entries each pull touched (Alg. 1 line 17).
-	accessQ cache.Queue[*entry]
-
-	// ckptMu protects the checkpoint request queue (Fig. 5 right).
-	ckptMu    sync.Mutex
-	ckptQueue []int64
-
-	// Active-checkpoint completion accounting (all under mu): the batch ID
-	// being checkpointed, how many dirty cached entries it still needs
-	// persisted, and those entries memoized for the finalizer.
-	ckptActive    int64
-	ckptRemaining int
-	ckptFlushList []*entry
+	// Checkpoint coordination lives here, not in the shards: a checkpoint
+	// spans every shard's dirty entries, and completion must be detected
+	// exactly once. ckptMu is a small leaf mutex ordered AFTER shard locks
+	// (a flush holds its shard's mu when it reports progress); it is never
+	// held while acquiring a shard lock. See checkpoint.go.
+	ckptMu         sync.Mutex
+	ckptQueue      []int64  // pending checkpoint requests (Fig. 5 right)
+	ckptActive     int64    // batch being checkpointed, or -1
+	ckptActivating bool     // an activation scan is in flight
+	ckptFlushList  []*entry // memoized entries the active checkpoint needs
+	// ckptRemaining counts flushes the active checkpoint still needs;
+	// per-shard flushes decrement it without any shared lock.
+	ckptRemaining atomic.Int64
 
 	// maintenance scheduling
 	maintCh   chan maintTask
@@ -51,14 +62,14 @@ type Engine struct {
 	currBatch atomic.Int64
 	maintErrs maintErrBox
 
-	// sideQ collects entries Push promoted inline (cache smaller than one
-	// batch's working set); EndBatch links them into the LRU.
-	sideQ cache.Queue[*entry]
-
-	// lastEnded is the most recent batch EndBatch sealed (under mu).
-	lastEnded int64
+	// lastEnded is the most recent batch EndBatch sealed.
+	lastEnded atomic.Int64
 
 	closed atomic.Bool
+
+	// fanout bounds the goroutines Pull/Push spawn for per-shard sublists;
+	// when no token is free the caller runs the sublist inline.
+	fanout chan struct{}
 
 	// counters
 	hits, misses, evictions atomic.Int64
@@ -68,11 +79,24 @@ type Engine struct {
 
 	// payload scratch buffers
 	payloadPool sync.Pool
+	// scratchPool recycles the per-request partition/access-record buffers
+	// so steady-state Pull and Push allocate nothing.
+	scratchPool sync.Pool
 }
 
 type maintTask struct {
 	batch   int64
-	entries []*entry
+	sh      *shard
+	entries []accessRec
+}
+
+// opScratch holds one request's reusable buffers, one lane per shard so the
+// fanned-out shard tasks never share a slice.
+type opScratch struct {
+	byShard [][]int32     // positions in keys partitioned by shard
+	ids     []int32       // shards with a non-empty sublist
+	recs    [][]accessRec // per-shard access records
+	missing [][]int32     // per-shard first-touch positions
 }
 
 // New creates a PMem-OE engine storing records in the given arena. The
@@ -82,21 +106,55 @@ func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
 	if want := pmem.FloatBytes(cfg.EntryFloats()); arena.PayloadBytes() != want {
 		return nil, fmt.Errorf("core: arena payload %dB does not match entry size %dB", arena.PayloadBytes(), want)
 	}
+	nShards := cfg.Shards // WithDefaults normalized it to a power of two
 	e := &Engine{
 		cfg:     cfg,
 		arena:   arena,
 		dram:    device.NewTimedDRAM(cfg.Meter),
-		index:   make(map[uint64]*entry),
-		lru:     cache.NewList[*entry](),
 		maintCh: make(chan maintTask, 64),
 	}
+	// shardIndex multiplies by the golden ratio and keeps the top log2(n)
+	// bits. For n == 1 the shift is 64, which Go defines as yielding 0.
+	e.shardShift = uint(64 - bits.TrailingZeros(uint(nShards)))
+	e.shards = make([]*shard, nShards)
+	base, extra := cfg.CacheEntries/nShards, cfg.CacheEntries%nShards
+	for i := range e.shards {
+		capi := base
+		if i < extra {
+			capi++
+		}
+		e.shards[i] = &shard{
+			eng:      e,
+			id:       i,
+			index:    make(map[uint64]*entry),
+			lru:      cache.NewList[*entry](),
+			capacity: capi,
+		}
+	}
+	// The caller of a fanned-out Pull/Push works a shard itself, so the
+	// helper pool holds GOMAXPROCS-1 tokens. On a single-CPU process the
+	// channel has zero capacity: no token is ever available and every
+	// sublist runs inline, sparing the goroutine churn that parallelism
+	// could not repay.
+	fan := runtime.GOMAXPROCS(0) - 1
+	if fan < 0 {
+		fan = 0
+	}
+	e.fanout = make(chan struct{}, fan)
 	e.completedCkpt.Store(-1)
 	e.currBatch.Store(-1)
-	e.lastEnded = -1
+	e.lastEnded.Store(-1)
 	e.ckptActive = -1
 	e.payloadPool.New = func() any {
 		b := make([]byte, arena.PayloadBytes())
 		return &b
+	}
+	e.scratchPool.New = func() any {
+		return &opScratch{
+			byShard: make([][]int32, nShards),
+			recs:    make([][]accessRec, nShards),
+			missing: make([][]int32, nShards),
+		}
 	}
 	for i := 0; i < cfg.MaintThreads; i++ {
 		e.maintWG.Add(1)
@@ -117,9 +175,91 @@ func (e *Engine) Config() psengine.Config { return e.cfg }
 // Arena exposes the underlying PMem arena (used by recovery and tests).
 func (e *Engine) Arena() *pmem.Arena { return e.arena }
 
-// Pull implements Algorithm 1: under the shared lock, resolve every key
-// through the DRAM index, copy weights from DRAM or PMem into dst, and
-// append the touched entries to the access queue for deferred maintenance.
+// shardIndex maps a key to its shard: Fibonacci hashing keeps the top bits
+// well mixed, and the power-of-two shard count makes the map a shift.
+func (e *Engine) shardIndex(k uint64) int {
+	return int((k * 0x9e3779b97f4a7c15) >> e.shardShift)
+}
+
+// shardFor returns the shard owning key k.
+func (e *Engine) shardFor(k uint64) *shard { return e.shards[e.shardIndex(k)] }
+
+func (e *Engine) getScratch() *opScratch { return e.scratchPool.Get().(*opScratch) }
+
+func (e *Engine) putScratch(sc *opScratch) {
+	for i := range sc.byShard {
+		sc.byShard[i] = sc.byShard[i][:0]
+		sc.recs[i] = sc.recs[i][:0]
+		sc.missing[i] = sc.missing[i][:0]
+	}
+	sc.ids = sc.ids[:0]
+	e.scratchPool.Put(sc)
+}
+
+// partition splits the positions of keys into sc.byShard sublists and
+// records the non-empty shards in sc.ids.
+func (e *Engine) partition(keys []uint64, sc *opScratch) {
+	byShard := sc.byShard
+	for i, k := range keys {
+		sid := e.shardIndex(k)
+		byShard[sid] = append(byShard[sid], int32(i))
+	}
+	ids := sc.ids
+	for sid := range byShard {
+		if len(byShard[sid]) > 0 {
+			ids = append(ids, int32(sid))
+		}
+	}
+	sc.ids = ids
+}
+
+// fanOut runs work for every listed shard, spawning a goroutine per shard
+// while pool tokens are available and running the remainder (always
+// including the first) on the caller. The first error wins.
+func (e *Engine) fanOut(ids []int32, work func(sid int32) error) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	if len(ids) == 1 {
+		return work(ids[0])
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for _, sid := range ids[1:] {
+		select {
+		case e.fanout <- struct{}{}:
+			wg.Add(1)
+			go func(sid int32) {
+				defer wg.Done()
+				record(work(sid))
+				<-e.fanout
+			}(sid)
+		default:
+			record(work(sid))
+		}
+	}
+	record(work(ids[0]))
+	wg.Wait()
+	return firstErr
+}
+
+// Pull implements Algorithm 1: under each shard's shared lock, resolve the
+// shard's keys through its DRAM index, copy weights from DRAM or PMem into
+// dst, and append the touched entries to the shard's access queue for
+// deferred maintenance. Multi-shard batches fan out across the worker pool.
 func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	if e.closed.Load() {
 		return psengine.ErrClosed
@@ -128,98 +268,51 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 		return err
 	}
 	e.currBatch.Store(batch)
-	dim := e.cfg.Dim
-	meter := e.cfg.Meter
-	meter.Charge(simclock.LockSync, psengine.LockCost)
+	e.cfg.Meter.Charge(simclock.LockSync, psengine.LockCost)
 
-	e.mu.RLock()
-	var missing []int
-	touched := make([]*entry, len(keys))
-	for i, k := range keys {
-		meter.Charge(simclock.Compute, psengine.IndexProbeCost)
-		ent := e.index[k]
-		if ent == nil {
-			missing = append(missing, i)
-			continue
-		}
-		touched[i] = ent
-		if err := e.readWeights(ent, dst[i*dim:(i+1)*dim]); err != nil {
-			e.mu.RUnlock()
-			return err
-		}
+	sc := e.getScratch()
+	var err error
+	if len(e.shards) == 1 {
+		err = e.shards[0].pull(batch, keys, nil, dst, sc, 0)
+	} else {
+		e.partition(keys, sc)
+		err = e.fanOut(sc.ids, func(sid int32) error {
+			return e.shards[sid].pull(batch, keys, sc.byShard[sid], dst, sc, int(sid))
+		})
 	}
-	e.mu.RUnlock()
-
-	// First-epoch path (Alg. 1 lines 6-12): create entries under the
-	// exclusive lock, then serve them.
-	if len(missing) > 0 {
-		if err := e.createMissing(batch, keys, dst, touched, missing); err != nil {
-			return err
-		}
+	e.putScratch(sc)
+	if err != nil {
+		return err
 	}
-
-	e.accessQ.Push(touched...)
 	if e.cfg.PipelineDisabled {
 		// Ablation: run maintenance inline on the request path.
-		e.runMaintenance(batch, e.accessQ.Drain())
+		e.inlineMaintain(batch)
 	}
 	return nil
 }
 
 // readWeights copies the entry's weights into dst from whichever tier holds
-// them, charging the corresponding device cost. Caller holds mu (shared).
-func (e *Engine) readWeights(ent *entry, dst []float32) error {
+// them, charging the corresponding device cost, and reports whether the
+// read came from PMem. Caller holds the entry's shard lock (shared).
+func (e *Engine) readWeights(ent *entry, dst []float32) (fromPMem bool, err error) {
 	dim := e.cfg.Dim
 	if ent.inDRAM() {
 		copy(dst, ent.weights(dim))
 		e.dram.ChargeRead(4 * dim)
 		e.hits.Add(1)
-		return nil
+		return false, nil
 	}
 	// Served straight from PMem; promotion to DRAM is deferred to the
 	// maintenance phase so the request path stays read-only.
 	bufp := e.payloadPool.Get().(*[]byte)
-	err := e.arena.ReadPayload(ent.slot, *bufp)
+	err = e.arena.ReadPayload(ent.slot, *bufp)
 	if err == nil {
 		pmem.DecodeFloats(dst, *bufp)
 		e.pmemReads.Add(1)
 		e.misses.Add(1)
 	}
 	e.payloadPool.Put(bufp)
-	return err
-}
-
-func (e *Engine) createMissing(batch int64, keys []uint64, dst []float32, touched []*entry, missing []int) error {
-	dim := e.cfg.Dim
-	e.cfg.Meter.Charge(simclock.LockSync, psengine.LockCost)
-	e.mu.Lock()
-	for _, i := range missing {
-		k := keys[i]
-		ent := e.index[k]
-		if ent == nil {
-			if len(e.index) >= e.cfg.Capacity {
-				e.mu.Unlock()
-				return fmt.Errorf("%w: %d entries", psengine.ErrCapacity, len(e.index))
-			}
-			// A fresh entry's initial state is the state as of the end of
-			// the previous batch: stamping batch-1 keeps data versions
-			// unique even when the entry is flushed (tiny cache) and then
-			// pushed within its creation batch.
-			ent = &entry{key: k, version: batch, dataVersion: batch - 1, slot: noSlot, dirty: true}
-			ent.node.Value = ent
-			ent.buf = make([]float32, e.cfg.EntryFloats())
-			e.cfg.Initializer(k, ent.weights(dim))
-			e.cfg.Optimizer.InitState(ent.state(dim))
-			e.dram.ChargeWrite(4 * e.cfg.EntryFloats())
-			e.index[k] = ent
-		}
-		touched[i] = ent
-		copy(dst[i*dim:(i+1)*dim], ent.weights(dim))
-		e.dram.ChargeRead(4 * dim)
-		e.hits.Add(1)
-	}
-	e.mu.Unlock()
-	return nil
+	return true, err
 }
 
 // Push applies gradients with the server-side optimizer. Entries accessed
@@ -237,42 +330,26 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 	// Ensure promotion finished so updates land in DRAM, never in PMem.
 	e.WaitMaintenance()
 
-	dim := e.cfg.Dim
-	meter := e.cfg.Meter
-	meter.Charge(simclock.LockSync, psengine.LockCost)
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	for i, k := range keys {
-		meter.Charge(simclock.Compute, psengine.IndexProbeCost)
-		ent := e.index[k]
-		if ent == nil {
-			return fmt.Errorf("core: push of unknown key %d", k)
-		}
-		stripe := &e.stripes[k%uint64(len(e.stripes))]
-		stripe.Lock()
-		if !ent.inDRAM() {
-			// Fallback for caches smaller than one batch's working set:
-			// promote inline (charged as a PMem read) and let EndBatch link
-			// the entry into the LRU.
-			if err := e.promoteLocked(ent); err != nil {
-				stripe.Unlock()
-				return err
-			}
-			e.sideQ.Push(ent)
-		}
-		e.cfg.Optimizer.Apply(ent.weights(dim), ent.state(dim), grads[i*dim:(i+1)*dim])
-		ent.dirty = true
-		ent.dataVersion = batch
-		stripe.Unlock()
-		e.dram.ChargeWrite(4 * dim)
-		meter.Charge(simclock.Compute, optimizerCost(dim))
+	e.cfg.Meter.Charge(simclock.LockSync, psengine.LockCost)
+	if len(e.shards) == 1 {
+		return e.shards[0].push(batch, keys, nil, grads)
 	}
-	return nil
+	sc := e.getScratch()
+	e.partition(keys, sc)
+	err := e.fanOut(sc.ids, func(sid int32) error {
+		return e.shards[sid].push(batch, keys, sc.byShard[sid], grads)
+	})
+	e.putScratch(sc)
+	return err
 }
 
 // promoteLocked loads an entry's record from PMem into a fresh DRAM buffer.
-// Caller holds the entry's stripe (or the exclusive engine lock).
-func (e *Engine) promoteLocked(ent *entry) error {
+// Caller holds the entry's stripe (or its shard's exclusive lock).
+// countRead says whether to count the read in the PMemReads stat: a
+// maintenance promotion of an entry the same batch's pull already served
+// from PMem is the second half of one logical fetch and is not re-counted
+// (the virtual-time device charge always applies — the read really happens).
+func (e *Engine) promoteLocked(ent *entry, countRead bool) error {
 	bufp := e.payloadPool.Get().(*[]byte)
 	defer e.payloadPool.Put(bufp)
 	if err := e.arena.ReadPayload(ent.slot, *bufp); err != nil {
@@ -280,7 +357,9 @@ func (e *Engine) promoteLocked(ent *entry) error {
 	}
 	ent.buf = make([]float32, e.cfg.EntryFloats())
 	pmem.DecodeFloats(ent.buf, *bufp)
-	e.pmemReads.Add(1)
+	if countRead {
+		e.pmemReads.Add(1)
+	}
 	e.dram.ChargeWrite(4 * e.cfg.EntryFloats())
 	e.chargeInlineSerial(device.PMem().ReadCost(e.arena.PayloadBytes()))
 	return nil
@@ -288,7 +367,7 @@ func (e *Engine) promoteLocked(ent *entry) error {
 
 // chargeInlineSerial mirrors a PMem access into the globally-serialized
 // lane when maintenance runs inline (pipeline disabled): the exclusive
-// engine lock is held across the device access, so every request thread
+// shard lock is held across the device access, so every request thread
 // waits it out (the Fig. 9 ablation's dominant cost).
 func (e *Engine) chargeInlineSerial(d time.Duration) {
 	if e.cfg.PipelineDisabled {
@@ -297,25 +376,29 @@ func (e *Engine) chargeInlineSerial(d time.Duration) {
 }
 
 // Keys returns every key currently stored (order unspecified). Intended
-// for inspection and tests; it holds the shared lock for the duration.
+// for inspection and tests; it holds each shard's shared lock in turn.
 func (e *Engine) Keys() []uint64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]uint64, 0, len(e.index))
-	for k := range e.index {
-		out = append(out, k)
+	out := make([]uint64, 0, e.entries.Load())
+	for _, s := range e.shards {
+		s.mu.RLock()
+		for k := range s.index {
+			out = append(out, k)
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }
 
 // Stats implements psengine.Engine.
 func (e *Engine) Stats() psengine.Stats {
-	e.mu.RLock()
-	entries := int64(len(e.index))
-	cached := int64(e.lru.Len())
-	e.mu.RUnlock()
+	var cached int64
+	for _, s := range e.shards {
+		s.mu.RLock()
+		cached += int64(s.lru.Len())
+		s.mu.RUnlock()
+	}
 	return psengine.Stats{
-		Entries:         entries,
+		Entries:         e.entries.Load(),
 		CachedEntries:   cached,
 		Hits:            e.hits.Load(),
 		Misses:          e.misses.Load(),

@@ -20,6 +20,10 @@ func testConfig(dim, capacity, cacheEntries int) psengine.Config {
 		Capacity:     capacity,
 		CacheEntries: cacheEntries,
 		Meter:        simclock.NewMeter(),
+		// Pinned so the oracle tests behave identically on every host
+		// (the default derives from GOMAXPROCS). Multi-shard behaviour is
+		// covered by shard_test.go with explicit shard counts.
+		Shards: 1,
 	}
 }
 
@@ -606,21 +610,24 @@ func TestLRUVersionsNondecreasingFromTail(t *testing.T) {
 		}
 		runBatch(t, e, b, uniq, constGrads(len(uniq), 2, 1))
 
-		// Invariant: LRU order and version order coincide (what makes
-		// checkpoint completion detectable from the tail).
-		e.mu.RLock()
-		last := int64(-1 << 62)
-		ok := true
-		for n := e.lru.Back(); n != nil; n = e.lru.Prev(n) {
-			if n.Value.version < last {
-				ok = false
-				break
+		// Invariant: within each shard, LRU order and version order
+		// coincide (what makes checkpoint completion detectable from the
+		// tail).
+		for _, s := range e.shards {
+			s.mu.RLock()
+			last := int64(-1 << 62)
+			ok := true
+			for n := s.lru.Back(); n != nil; n = s.lru.Prev(n) {
+				if n.Value.version < last {
+					ok = false
+					break
+				}
+				last = n.Value.version
 			}
-			last = n.Value.version
-		}
-		e.mu.RUnlock()
-		if !ok {
-			t.Fatalf("batch %d: LRU versions not nondecreasing from tail", b)
+			s.mu.RUnlock()
+			if !ok {
+				t.Fatalf("batch %d: shard %d LRU versions not nondecreasing from tail", b, s.id)
+			}
 		}
 	}
 }

@@ -25,17 +25,34 @@ const finalizerBudget = 4096
 // issued, the GPU phase begins, and the deferred cache maintenance of
 // Algorithm 2 is handed to the maintainer pool (Alg. 2 lines 6-8 gate
 // maintenance on pull completion; here the explicit signal replaces the
-// polling loop).
+// polling loop). One task per non-empty shard is queued, so MaintThreads
+// maintainers run shard maintenance concurrently.
 func (e *Engine) EndPullPhase(batch int64) {
 	if e.cfg.PipelineDisabled {
 		return // maintenance already ran inline during Pull
 	}
-	entries := e.accessQ.Drain()
-	if entries == nil {
+	queued := false
+	for _, s := range e.shards {
+		if s.accessQ.Len() > 0 {
+			queued = true
+			break
+		}
+	}
+	if !queued {
 		return
 	}
-	e.pending.Add(1)
-	e.maintCh <- maintTask{batch: batch, entries: entries}
+	// Activate the head checkpoint once per batch at the coordinator,
+	// before any shard task can flush: the activation scan takes shard
+	// locks, so it cannot live inside shard maintenance (see checkpoint.go).
+	e.activateHead()
+	for _, s := range e.shards {
+		entries := s.accessQ.Drain()
+		if entries == nil {
+			continue
+		}
+		e.pending.Add(1)
+		e.maintCh <- maintTask{batch: batch, sh: s, entries: entries}
+	}
 }
 
 // WaitMaintenance implements psengine.Engine.
@@ -69,126 +86,147 @@ func (b *maintErrBox) take() error {
 func (e *Engine) maintainLoop() {
 	defer e.maintWG.Done()
 	for task := range e.maintCh {
-		e.runMaintenance(task.batch, task.entries)
+		if err := task.sh.runMaintenance(task.batch, task.entries); err != nil {
+			e.maintErrs.set(err)
+		} else if err := e.finalizeCheckpoints(); err != nil {
+			e.maintErrs.set(err)
+		}
 		e.pending.Done()
 	}
 }
 
-// runMaintenance executes Algorithm 2 for one batch's accessed entries:
-// flush-before-overwrite for checkpoint consistency, LRU reordering,
-// promotion of missed entries, and eviction.
-func (e *Engine) runMaintenance(batch int64, entries []*entry) {
+// inlineMaintain is the pipeline-disabled path: maintenance for every shard
+// runs synchronously on the request thread that finished the pull.
+func (e *Engine) inlineMaintain(batch int64) {
+	e.activateHead()
+	for _, s := range e.shards {
+		if err := s.runMaintenance(batch, s.accessQ.Drain()); err != nil {
+			e.maintErrs.set(err)
+			return
+		}
+	}
+	if err := e.finalizeCheckpoints(); err != nil {
+		e.maintErrs.set(err)
+	}
+}
+
+// runMaintenance executes Algorithm 2 for one batch's accesses to this
+// shard: flush-before-overwrite for checkpoint consistency, LRU reordering,
+// promotion of missed entries, and eviction — all under the shard's
+// exclusive lock, independent of every other shard.
+func (s *shard) runMaintenance(batch int64, recs []accessRec) error {
+	e := s.eng
 	meter := e.cfg.Meter
 	meter.Charge(simclock.LockSync, psengine.LockCost)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
-	e.activateHeadLocked()
 	// Flush-before-overwrite tests against the newest pending checkpoint:
 	// once any queued checkpoint needs this data version, it must reach
 	// PMem before the coming push replaces it.
 	newest := e.newestCheckpoint()
 	// Pipelined maintenance runs off the critical path on dedicated
 	// threads: plain CPU work. With the pipeline disabled (Fig. 9
-	// ablation) the same work runs inline under the engine-wide exclusive
-	// lock while request threads wait — globally serialized and
-	// convoy-prone, like any black-box cache.
+	// ablation) the same work runs inline under the shard's exclusive
+	// lock while request threads wait — serialized and convoy-prone, like
+	// any black-box cache.
 	maintCat, maintCost := simclock.Compute, lruOpCost
 	if e.cfg.PipelineDisabled {
 		maintCat, maintCost = simclock.GlobalSync, inlineMaintCost
 	}
-	for _, ent := range entries {
+	for _, rec := range recs {
+		ent := rec.ent
 		meter.Charge(maintCat, maintCost)
 		if ent.inDRAM() {
 			// Alg. 2 lines 12-17: persist the pre-update version if a
 			// pending checkpoint still needs it, then refresh recency.
 			if ent.dirty && ent.dataVersion <= newest {
-				if err := e.flushLocked(ent); err != nil {
-					e.maintErrs.set(err)
-					return
+				if err := s.flushLocked(ent); err != nil {
+					return err
 				}
 			}
 			ent.version = batch
 			if ent.node.InList() {
-				e.lru.MoveToFront(&ent.node)
+				s.lru.MoveToFront(&ent.node)
 			} else {
-				e.lru.PushFront(&ent.node) // first-epoch entry born in DRAM
+				s.lru.PushFront(&ent.node) // first-epoch entry born in DRAM
 			}
 		} else {
-			// Alg. 2 lines 18-21: promote the missed entry.
-			if err := e.promoteLocked(ent); err != nil {
-				e.maintErrs.set(err)
-				return
+			// Alg. 2 lines 18-21: promote the missed entry. The pull that
+			// queued this record already counted its PMem read when it
+			// served the miss, so the promotion does not count it again.
+			if err := e.promoteLocked(ent, !rec.fromPMem); err != nil {
+				return err
 			}
 			ent.version = batch
-			e.lru.PushFront(&ent.node)
+			s.lru.PushFront(&ent.node)
 		}
 		// With the cache disabled, the batch's working set stays in DRAM
 		// until EndBatch (a per-batch staging buffer): pushes still land in
 		// DRAM and the write-back happens at the batch boundary, off the
 		// pull/push critical path when the pipeline is on.
 		if !e.cfg.CacheDisabled {
-			if err := e.enforceCapacityLocked(); err != nil {
-				e.maintErrs.set(err)
-				return
+			if err := s.enforceCapacityLocked(); err != nil {
+				return err
 			}
 		}
 	}
-	if err := e.finalizeCheckpointsLocked(); err != nil {
-		e.maintErrs.set(err)
-	}
+	return nil
 }
 
 // inlineMaintCost is the per-entry cost of cache maintenance executed
-// inline under the global exclusive lock (pipeline disabled): an exclusive
+// inline under the exclusive lock (pipeline disabled): an exclusive
 // cache-line handoff per lock acquisition plus the list splice.
 const inlineMaintCost = 500 * time.Nanosecond
 
-// enforceCapacityLocked evicts LRU victims while the cache exceeds its
-// budget (Alg. 2 lines 22-31). Checkpoint completion — which the paper
+// enforceCapacityLocked evicts LRU victims while the shard's cache exceeds
+// its budget (Alg. 2 lines 22-31). Checkpoint completion — which the paper
 // detects here from the victim's version — falls out of the flush
 // bookkeeping in flushLocked.
-func (e *Engine) enforceCapacityLocked() error {
-	limit := e.cacheCapacity()
-	for e.lru.Len() > limit {
-		if err := e.evictLocked(e.lru.Back().Value); err != nil {
+func (s *shard) enforceCapacityLocked() error {
+	limit := s.cacheCapacity()
+	for s.lru.Len() > limit {
+		if err := s.evictLocked(s.lru.Back().Value); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (e *Engine) cacheCapacity() int {
-	if e.cfg.CacheDisabled {
+func (s *shard) cacheCapacity() int {
+	if s.eng.cfg.CacheDisabled {
 		return 0
 	}
-	return e.cfg.CacheEntries
+	return s.capacity
 }
 
 // evictLocked writes a dirty victim back to PMem and releases its DRAM copy.
-func (e *Engine) evictLocked(victim *entry) error {
+func (s *shard) evictLocked(victim *entry) error {
 	if victim.dirty {
-		if err := e.flushLocked(victim); err != nil {
+		if err := s.flushLocked(victim); err != nil {
 			return err
 		}
 	}
-	e.lru.Remove(&victim.node)
+	s.lru.Remove(&victim.node)
 	victim.buf = nil
-	e.evictions.Add(1)
-	e.cfg.Meter.Charge(simclock.Compute, lruOpCost)
+	s.eng.evictions.Add(1)
+	s.eng.cfg.Meter.Charge(simclock.Compute, lruOpCost)
 	return nil
 }
 
 // flushLocked persists the entry's current DRAM state as a new PMem record
 // stamped with the entry's data version, retiring the superseded record so
 // the space manager keeps it until no checkpoint can need it. It also
-// advances the active checkpoint's completion accounting.
-func (e *Engine) flushLocked(ent *entry) error {
+// advances the active checkpoint's completion accounting. Caller holds this
+// shard's exclusive lock; the arena locks itself, and concurrent flushes
+// from other shards land in disjoint slots.
+func (s *shard) flushLocked(ent *entry) error {
+	e := s.eng
 	slot, err := e.arena.Alloc()
 	if errors.Is(err, pmem.ErrFull) {
 		// Reclaim superseded records that no present or future checkpoint
 		// can need, then retry once.
-		e.reclaimLocked()
+		e.reclaim()
 		slot, err = e.arena.Alloc()
 	}
 	if err != nil {
@@ -216,18 +254,19 @@ func (e *Engine) flushLocked(ent *entry) error {
 	// range) — pipelined maintenance pays it too, but off the critical
 	// path, where it is already covered by the device charge.
 	e.chargeInlineSerial(device.PMem().WriteCost(e.arena.PayloadBytes()) + inlineFlushDrain)
-	e.noteFlushedLocked(neededByActive)
+	e.noteFlushed(neededByActive)
 	return nil
 }
 
 // inlineFlushDrain is the media-drain wait of a persist executed under the
-// global lock (pipeline-disabled ablation).
+// exclusive lock (pipeline-disabled ablation).
 const inlineFlushDrain = 1 * time.Microsecond
 
 // EndBatch implements psengine.Engine: it waits for the batch's deferred
 // maintenance, surfaces asynchronous errors, folds in entries that Push had
 // to promote inline, advances pending checkpoints, and reclaims PMem space
-// that no checkpoint can need.
+// that no checkpoint can need. It barriers over every shard, so after it
+// returns the engine is consistent for checkpoint requests at batch.
 func (e *Engine) EndBatch(batch int64) error {
 	if e.closed.Load() {
 		return psengine.ErrClosed
@@ -236,20 +275,26 @@ func (e *Engine) EndBatch(batch int64) error {
 	if err := e.maintErrs.take(); err != nil {
 		return err
 	}
-	e.mu.Lock()
-	for _, ent := range e.sideQ.Drain() {
-		if ent.inDRAM() && !ent.node.InList() {
-			ent.version = batch
-			e.lru.PushFront(&ent.node)
+	var firstErr error
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, ent := range s.sideQ.Drain() {
+			if ent.inDRAM() && !ent.node.InList() {
+				ent.version = batch
+				s.lru.PushFront(&ent.node)
+			}
 		}
+		if err := s.enforceCapacityLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.mu.Unlock()
 	}
-	err := e.enforceCapacityLocked()
+	err := firstErr
 	if err == nil {
-		err = e.finalizeCheckpointsLocked()
+		err = e.finalizeCheckpoints()
 	}
-	e.lastEnded = batch
-	e.reclaimLocked()
-	e.mu.Unlock()
+	e.lastEnded.Store(batch)
+	e.reclaim()
 	if err != nil {
 		return err
 	}

@@ -239,13 +239,15 @@ func TestPushDoesNotReorderLRU(t *testing.T) {
 	runBatch(t, e, 0, keys, constGrads(3, 2, 1))
 
 	order := func() []uint64 {
-		e.mu.RLock()
-		defer e.mu.RUnlock()
 		var out []uint64
-		e.lru.Each(func(ent *entry) bool {
-			out = append(out, ent.key)
-			return true
-		})
+		for _, s := range e.shards {
+			s.mu.RLock()
+			s.lru.Each(func(ent *entry) bool {
+				out = append(out, ent.key)
+				return true
+			})
+			s.mu.RUnlock()
+		}
 		return out
 	}
 	before := order()

@@ -116,20 +116,23 @@ func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engin
 		}
 	}
 
-	// Phase 3: rebuild the DRAM hash index; entries stay in PMem.
+	// Phase 3: rebuild the per-shard DRAM hash indexes; entries stay in
+	// PMem. Recovery is single-threaded past the scan, so no shard locks
+	// are needed.
 	for key, b := range newest {
 		ent := &entry{key: key, version: b.version, dataVersion: b.version, slot: b.slot, persistedVersion: b.version}
 		ent.node.Value = ent
-		eng.index[key] = ent
+		eng.shardFor(key).index[key] = ent
 		arena.MarkOccupied(b.slot)
 		eng.dram.ChargeWrite(entryIndexBytes)
 	}
+	eng.entries.Store(int64(len(newest)))
 	arena.FinishRecovery()
-	if len(eng.index) > cfg.WithDefaults().Capacity {
+	if len(newest) > cfg.WithDefaults().Capacity {
 		eng.Close()
-		return nil, 0, fmt.Errorf("%w: recovered %d entries", psengine.ErrCapacity, len(eng.index))
+		return nil, 0, fmt.Errorf("%w: recovered %d entries", psengine.ErrCapacity, len(newest))
 	}
-	eng.lastEnded = ckpt
+	eng.lastEnded.Store(ckpt)
 	eng.completedCkpt.Store(ckpt)
 	return eng, ckpt, nil
 }

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"openembedding/internal/cache"
+	"openembedding/internal/psengine"
+	"openembedding/internal/simclock"
+)
+
+// accessRec is one access-queue element: the entry a pull touched plus
+// whether that pull served it from PMem. The flag lets maintenance promotion
+// attribute its PMem read correctly: a promotion triggered by a miss re-reads
+// data the pull already fetched (and counted), so the stat is not charged
+// twice for one logical fetch.
+type accessRec struct {
+	ent      *entry
+	fromPMem bool
+}
+
+// shard owns one slice of the key space: its own index map, reader/writer
+// lock, intrusive LRU list, access queue and side queue. Request threads on
+// different shards never contend, and each shard's maintenance is an
+// independent task, so MaintThreads maintainers genuinely run in parallel.
+//
+// The paper's single reader/writer lock (Alg. 1 line 3, Alg. 2 line 9)
+// becomes one lock per shard; the locking discipline within a shard is
+// unchanged: request threads hold mu shared, maintenance holds it exclusive.
+type shard struct {
+	eng *Engine
+	id  int
+
+	// mu is the shard's reader/writer lock: request threads hold it shared,
+	// cache maintenance holds it exclusive.
+	mu    sync.RWMutex
+	index map[uint64]*entry
+	lru   *cache.List[*entry]
+
+	// stripes serialize concurrent pushes to the same entry within the
+	// push phase (several workers can carry gradients for one hot key).
+	stripes [64]sync.Mutex
+
+	// accessQ collects the entries each pull touched (Alg. 1 line 17).
+	accessQ cache.Queue[accessRec]
+
+	// sideQ collects entries Push promoted inline (cache smaller than one
+	// batch's working set); EndBatch links them into the LRU.
+	sideQ cache.Queue[*entry]
+
+	// capacity is this shard's slice of the DRAM cache budget.
+	capacity int
+}
+
+// pull serves this shard's portion of a Pull: idxs lists the positions in
+// keys/dst that hash here (nil means every position — the single-shard fast
+// path). Scratch slices come from sc at the given lane (one lane per shard,
+// so concurrent shard pulls of one request never share a buffer).
+func (s *shard) pull(batch int64, keys []uint64, idxs []int32, dst []float32, sc *opScratch, lane int) error {
+	e := s.eng
+	dim := e.cfg.Dim
+	meter := e.cfg.Meter
+	recs := sc.recs[lane][:0]
+	missing := sc.missing[lane][:0]
+	defer func() {
+		// Hand the (possibly grown) buffers back to the scratch lane.
+		sc.recs[lane], sc.missing[lane] = recs, missing
+	}()
+
+	n := len(keys)
+	if idxs != nil {
+		n = len(idxs)
+	}
+	s.mu.RLock()
+	for j := 0; j < n; j++ {
+		i := j
+		if idxs != nil {
+			i = int(idxs[j])
+		}
+		meter.Charge(simclock.Compute, psengine.IndexProbeCost)
+		ent := s.index[keys[i]]
+		if ent == nil {
+			missing = append(missing, int32(j))
+			recs = append(recs, accessRec{}) // placeholder; createMissing fills it
+			continue
+		}
+		fromPMem, err := e.readWeights(ent, dst[i*dim:(i+1)*dim])
+		if err != nil {
+			s.mu.RUnlock()
+			return err
+		}
+		recs = append(recs, accessRec{ent: ent, fromPMem: fromPMem})
+	}
+	s.mu.RUnlock()
+
+	// First-epoch path (Alg. 1 lines 6-12): create entries under the
+	// exclusive lock, then serve them.
+	if len(missing) > 0 {
+		if err := s.createMissing(batch, keys, idxs, missing, recs, dst); err != nil {
+			return err
+		}
+	}
+	s.accessQ.Push(recs...) // Push copies, so the scratch slice is reusable
+	return nil
+}
+
+// createMissing creates first-touch entries under the shard's exclusive
+// lock, filling their placeholder access records and serving their weights.
+func (s *shard) createMissing(batch int64, keys []uint64, idxs []int32, missing []int32, recs []accessRec, dst []float32) error {
+	e := s.eng
+	dim := e.cfg.Dim
+	e.cfg.Meter.Charge(simclock.LockSync, psengine.LockCost)
+	s.mu.Lock()
+	for _, j32 := range missing {
+		j := int(j32)
+		i := j
+		if idxs != nil {
+			i = int(idxs[j])
+		}
+		k := keys[i]
+		ent := s.index[k]
+		if ent == nil {
+			// Global capacity is a single atomic reservation so shards never
+			// need each other's locks to enforce it.
+			if n := e.entries.Add(1); n > int64(e.cfg.Capacity) {
+				e.entries.Add(-1)
+				s.mu.Unlock()
+				return fmt.Errorf("%w: %d entries", psengine.ErrCapacity, n-1)
+			}
+			// A fresh entry's initial state is the state as of the end of
+			// the previous batch: stamping batch-1 keeps data versions
+			// unique even when the entry is flushed (tiny cache) and then
+			// pushed within its creation batch.
+			ent = &entry{key: k, version: batch, dataVersion: batch - 1, slot: noSlot, dirty: true}
+			ent.node.Value = ent
+			ent.buf = make([]float32, e.cfg.EntryFloats())
+			e.cfg.Initializer(k, ent.weights(dim))
+			e.cfg.Optimizer.InitState(ent.state(dim))
+			e.dram.ChargeWrite(4 * e.cfg.EntryFloats())
+			s.index[k] = ent
+		}
+		recs[j] = accessRec{ent: ent}
+		copy(dst[i*dim:(i+1)*dim], ent.weights(dim))
+		e.dram.ChargeRead(4 * dim)
+		e.hits.Add(1)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// push applies this shard's portion of a Push (idxs as in pull).
+func (s *shard) push(batch int64, keys []uint64, idxs []int32, grads []float32) error {
+	e := s.eng
+	dim := e.cfg.Dim
+	meter := e.cfg.Meter
+	n := len(keys)
+	if idxs != nil {
+		n = len(idxs)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for j := 0; j < n; j++ {
+		i := j
+		if idxs != nil {
+			i = int(idxs[j])
+		}
+		k := keys[i]
+		meter.Charge(simclock.Compute, psengine.IndexProbeCost)
+		ent := s.index[k]
+		if ent == nil {
+			return fmt.Errorf("core: push of unknown key %d", k)
+		}
+		stripe := &s.stripes[k%uint64(len(s.stripes))]
+		stripe.Lock()
+		if !ent.inDRAM() {
+			// Fallback for caches smaller than one batch's working set:
+			// promote inline (charged as a PMem read) and let EndBatch link
+			// the entry into the LRU. This is a genuine extra device read
+			// (the entry was evicted after the pull), so it is counted.
+			if err := e.promoteLocked(ent, true); err != nil {
+				stripe.Unlock()
+				return err
+			}
+			s.sideQ.Push(ent)
+		}
+		e.cfg.Optimizer.Apply(ent.weights(dim), ent.state(dim), grads[i*dim:(i+1)*dim])
+		ent.dirty = true
+		ent.dataVersion = batch
+		stripe.Unlock()
+		e.dram.ChargeWrite(4 * dim)
+		meter.Charge(simclock.Compute, optimizerCost(dim))
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ package psengine
 import (
 	"errors"
 	"math"
+	"runtime"
 	"time"
 
 	"openembedding/internal/optim"
@@ -86,6 +87,14 @@ type Config struct {
 	Meter *simclock.Meter
 	// MaintThreads is the cache-maintainer pool size for pipelined engines.
 	MaintThreads int
+	// Shards is the number of independent key-space shards for engines that
+	// partition their index, cache and maintenance (PMem-OE). Each shard has
+	// its own lock, so request threads on different shards never contend and
+	// maintenance parallelizes. Values are rounded up to a power of two;
+	// 0 defaults to GOMAXPROCS rounded up to a power of two (capped at 256).
+	// Shards=1 reproduces the unsharded engine exactly: deterministic
+	// simulated-time experiments pin it to 1 so results are host-independent.
+	Shards int
 	// LRUUpdateOnPush makes Push reorder the LRU list too, as a generic
 	// black-box cache would (the behaviour the paper's Sec. II-B critiques).
 	// PMem-OE leaves it false: pull and push of a batch touch the same keys,
@@ -119,7 +128,31 @@ func (c Config) WithDefaults() Config {
 	if c.MaintThreads == 0 {
 		c.MaintThreads = 1
 	}
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	c.Shards = normalizeShards(c.Shards)
 	return c
+}
+
+// maxShards bounds the shard count: beyond this, per-shard fixed overhead
+// (maps, lists, stripe arrays) outweighs any contention win.
+const maxShards = 256
+
+// normalizeShards rounds n up to a power of two in [1, maxShards] so the
+// shard-of-key computation stays a mask.
+func normalizeShards(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // EntryFloats returns the per-entry float count: weights plus optimizer

@@ -157,6 +157,10 @@ func Run(cfg Config) (Result, error) {
 		Meter:            meter,
 		PipelineDisabled: cfg.PipelineDisabled,
 		CacheDisabled:    cfg.CacheDisabled,
+		// One shard, always: the default derives from GOMAXPROCS, and the
+		// simulated-time tables must not depend on the host's core count.
+		// Shards=1 reproduces the unsharded engine exactly.
+		Shards: 1,
 	}.WithDefaults()
 
 	eng, err := buildEngine(cfg, store)
