@@ -1,0 +1,23 @@
+// Command oevet runs the OpenEmbedding invariant analyzer suite: lockorder,
+// pmemdurability, determinism and atomicstat (see internal/analysis and
+// DESIGN.md §8).
+//
+// Standalone (authoritative; cross-package facts flow in dependency order):
+//
+//	go run ./cmd/oevet -baseline .oevet-baseline ./...
+//
+// As a vet tool:
+//
+//	go build -o "$(go env GOPATH)/bin/oevet" ./cmd/oevet
+//	go vet -vettool="$(command -v oevet)" ./...
+package main
+
+import (
+	"os"
+
+	"openembedding/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/driver"
+)
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsCleanAndBaselinePinned is the regression gate for the oevet
+// suite: the whole repository must analyze clean, and the number of
+// //oevet:ignore suppressions must exactly match the reviewed census in
+// .oevet-baseline. A new ignore (or a removed one) fails here until the
+// baseline is regenerated with `go run ./cmd/oevet -write-baseline ./...`
+// and the justification reviewed.
+func TestRepoIsCleanAndBaselinePinned(t *testing.T) {
+	root := moduleRoot(t)
+	res, err := driver.RunStandalone(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("oevet: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+	}
+	if err := driver.CheckBaseline(filepath.Join(root, ".oevet-baseline"), res.IgnoresUsed); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package atomicstat mechanizes the all-or-nothing rule for atomic
+// counters: a struct field that is accessed through sync/atomic anywhere
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&s.n), ...) must be accessed
+// through sync/atomic everywhere. A single plain read or write next to
+// atomic updates is a data race and — the class of bug behind PR 1's
+// double-counted PMemReads — silently corrupts statistics under load.
+//
+// Fields of the atomic.Int64-style wrapper types are safe by construction
+// and are not this analyzer's concern; it targets plain integer fields
+// whose address escapes into sync/atomic calls. Mixed access that is in
+// fact safe (e.g. a constructor writing before the object is published)
+// must say so with //oevet:ignore.
+package atomicstat
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"openembedding/internal/analysis/oeanalysis"
+)
+
+// Analyzer flags fields accessed both atomically and directly.
+var Analyzer = &oeanalysis.Analyzer{
+	Name: "atomicstat",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed via sync/atomic everywhere",
+	Run:  run,
+}
+
+var atomicVerbs = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Methods on atomic.Int64 et al. are type-safe; only the pointer-taking
+	// package-level functions create the mixed-access hazard.
+	if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+		return false
+	}
+	for _, v := range atomicVerbs {
+		if strings.HasPrefix(fn.Name(), v) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *oeanalysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: fields whose address is passed to a sync/atomic function, and
+	// the identifier nodes making up those sanctioned accesses.
+	atomicFields := map[*types.Var][]ast.Node{}
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicFunc(oeanalysis.CalleeFunc(info, call)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				field := oeanalysis.FieldVar(info, un.X)
+				if field == nil {
+					continue
+				}
+				atomicFields[field] = append(atomicFields[field], un)
+				// Mark every node of the operand as sanctioned so pass 2
+				// does not re-flag this very access.
+				ast.Inspect(un, func(x ast.Node) bool {
+					sanctioned[x] = true
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access to those fields is a violation.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return true
+			}
+			var field *types.Var
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[e] {
+					return true
+				}
+				if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+					field, _ = sel.Obj().(*types.Var)
+				}
+			case *ast.Ident:
+				// Unqualified field access inside methods via embedding is
+				// not used in this codebase; selector form covers it.
+				return true
+			}
+			if field == nil {
+				return true
+			}
+			uses, ok := atomicFields[field]
+			if !ok {
+				return true
+			}
+			first := pass.Fset.Position(uses[0].Pos())
+			pass.Reportf(n.Pos(), "field %s is accessed atomically (e.g. %s) but directly here; every access must go through sync/atomic", fieldName(field), fmt.Sprintf("%s:%d", first.Filename, first.Line))
+			return true
+		})
+	}
+	return nil
+}
+
+func fieldName(v *types.Var) string {
+	return v.Name()
+}

@@ -1,0 +1,13 @@
+package atomicstat_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/atomicstat"
+	"openembedding/internal/analysis/oeanalysistest"
+)
+
+func TestAtomicStat(t *testing.T) {
+	oeanalysistest.Run(t, atomicstat.Analyzer, filepath.Join("testdata", "src", "a"))
+}

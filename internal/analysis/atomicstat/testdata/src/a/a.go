@@ -1,0 +1,42 @@
+// Test corpus for the atomicstat analyzer.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	plain  int64
+}
+
+func (s *stats) recordHit() { // ok: atomic access
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) loadHits() int64 { // ok: atomic access
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) directRead() int64 {
+	return s.hits // want `field hits is accessed atomically`
+}
+
+func (s *stats) directWrite() {
+	s.hits = 0 // want `field hits is accessed atomically`
+}
+
+func (s *stats) recordMiss()       { atomic.AddInt64(&s.misses, 1) }
+func (s *stats) swapMisses() int64 { return atomic.SwapInt64(&s.misses, 0) } // ok
+
+func (s *stats) plainOnly() int64 { // ok: plain is never touched atomically
+	s.plain++
+	return s.plain
+}
+
+type wrapped struct {
+	n atomic.Int64 // safe-by-construction wrapper type
+}
+
+func (w *wrapped) bump() { w.n.Add(1) } // ok: method on atomic.Int64
+
+func (w *wrapped) read() int64 { return w.n.Load() } // ok

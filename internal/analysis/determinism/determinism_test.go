@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/determinism"
+	"openembedding/internal/analysis/oeanalysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	oeanalysistest.Run(t, determinism.Analyzer, filepath.Join("testdata", "src", "a"))
+}

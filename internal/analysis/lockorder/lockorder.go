@@ -1,0 +1,351 @@
+// Package lockorder mechanizes the engine's lock hierarchy
+// (DESIGN.md §7: shard.mu → ckptMu → arena.mu).
+//
+// Mutex fields opt into the hierarchy with a rank annotation on the field:
+//
+//	// oevet:lockrank shard.mu 10
+//	mu sync.RWMutex
+//
+// Ranks are global integers; a goroutine may only acquire locks in strictly
+// increasing rank order, so acquiring rank r while any lock of rank >= r is
+// held is a violation (this flags both hierarchy inversions — e.g. taking a
+// shard lock while ckptMu is held — and same-rank double acquisition, e.g.
+// two shard locks at once).
+//
+// The check is intra-procedural with annotated summaries:
+//
+//   - Lock/RLock and Unlock/RUnlock calls on annotated fields are tracked in
+//     source order through the function body; `defer mu.Unlock()` keeps the
+//     lock held until every subsequent statement has been checked.
+//   - Calls to functions in the same package propagate the callee's
+//     (transitively computed) acquire set to the call site.
+//   - Cross-package edges come from `// oevet:acquires <name> <rank>`
+//     annotations on the callee declaration, exported as facts when the
+//     declaring package is analyzed (the driver analyzes packages in
+//     dependency order).
+//   - `// oevet:holds <name> <rank>` on a function seeds its entry held-set:
+//     the function is documented to be called with that lock held (the
+//     *Locked-suffix convention in internal/core).
+//
+// The source-order walk is an under-approximation: a lock released on one
+// branch is considered released for the remainder of the function. That
+// trades a class of missed reports for zero false positives on the
+// release-early-return idiom the codebase uses heavily.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"openembedding/internal/analysis/oeanalysis"
+)
+
+// Analyzer flags lock acquisitions that violate the ranked hierarchy.
+var Analyzer = &oeanalysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "check that ranked locks (oevet:lockrank) are acquired in strictly increasing rank order",
+	Run:  run,
+}
+
+type lockUse struct {
+	lock oeanalysis.Lock
+	pos  ast.Node
+}
+
+// funcInfo is the per-function summary used for propagation.
+type funcInfo struct {
+	decl     *ast.FuncDecl
+	obj      *types.Func
+	holds    []oeanalysis.Lock
+	acquires map[oeanalysis.Lock]bool // transitive set, grown to fixpoint
+	callees  []*types.Func            // same-package static callees
+}
+
+func run(pass *oeanalysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Ranked fields of this package.
+	ranks := map[*types.Var]oeanalysis.Lock{}
+	var rankErr error
+	oeanalysis.FieldDirectives(info, pass.Files, func(field *types.Var, dirs []oeanalysis.Directive) {
+		for _, d := range dirs {
+			if d.Verb != "lockrank" {
+				continue
+			}
+			if len(d.Args) != 2 {
+				rankErr = fmt.Errorf("lockorder: malformed oevet:lockrank on %s: want <name> <rank>", field.Name())
+				return
+			}
+			r, err := strconv.Atoi(d.Args[1])
+			if err != nil {
+				rankErr = fmt.Errorf("lockorder: non-integer rank %q on %s", d.Args[1], field.Name())
+				return
+			}
+			ranks[field] = oeanalysis.Lock{Name: d.Args[0], Rank: r}
+		}
+	})
+	if rankErr != nil {
+		return rankErr
+	}
+
+	// Per-function summaries.
+	funcs := map[*types.Func]*funcInfo{}
+	var order []*funcInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fi := &funcInfo{decl: fn, obj: obj, acquires: map[oeanalysis.Lock]bool{}}
+			for _, d := range oeanalysis.FuncDirectives(fn) {
+				lk, err := parseLockArg(d)
+				if err != nil {
+					return err
+				}
+				switch d.Verb {
+				case "holds":
+					fi.holds = append(fi.holds, lk)
+				case "acquires":
+					fi.acquires[lk] = true
+				}
+			}
+			aliases := lockAliases(info, ranks, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if lk, acquire, ok := rankedLockCall(info, ranks, aliases, call); ok {
+					// Unlock-only appearances are not acquisitions: a helper
+					// that releases a caller-held lock must not be summarized
+					// as taking it.
+					if acquire {
+						fi.acquires[lk] = true
+					}
+					return true
+				}
+				callee := oeanalysis.CalleeFunc(info, call)
+				if callee == nil {
+					return true
+				}
+				if callee.Pkg() == pass.Pkg {
+					fi.callees = append(fi.callees, callee)
+				} else {
+					for _, lk := range pass.Facts.Acquires[callee.FullName()] {
+						fi.acquires[lk] = true
+					}
+				}
+				return true
+			})
+			funcs[obj] = fi
+			order = append(order, fi)
+		}
+	}
+
+	// Transitive closure of acquire sets over the in-package call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range order {
+			for _, callee := range fi.callees {
+				cfi := funcs[callee]
+				if cfi == nil {
+					continue
+				}
+				for lk := range cfi.acquires {
+					if !fi.acquires[lk] {
+						fi.acquires[lk] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Export facts so dependent packages see this package's acquire sets
+	// (both annotated and computed).
+	for _, fi := range order {
+		if len(fi.acquires) == 0 {
+			continue
+		}
+		var lks []oeanalysis.Lock
+		for lk := range fi.acquires {
+			lks = append(lks, lk)
+		}
+		sortLocks(lks)
+		pass.Facts.Acquires[fi.obj.FullName()] = lks
+	}
+
+	// Point-wise check: walk each body in source order with a held-set.
+	for _, fi := range order {
+		checkFunc(pass, info, ranks, funcs, fi)
+	}
+	return nil
+}
+
+func parseLockArg(d oeanalysis.Directive) (oeanalysis.Lock, error) {
+	if d.Verb != "holds" && d.Verb != "acquires" {
+		return oeanalysis.Lock{}, nil
+	}
+	if len(d.Args) != 2 {
+		return oeanalysis.Lock{}, fmt.Errorf("lockorder: malformed oevet:%s: want <name> <rank>", d.Verb)
+	}
+	r, err := strconv.Atoi(d.Args[1])
+	if err != nil {
+		return oeanalysis.Lock{}, fmt.Errorf("lockorder: non-integer rank %q in oevet:%s", d.Args[1], d.Verb)
+	}
+	return oeanalysis.Lock{Name: d.Args[0], Rank: r}, nil
+}
+
+// lockAliases finds local variables bound to the address of a ranked field
+// (`stripe := &s.stripes[i]`), so locking through the pointer is tracked.
+func lockAliases(info *types.Info, ranks map[*types.Var]oeanalysis.Lock, body *ast.BlockStmt) map[*types.Var]oeanalysis.Lock {
+	aliases := map[*types.Var]oeanalysis.Lock{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			un, ok := ast.Unparen(asg.Rhs[i]).(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				continue
+			}
+			field := oeanalysis.FieldVar(info, un.X)
+			if field == nil {
+				continue
+			}
+			lk, ranked := ranks[field]
+			if !ranked {
+				continue
+			}
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				aliases[v] = lk
+			} else if v, ok := info.Uses[id].(*types.Var); ok {
+				aliases[v] = lk
+			}
+		}
+		return true
+	})
+	return aliases
+}
+
+// rankedLockCall reports whether call is mu.Lock()/mu.RLock() (acquire=true)
+// or mu.Unlock()/mu.RUnlock() (acquire=false) on a rank-annotated field (or
+// a local alias of one).
+func rankedLockCall(info *types.Info, ranks map[*types.Var]oeanalysis.Lock, aliases map[*types.Var]oeanalysis.Lock, call *ast.CallExpr) (lk oeanalysis.Lock, acquire bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return lk, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lk, false, false
+	}
+	if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID {
+		if v, isVar := info.Uses[id].(*types.Var); isVar && !v.IsField() {
+			lk, ok = aliases[v]
+			return lk, acquire, ok
+		}
+	}
+	field := oeanalysis.FieldVar(info, sel.X)
+	if field == nil {
+		return lk, false, false
+	}
+	lk, ok = ranks[field]
+	return lk, acquire, ok
+}
+
+func checkFunc(pass *oeanalysis.Pass, info *types.Info, ranks map[*types.Var]oeanalysis.Lock, funcs map[*types.Func]*funcInfo, fi *funcInfo) {
+	held := append([]oeanalysis.Lock(nil), fi.holds...)
+
+	report := func(n ast.Node, acq oeanalysis.Lock, via string) {
+		worst := held[0]
+		for _, h := range held {
+			if h.Rank > worst.Rank {
+				worst = h
+			}
+		}
+		msg := fmt.Sprintf("acquires %s (rank %d) while holding %s (rank %d); the hierarchy requires strictly increasing ranks", acq.Name, acq.Rank, worst.Name, worst.Rank)
+		if via != "" {
+			msg = fmt.Sprintf("call to %s may acquire %s (rank %d) while holding %s (rank %d); the hierarchy requires strictly increasing ranks", via, acq.Name, acq.Rank, worst.Name, worst.Rank)
+		}
+		pass.Reportf(n.Pos(), "%s", msg)
+	}
+
+	checkAcquire := func(n ast.Node, acq oeanalysis.Lock, via string) {
+		for _, h := range held {
+			if acq.Rank <= h.Rank {
+				report(n, acq, via)
+				return
+			}
+		}
+	}
+
+	aliases := lockAliases(info, ranks, fi.decl.Body)
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			// A deferred Unlock releases only at return, after every
+			// statement the walk still has to check — so the lock stays in
+			// the held-set. Deferred acquisitions are not modeled.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lk, acquire, ok := rankedLockCall(info, ranks, aliases, call); ok {
+			if acquire {
+				checkAcquire(n, lk, "")
+				held = append(held, lk)
+			} else {
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == lk {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		}
+		callee := oeanalysis.CalleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		var acquired []oeanalysis.Lock
+		if cfi := funcs[callee]; cfi != nil {
+			for lk := range cfi.acquires {
+				acquired = append(acquired, lk)
+			}
+			sortLocks(acquired)
+		} else if callee.Pkg() != pass.Pkg {
+			acquired = pass.Facts.Acquires[callee.FullName()]
+		}
+		for _, lk := range acquired {
+			checkAcquire(n, lk, callee.Name())
+		}
+		return true
+	})
+}
+
+func sortLocks(lks []oeanalysis.Lock) {
+	for i := 1; i < len(lks); i++ {
+		for j := i; j > 0 && (lks[j].Rank < lks[j-1].Rank || (lks[j].Rank == lks[j-1].Rank && lks[j].Name < lks[j-1].Name)); j-- {
+			lks[j], lks[j-1] = lks[j-1], lks[j]
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/lockorder"
+	"openembedding/internal/analysis/oeanalysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	oeanalysistest.Run(t, lockorder.Analyzer, filepath.Join("testdata", "src", "a"))
+}

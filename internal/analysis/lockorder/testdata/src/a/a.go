@@ -1,0 +1,114 @@
+// Test corpus for the lockorder analyzer: a miniature of the engine's
+// ranked hierarchy (shard.mu 10 → stripe 15 → ckptMu 20 → arena.mu 30).
+package a
+
+import "sync"
+
+type engine struct {
+	// oevet:lockrank shard.mu 10
+	mu sync.RWMutex
+	// oevet:lockrank ckptMu 20
+	ckptMu sync.Mutex
+	// oevet:lockrank arena.mu 30
+	arenaMu sync.Mutex
+	stripes [4]sync.Mutex // oevet:lockrank stripe 15
+	plain   sync.Mutex    // unranked: never tracked
+}
+
+func (e *engine) ascending() { // ok: strictly increasing ranks
+	e.mu.Lock()
+	e.ckptMu.Lock()
+	e.arenaMu.Lock()
+	e.arenaMu.Unlock()
+	e.ckptMu.Unlock()
+	e.mu.Unlock()
+}
+
+func (e *engine) inversion() {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	e.mu.Lock() // want `acquires shard\.mu \(rank 10\) while holding ckptMu \(rank 20\)`
+	e.mu.Unlock()
+}
+
+func (e *engine) sameRankTwice(other *engine) {
+	e.mu.Lock()
+	other.mu.Lock() // want `acquires shard\.mu \(rank 10\) while holding shard\.mu \(rank 10\)`
+	other.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func (e *engine) releaseThenAcquire() { // ok: ckptMu released before mu
+	e.ckptMu.Lock()
+	e.ckptMu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+func (e *engine) takesCkpt() {
+	e.ckptMu.Lock()
+	e.ckptMu.Unlock()
+}
+
+func (e *engine) viaCallee() {
+	e.arenaMu.Lock()
+	e.takesCkpt() // want `call to takesCkpt may acquire ckptMu \(rank 20\) while holding arena\.mu \(rank 30\)`
+	e.arenaMu.Unlock()
+}
+
+func (e *engine) transitiveHop() { e.takesCkpt() }
+
+func (e *engine) viaTransitiveCallee() {
+	e.arenaMu.Lock()
+	e.transitiveHop() // want `call to transitiveHop may acquire ckptMu \(rank 20\) while holding arena\.mu \(rank 30\)`
+	e.arenaMu.Unlock()
+}
+
+// oevet:acquires dev.mu 40
+func annotatedExternal() {}
+
+func (e *engine) viaAnnotationOK() { // ok: 40 > 30
+	e.arenaMu.Lock()
+	annotatedExternal()
+	e.arenaMu.Unlock()
+}
+
+// oevet:acquires dev.mu 5
+func annotatedLow() {}
+
+func (e *engine) viaAnnotationBad() {
+	e.mu.RLock()
+	annotatedLow() // want `call to annotatedLow may acquire dev\.mu \(rank 5\) while holding shard\.mu \(rank 10\)`
+	e.mu.RUnlock()
+}
+
+// oevet:holds ckptMu 20
+func (e *engine) calledWithCkptHeld() {
+	e.mu.RLock() // want `acquires shard\.mu \(rank 10\) while holding ckptMu \(rank 20\)`
+	e.mu.RUnlock()
+}
+
+func (e *engine) stripeAliasOK() { // ok: 10 < 15 < 20
+	e.mu.RLock()
+	st := &e.stripes[0]
+	st.Lock()
+	e.ckptMu.Lock()
+	e.ckptMu.Unlock()
+	st.Unlock()
+	e.mu.RUnlock()
+}
+
+func (e *engine) stripeAliasInversion() {
+	st := &e.stripes[1]
+	st.Lock()
+	e.mu.Lock() // want `acquires shard\.mu \(rank 10\) while holding stripe \(rank 15\)`
+	e.mu.Unlock()
+	st.Unlock()
+}
+
+func (e *engine) unrankedIsFree() { // ok: plain has no rank
+	e.arenaMu.Lock()
+	e.plain.Lock()
+	e.plain.Unlock()
+	e.arenaMu.Unlock()
+}

@@ -1,0 +1,237 @@
+// Package oeanalysistest is a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over a
+// testdata package and compares the diagnostics against `// want "regexp"`
+// comments in the sources.
+//
+// Testdata packages live under <analyzer>/testdata/src/<name> and may
+// import only the standard library (dependency export data is obtained
+// from `go list -export`, so no compilation happens inside the test).
+package oeanalysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"openembedding/internal/analysis/oeanalysis"
+)
+
+// Run analyzes the testdata package in dir (relative to the test's working
+// directory, e.g. "testdata/src/a") and checks its `// want` expectations.
+func Run(t *testing.T, a *oeanalysis.Analyzer, dir string) {
+	t.Helper()
+	diags, fset, files := analyze(t, a, dir)
+	wants := collectWants(t, fset, files)
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := map[key][]*want{}
+	for _, w := range wants {
+		k := key{w.pos.Filename, w.pos.Line}
+		unmatched[k] = append(unmatched[k], w)
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range unmatched[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, ws := range unmatched {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+func analyze(t *testing.T, a *oeanalysis.Analyzer, dir string) ([]oeanalysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read testdata dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+	imp, err := stdImporter(fset, imports)
+	if err != nil {
+		t.Fatalf("importer: %v", err)
+	}
+	info := oeanalysis.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck testdata: %v", err)
+	}
+	diags, err := oeanalysis.Run(a, fset, files, pkg, info, nil)
+	if err != nil {
+		t.Fatalf("analyzer: %v", err)
+	}
+	return diags, fset, files
+}
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{} // import path -> export data file
+	exportKnown = map[string]bool{}   // paths already resolved (incl. deps)
+)
+
+// stdImporter returns an importer for the given stdlib import paths,
+// shelling out to `go list -export` once per unseen path set. The module
+// root (found by walking up from the working directory) provides the go
+// tool context.
+func stdImporter(fset *token.FileSet, paths map[string]bool) (types.Importer, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for p := range paths {
+		if !exportKnown[p] {
+			missing = append(missing, p)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		root, err := moduleRoot()
+		if err != nil {
+			return nil, err
+		}
+		pkgs, err := oeanalysis.GoList(root, missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exportFiles[p.ImportPath] = p.Export
+			}
+			exportKnown[p.ImportPath] = true
+		}
+	}
+	snapshot := make(map[string]string, len(exportFiles))
+	for k, v := range exportFiles {
+		snapshot[k] = v
+	}
+	return oeanalysis.ExportImporter(fset, snapshot), nil
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("oeanalysistest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the regexp patterns from a want payload. Patterns
+// may be backquoted (taken verbatim, the analysistest convention) or
+// double-quoted (Go string syntax).
+func splitQuoted(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		switch s[0] {
+		case '`':
+			j := strings.IndexByte(s[1:], '`')
+			if j < 0 {
+				return out
+			}
+			out = append(out, s[1:1+j])
+			s = s[j+2:]
+		case '"':
+			j := 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(s) {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:j+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = s[j+1:]
+		default:
+			s = s[1:]
+		}
+	}
+	return out
+}

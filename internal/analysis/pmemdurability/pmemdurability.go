@@ -1,0 +1,265 @@
+// Package pmemdurability mechanizes the PMem persistence-ordering invariant:
+// data written to the simulated device is durable only after an explicit
+// Flush (internal/pmem/device.go), so a function that stores to PMem must
+// flush before it publishes a commit word or returns — otherwise a crash
+// can expose a torn or stale state that recovery then trusts.
+//
+// The check is annotation-driven. Function declarations are classified:
+//
+//	// oevet:pmem-write     stores to PMem without making the data durable
+//	// oevet:pmem-flush     persists previously written data (CLWB+SFENCE)
+//	// oevet:pmem-publish   publishes a commit word / version header that
+//	//                      makes earlier writes reachable after recovery
+//
+// Within every function body (walked in statement order):
+//
+//   - calling a pmem-publish function while a pmem-write is pending (no
+//     pmem-flush since) is reported — the commit word must never become
+//     durable before the data it covers can be;
+//   - returning while a write is pending is reported, unless the function
+//     is itself annotated pmem-write (it hands the flush obligation to its
+//     caller), the return is an error path (`if err != nil { return ... }` —
+//     a failed write has nothing to flush), or a flush is deferred.
+//
+// Classes cross package boundaries via facts: when the declaring package is
+// analyzed its annotations are exported, and dependent packages (analyzed
+// later) resolve call sites against them. The tracking is per-function and
+// range-agnostic: one flush clears every pending write, which matches how
+// the engine persists whole records with a single Persist.
+package pmemdurability
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"openembedding/internal/analysis/oeanalysis"
+)
+
+// Analyzer flags PMem writes that can become visible without a flush.
+var Analyzer = &oeanalysis.Analyzer{
+	Name: "pmemdurability",
+	Doc:  "check that PMem writes are flushed before the commit word is published or the function returns (oevet:pmem-* annotations)",
+	Run:  run,
+}
+
+func run(pass *oeanalysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Local classes from annotations, exported as facts for dependents.
+	classes := map[*types.Func]string{}
+	var lits []*ast.FuncLit
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			for _, d := range oeanalysis.FuncDirectives(fn) {
+				switch d.Verb {
+				case "pmem-write":
+					classes[obj] = "write"
+				case "pmem-flush":
+					classes[obj] = "flush"
+				case "pmem-publish":
+					classes[obj] = "publish"
+				}
+			}
+			if c, ok := classes[obj]; ok {
+				pass.Facts.PMemClass[obj.FullName()] = c
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fn.Name].(*types.Func)
+			c := &checker{pass: pass, info: info, classes: classes, selfWrite: obj != nil && classes[obj] == "write"}
+			c.block(fn.Body, nil)
+			if !lastIsReturn(fn.Body) {
+				c.ret(fn.Body.Rbrace, nil) // falling off the end is a return
+			}
+			lits = append(lits, c.lits...)
+		}
+	}
+	// Function literals get an independent pass: they run at an unknown
+	// point in the enclosing timeline, so they carry their own obligation.
+	for len(lits) > 0 {
+		lit := lits[0]
+		lits = lits[1:]
+		c := &checker{pass: pass, info: info, classes: classes}
+		c.block(lit.Body, nil)
+		if !lastIsReturn(lit.Body) {
+			c.ret(lit.Body.Rbrace, nil)
+		}
+		lits = append(lits, c.lits...)
+	}
+	return nil
+}
+
+func lastIsReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+type checker struct {
+	pass    *oeanalysis.Pass
+	info    *types.Info
+	classes map[*types.Func]string
+
+	selfWrite     bool
+	unflushed     ast.Node // the pending write call, nil when flushed
+	deferredFlush bool
+	lits          []*ast.FuncLit // literals to analyze independently
+}
+
+func (c *checker) classOf(call *ast.CallExpr) string {
+	callee := oeanalysis.CalleeFunc(c.info, call)
+	if callee == nil {
+		return ""
+	}
+	if cl, ok := c.classes[callee]; ok {
+		return cl
+	}
+	return c.pass.Facts.PMemClass[callee.FullName()]
+}
+
+// exprs scans an expression tree in visit order, applying call events.
+func (c *checker) exprs(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok {
+			c.lits = append(c.lits, lit)
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch c.classOf(call) {
+		case "write":
+			c.unflushed = call
+		case "flush":
+			c.unflushed = nil
+		case "publish":
+			if c.unflushed != nil {
+				pos := c.pass.Fset.Position(c.unflushed.Pos())
+				c.pass.Reportf(call.Pos(), "publishes a PMem commit word while the write at %s:%d may be unflushed; flush the written range first", pos.Filename, pos.Line)
+				c.unflushed = nil // one report per pending write
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) block(b *ast.BlockStmt, ifStack []ast.Node) {
+	for _, s := range b.List {
+		c.stmt(s, ifStack)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, ifStack []ast.Node) {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			c.exprs(r)
+		}
+		c.ret(st.Pos(), ifStack)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, ifStack)
+		}
+		c.exprs(st.Cond)
+		inner := append(ifStack, ast.Node(st))
+		c.block(st.Body, inner)
+		if st.Else != nil {
+			c.stmt(st.Else, inner)
+		}
+	case *ast.BlockStmt:
+		c.block(st, ifStack)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, ifStack)
+		}
+		c.exprs(st.Cond)
+		c.block(st.Body, ifStack)
+		if st.Post != nil {
+			c.stmt(st.Post, ifStack)
+		}
+	case *ast.RangeStmt:
+		c.exprs(st.X)
+		c.block(st.Body, ifStack)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, ifStack)
+		}
+		c.exprs(st.Tag)
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.exprs(e)
+				}
+				for _, bs := range cl.Body {
+					c.stmt(bs, ifStack)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, bs := range cl.Body {
+					c.stmt(bs, ifStack)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				for _, bs := range cl.Body {
+					c.stmt(bs, ifStack)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if c.classOf(st.Call) == "flush" {
+			c.deferredFlush = true
+		}
+		// Other deferred work runs after every return check; skip it.
+	case *ast.GoStmt:
+		// Concurrent timeline; the goroutine body is checked independently
+		// if it is a literal.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			c.lits = append(c.lits, lit)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(st.Stmt, ifStack)
+	default:
+		c.exprs(s)
+	}
+}
+
+// ret applies the return-while-unflushed rule at a return statement (or at
+// the closing brace of a body that falls off the end).
+func (c *checker) ret(pos token.Pos, ifStack []ast.Node) {
+	if c.unflushed == nil || c.deferredFlush || c.selfWrite {
+		return
+	}
+	if oeanalysis.IsErrorPathReturn(ifStack) {
+		return
+	}
+	wp := c.pass.Fset.Position(c.unflushed.Pos())
+	c.pass.Reportf(pos, "returns while the PMem write at %s:%d may be unflushed; flush it, defer a flush, or annotate this function oevet:pmem-write to pass the obligation to callers", wp.Filename, wp.Line)
+}

@@ -1,0 +1,13 @@
+package pmemdurability_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/oeanalysistest"
+	"openembedding/internal/analysis/pmemdurability"
+)
+
+func TestPMemDurability(t *testing.T) {
+	oeanalysistest.Run(t, pmemdurability.Analyzer, filepath.Join("testdata", "src", "a"))
+}

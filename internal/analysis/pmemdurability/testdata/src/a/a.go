@@ -1,0 +1,74 @@
+// Test corpus for the pmemdurability analyzer: a miniature of the
+// Device.Write / Flush / commit-word protocol in internal/pmem.
+package a
+
+type device struct{}
+
+// oevet:pmem-write
+func (d *device) Write(off int, p []byte) error { return nil }
+
+// oevet:pmem-flush
+func (d *device) Flush(off, n int) error { return nil }
+
+// oevet:pmem-publish
+func (d *device) Publish(word int64) error { return nil }
+
+func writeFlushPublish(d *device, p []byte) error { // ok: textbook order
+	if err := d.Write(0, p); err != nil {
+		return err // ok: error path, nothing durable to flush
+	}
+	if err := d.Flush(0, len(p)); err != nil {
+		return err
+	}
+	return d.Publish(1)
+}
+
+func publishUnflushed(d *device, p []byte) error {
+	if err := d.Write(0, p); err != nil {
+		return err
+	}
+	return d.Publish(1) // want `publishes a PMem commit word while the write at .*a\.go:\d+ may be unflushed`
+}
+
+func returnUnflushed(d *device, p []byte) error {
+	d.Write(0, p)
+	return nil // want `returns while the PMem write at .*a\.go:\d+ may be unflushed`
+}
+
+func fallOffEndUnflushed(d *device, p []byte) {
+	d.Write(0, p)
+} // want `returns while the PMem write at .*a\.go:\d+ may be unflushed`
+
+// oevet:pmem-write
+func writeHelper(d *device, p []byte) error { // ok: obligation passed to caller
+	return d.Write(0, p)
+}
+
+func deferredFlushOK(d *device, p []byte) {
+	defer d.Flush(0, len(p))
+	d.Write(0, p)
+} // ok: flush deferred
+
+func flushInReturn(d *device, p []byte) error { // ok: flush inside return expr
+	d.Write(0, p)
+	return d.Flush(0, len(p))
+}
+
+func callerOfHelperOK(d *device, p []byte) error {
+	if err := writeHelper(d, p); err != nil {
+		return err
+	}
+	return d.Flush(0, len(p))
+}
+
+func callerOfHelperBad(d *device, p []byte) error {
+	writeHelper(d, p)
+	return nil // want `returns while the PMem write at .*a\.go:\d+ may be unflushed`
+}
+
+func literalCheckedIndependently(d *device, p []byte) func() error {
+	return func() error {
+		d.Write(0, p)
+		return nil // want `returns while the PMem write at .*a\.go:\d+ may be unflushed`
+	}
+}

@@ -158,6 +158,8 @@ func (e *Engine) activateHead() int64 {
 // here. Exactly one caller observes the zero crossing, and until that
 // caller runs completeCheckpoint no new activation can begin, so reading
 // ckptActive afterwards is stable.
+//
+// oevet:holds core.shard.mu 10
 func (e *Engine) noteFlushed(needed bool) {
 	if !needed {
 		return
@@ -175,7 +177,10 @@ func (e *Engine) noteFlushed(needed bool) {
 // (Alg. 2 lines 24-28): persist the Checkpointed Batch ID with one atomic
 // PMem store, pop the request queue, and release superseded records the
 // space manager retained for it. Safe to call with a shard lock held
-// (ckptMu and the arena's own lock order after shard locks).
+// (ckptMu and the arena's own lock order after shard locks); the holds
+// annotation checks it against the worst-case caller, noteFlushed.
+//
+// oevet:holds core.shard.mu 10
 func (e *Engine) completeCheckpoint(cp int64) {
 	if err := e.arena.SetCheckpointedBatch(cp); err != nil {
 		e.maintErrs.set(err)

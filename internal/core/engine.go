@@ -1,9 +1,15 @@
+// Package core is the PMem-OE engine. Simulation results derived from it
+// must be bit-reproducible across runs; the marker below puts the whole
+// package under the determinism analyzer (internal/analysis).
+//
+//oevet:deterministic-package
 package core
 
 import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,7 +52,9 @@ type Engine struct {
 	// exactly once. ckptMu is a small leaf mutex ordered AFTER shard locks
 	// (a flush holds its shard's mu when it reports progress); it is never
 	// held while acquiring a shard lock. See checkpoint.go.
-	ckptMu         sync.Mutex
+	//
+	// oevet:lockrank core.ckptMu 20
+	ckptMu         rankedMutex
 	ckptQueue      []int64  // pending checkpoint requests (Fig. 5 right)
 	ckptActive     int64    // batch being checkpointed, or -1
 	ckptActivating bool     // an activation scan is in flight
@@ -116,6 +124,7 @@ func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
 	// shardIndex multiplies by the golden ratio and keeps the top log2(n)
 	// bits. For n == 1 the shift is 64, which Go defines as yielding 0.
 	e.shardShift = uint(64 - bits.TrailingZeros(uint(nShards)))
+	e.ckptMu.initRank("core.ckptMu", 20)
 	e.shards = make([]*shard, nShards)
 	base, extra := cfg.CacheEntries/nShards, cfg.CacheEntries%nShards
 	for i := range e.shards {
@@ -130,6 +139,7 @@ func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
 			lru:      cache.NewList[*entry](),
 			capacity: capi,
 		}
+		e.shards[i].mu.initRank("core.shard.mu", 10)
 	}
 	// The caller of a fanned-out Pull/Push works a shard itself, so the
 	// helper pool holds GOMAXPROCS-1 tokens. On a single-CPU process the
@@ -375,8 +385,10 @@ func (e *Engine) chargeInlineSerial(d time.Duration) {
 	}
 }
 
-// Keys returns every key currently stored (order unspecified). Intended
+// Keys returns every key currently stored, in ascending order. Intended
 // for inspection and tests; it holds each shard's shared lock in turn.
+// (It previously returned keys in map-iteration order — a nondeterminism
+// the determinism analyzer now rejects.)
 func (e *Engine) Keys() []uint64 {
 	out := make([]uint64, 0, e.entries.Load())
 	for _, s := range e.shards {
@@ -386,6 +398,7 @@ func (e *Engine) Keys() []uint64 {
 		}
 		s.mu.RUnlock()
 	}
+	slices.Sort(out)
 	return out
 }
 

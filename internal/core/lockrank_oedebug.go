@@ -1,0 +1,139 @@
+//go:build oedebug
+
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// This file is the -tags oedebug implementation of the ranked locks: every
+// Lock/RLock first checks, against a per-goroutine stack of held ranks,
+// the same strictly-increasing-rank invariant that the lockorder analyzer
+// (internal/analysis/lockorder) enforces statically, and panics on a
+// violation. The static check covers annotated call graphs; this dynamic
+// check covers whatever concurrency a test actually exercises — each
+// catches inversions the other can miss.
+//
+// A rank of 0 means initRank was never called (a zero-value Engine outside
+// New); such locks are exempt rather than guessed at.
+
+type heldLock struct {
+	name string
+	rank int
+}
+
+var lockRanks struct {
+	mu   sync.Mutex
+	held map[int64][]heldLock // goroutine id -> ranked locks held
+}
+
+// gid extracts the current goroutine's id from runtime.Stack. Slow, but
+// this code exists only under -tags oedebug.
+func gid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := bytes.TrimPrefix(buf[:n], []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, _ := strconv.ParseInt(string(s), 10, 64)
+	return id
+}
+
+// rankAcquire checks and records an acquisition. It runs before blocking on
+// the underlying mutex, mirroring where the static analyzer reports.
+func rankAcquire(name string, rank int) {
+	g := gid()
+	lockRanks.mu.Lock()
+	defer lockRanks.mu.Unlock()
+	for _, h := range lockRanks.held[g] {
+		if rank <= h.rank {
+			panic(fmt.Sprintf("lockrank: goroutine %d acquires %s (rank %d) while holding %s (rank %d); the hierarchy requires strictly increasing ranks",
+				g, name, rank, h.name, h.rank))
+		}
+	}
+	if lockRanks.held == nil {
+		lockRanks.held = make(map[int64][]heldLock)
+	}
+	lockRanks.held[g] = append(lockRanks.held[g], heldLock{name, rank})
+}
+
+func rankRelease(name string) {
+	g := gid()
+	lockRanks.mu.Lock()
+	defer lockRanks.mu.Unlock()
+	hs := lockRanks.held[g]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].name == name {
+			hs = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	if len(hs) == 0 {
+		delete(lockRanks.held, g)
+	} else {
+		lockRanks.held[g] = hs
+	}
+}
+
+type rankedMutex struct {
+	mu   sync.Mutex
+	name string
+	rank int
+}
+
+func (m *rankedMutex) initRank(name string, rank int) { m.name, m.rank = name, rank }
+
+func (m *rankedMutex) Lock() {
+	if m.rank != 0 {
+		rankAcquire(m.name, m.rank)
+	}
+	m.mu.Lock()
+}
+
+func (m *rankedMutex) Unlock() {
+	m.mu.Unlock()
+	if m.rank != 0 {
+		rankRelease(m.name)
+	}
+}
+
+type rankedRWMutex struct {
+	mu   sync.RWMutex
+	name string
+	rank int
+}
+
+func (m *rankedRWMutex) initRank(name string, rank int) { m.name, m.rank = name, rank }
+
+func (m *rankedRWMutex) Lock() {
+	if m.rank != 0 {
+		rankAcquire(m.name, m.rank)
+	}
+	m.mu.Lock()
+}
+
+func (m *rankedRWMutex) Unlock() {
+	m.mu.Unlock()
+	if m.rank != 0 {
+		rankRelease(m.name)
+	}
+}
+
+func (m *rankedRWMutex) RLock() {
+	if m.rank != 0 {
+		rankAcquire(m.name, m.rank)
+	}
+	m.mu.RLock()
+}
+
+func (m *rankedRWMutex) RUnlock() {
+	m.mu.RUnlock()
+	if m.rank != 0 {
+		rankRelease(m.name)
+	}
+}

@@ -1,0 +1,64 @@
+//go:build oedebug
+
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLockRankViolationPanics exercises a deliberate hierarchy inversion —
+// acquiring a shard lock (rank 10) while ckptMu (rank 20) is held — and
+// requires the oedebug runtime checker to panic with a lockrank report.
+func TestLockRankViolationPanics(t *testing.T) {
+	var (
+		ckptMu rankedMutex
+		shardM rankedRWMutex
+	)
+	ckptMu.initRank("core.ckptMu", 20)
+	shardM.initRank("core.shard.mu", 10)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("hierarchy inversion did not panic under -tags oedebug")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "lockrank:") || !strings.Contains(msg, "core.shard.mu (rank 10)") || !strings.Contains(msg, "core.ckptMu (rank 20)") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+		// The panic fired with ckptMu's rank still recorded; drop it so the
+		// per-goroutine state does not leak into other tests.
+		rankRelease("core.ckptMu")
+	}()
+
+	ckptMu.Lock()
+	shardM.RLock() // inversion: rank 10 after rank 20 — must panic
+	shardM.RUnlock()
+	ckptMu.Unlock()
+}
+
+// TestLockRankAscendingOK verifies the checker accepts the documented order
+// and fully unwinds its per-goroutine state.
+func TestLockRankAscendingOK(t *testing.T) {
+	var (
+		ckptMu rankedMutex
+		shardM rankedRWMutex
+	)
+	ckptMu.initRank("core.ckptMu", 20)
+	shardM.initRank("core.shard.mu", 10)
+
+	for i := 0; i < 3; i++ {
+		shardM.Lock()
+		ckptMu.Lock()
+		ckptMu.Unlock()
+		shardM.Unlock()
+	}
+
+	lockRanks.mu.Lock()
+	n := len(lockRanks.held)
+	lockRanks.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("lock rank state leaked: %d goroutines still tracked", n)
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !oedebug
+
+package core
+
+import "sync"
+
+// rankedMutex and rankedRWMutex are the engine's hierarchy-ranked locks.
+// In release builds they are plain sync mutexes with a no-op rank hook, so
+// the discipline costs nothing; building with -tags oedebug swaps in
+// implementations (lockrank_oedebug.go) that verify at runtime the same
+// invariant the lockorder analyzer proves statically: a goroutine acquires
+// ranked locks in strictly increasing rank order (DESIGN.md §7/§8).
+type rankedMutex struct{ sync.Mutex }
+
+type rankedRWMutex struct{ sync.RWMutex }
+
+func (m *rankedMutex) initRank(name string, rank int) {}
+
+func (m *rankedRWMutex) initRank(name string, rank int) {}

@@ -183,6 +183,8 @@ const inlineMaintCost = 500 * time.Nanosecond
 // its budget (Alg. 2 lines 22-31). Checkpoint completion — which the paper
 // detects here from the victim's version — falls out of the flush
 // bookkeeping in flushLocked.
+//
+// oevet:holds core.shard.mu 10
 func (s *shard) enforceCapacityLocked() error {
 	limit := s.cacheCapacity()
 	for s.lru.Len() > limit {
@@ -201,6 +203,8 @@ func (s *shard) cacheCapacity() int {
 }
 
 // evictLocked writes a dirty victim back to PMem and releases its DRAM copy.
+//
+// oevet:holds core.shard.mu 10
 func (s *shard) evictLocked(victim *entry) error {
 	if victim.dirty {
 		if err := s.flushLocked(victim); err != nil {
@@ -220,6 +224,8 @@ func (s *shard) evictLocked(victim *entry) error {
 // advances the active checkpoint's completion accounting. Caller holds this
 // shard's exclusive lock; the arena locks itself, and concurrent flushes
 // from other shards land in disjoint slots.
+//
+// oevet:holds core.shard.mu 10
 func (s *shard) flushLocked(ent *entry) error {
 	e := s.eng
 	slot, err := e.arena.Alloc()

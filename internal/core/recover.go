@@ -119,6 +119,8 @@ func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engin
 	// Phase 3: rebuild the per-shard DRAM hash indexes; entries stay in
 	// PMem. Recovery is single-threaded past the scan, so no shard locks
 	// are needed.
+	//
+	//oevet:ignore iteration order cannot reach the result: each key writes only its own index slot, MarkOccupied takes a per-slot max, and ChargeWrite sums a commutative counter
 	for key, b := range newest {
 		ent := &entry{key: key, version: b.version, dataVersion: b.version, slot: b.slot, persistedVersion: b.version}
 		ent.node.Value = ent

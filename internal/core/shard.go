@@ -33,12 +33,16 @@ type shard struct {
 
 	// mu is the shard's reader/writer lock: request threads hold it shared,
 	// cache maintenance holds it exclusive.
-	mu    sync.RWMutex
+	//
+	// oevet:lockrank core.shard.mu 10
+	mu    rankedRWMutex
 	index map[uint64]*entry
 	lru   *cache.List[*entry]
 
 	// stripes serialize concurrent pushes to the same entry within the
 	// push phase (several workers can carry gradients for one hot key).
+	//
+	// oevet:lockrank core.shard.stripe 15
 	stripes [64]sync.Mutex
 
 	// accessQ collects the entries each pull touched (Alg. 1 line 17).

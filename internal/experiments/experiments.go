@@ -1,3 +1,8 @@
+// Package experiments reproduces the paper's tables and figures. Outputs
+// must be bit-reproducible across runs; the marker below puts the whole
+// package under the determinism analyzer (internal/analysis).
+//
+//oevet:deterministic-package
 package experiments
 
 import (

@@ -24,6 +24,11 @@ type Arena struct {
 	slotSize     int
 	slots        int
 
+	// mu is the deepest lock in the engine hierarchy (DESIGN.md §7):
+	// callers may hold shard locks and ckptMu when entering the arena,
+	// never the reverse.
+	//
+	// oevet:lockrank pmem.arena.mu 30
 	mu       sync.Mutex
 	free     []uint32        // reusable slot indices
 	bump     uint32          // next never-used slot
@@ -243,6 +248,8 @@ func (a *Arena) FinishRecovery() {
 // WriteRecord persists a record (key, version, payload) into slot with a
 // single flush. The record is crash-consistent: recovery accepts it only if
 // its checksum validates, so a torn write is discarded rather than observed.
+//
+// oevet:pmem-flush
 func (a *Arena) WriteRecord(slot uint32, key uint64, version int64, payload []byte) error {
 	if len(payload) != a.payloadBytes {
 		return fmt.Errorf("pmem: payload size %d != record payload %d", len(payload), a.payloadBytes)
@@ -356,6 +363,8 @@ func (a *Arena) ScanRange(lo, hi uint32, fn func(Record) error) error {
 // checkpoint (Alg. 2 line 25, "PMem.atomicUpdateCheckpointId"). An aligned
 // 8-byte store is power-fail atomic on real PMem; the simulation preserves
 // that by persisting the full word in one flush.
+//
+// oevet:pmem-publish
 func (a *Arena) SetCheckpointedBatch(id int64) error {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(id))

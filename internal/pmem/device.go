@@ -109,6 +109,8 @@ func (d *Device) View(off, n int) ([]byte, error) {
 // until the range is flushed. Stores themselves are charged as DRAM-speed
 // cache writes by the caller if desired; the PMem write cost is charged at
 // Flush, matching how CLWB-bound persistence behaves on Optane.
+//
+// oevet:pmem-write
 func (d *Device) Write(off int, data []byte) error {
 	if err := d.check(off, len(data)); err != nil {
 		return err
@@ -122,6 +124,8 @@ func (d *Device) Write(off int, data []byte) error {
 
 // Flush persists the range [off, off+n): the CLWB+SFENCE analog. After Flush
 // returns, the range survives Crash.
+//
+// oevet:pmem-flush
 func (d *Device) Flush(off, n int) error {
 	if err := d.check(off, n); err != nil {
 		return err
@@ -136,6 +140,8 @@ func (d *Device) Flush(off, n int) error {
 }
 
 // Persist writes data at off and immediately flushes it.
+//
+// oevet:pmem-flush
 func (d *Device) Persist(off int, data []byte) error {
 	if err := d.Write(off, data); err != nil {
 		return err

@@ -1,3 +1,8 @@
+// Package sim drives the simulated cluster. Its outputs must be
+// bit-reproducible across runs (ROADMAP north star); the marker below puts
+// the whole package under the determinism analyzer (internal/analysis).
+//
+//oevet:deterministic-package
 package sim
 
 import (
