@@ -1,28 +1,37 @@
 // Command oectl talks to running oeps nodes.
 //
 //	oectl -nodes 127.0.0.1:7070,127.0.0.1:7071 stats
+//	oectl -nodes ... -obs http://127.0.0.1:7071 stats
 //	oectl -nodes ... -dim 64 pull 12 34 56
 //	oectl -nodes ... checkpoint 41
 //	oectl -nodes ... completed
 //	oectl -nodes ... ping
+//
+// With -obs pointing at a node's -debug-addr, stats additionally scrapes
+// /metrics.json and pretty-prints the node's latency percentiles (pull,
+// push, miss service, RPC RTT), byte counters and checkpoint stalls.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"openembedding/internal/cluster"
+	"openembedding/internal/obs"
 	"openembedding/internal/rpc"
 )
 
 func main() {
 	var (
-		nodes = flag.String("nodes", "127.0.0.1:7070", "comma-separated node addresses")
-		dim   = flag.Int("dim", 64, "embedding dimension (for pull)")
+		nodes  = flag.String("nodes", "127.0.0.1:7070", "comma-separated node addresses")
+		dim    = flag.Int("dim", 64, "embedding dimension (for pull)")
+		obsURL = flag.String("obs", "", "observability base URL of one node (its oeps -debug-addr); stats scrapes <url>/metrics.json")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -56,6 +65,12 @@ func main() {
 			st.Entries, st.CachedEntries, st.Hits, st.Misses, st.MissRate()*100)
 		fmt.Printf("pmem reads=%d writes=%d evictions=%d checkpoints=%d\n",
 			st.PMemReads, st.PMemWrites, st.Evictions, st.CheckpointsDone)
+		if *obsURL != "" {
+			fmt.Println()
+			if err := scrapeObs(*obsURL); err != nil {
+				log.Fatalf("oectl: obs scrape: %v", err)
+			}
+		}
 	case "pull":
 		if len(args) < 2 {
 			log.Fatal("oectl: pull needs keys")
@@ -102,6 +117,25 @@ func main() {
 	default:
 		log.Fatalf("oectl: unknown command %q", args[0])
 	}
+}
+
+// scrapeObs fetches <base>/metrics.json and pretty-prints it.
+func scrapeObs(base string) error {
+	url := strings.TrimSuffix(base, "/") + "/metrics.json"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	fmt.Printf("node observability (%s):\n", base)
+	return snap.WriteSummary(os.Stdout)
 }
 
 func dial(dim int, addrs []string) *cluster.Client {

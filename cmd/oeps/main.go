@@ -2,20 +2,26 @@
 // engine (PMem-OE by default, or any baseline) served over TCP.
 //
 //	oeps -addr :7070 -engine pmem-oe -dim 64 -capacity 1048576 \
-//	     -cache 131072 -pmem-image /var/lib/oeps/shard0.img
+//	     -cache 131072 -pmem-image /var/lib/oeps/shard0.img \
+//	     -debug-addr :7071
 //
 // With -pmem-image, the node recovers from an existing image on start and
-// saves the durable image on shutdown (SIGINT/SIGTERM).
+// saves the durable image on shutdown (SIGINT/SIGTERM). With -debug-addr,
+// the node serves its observability endpoints over HTTP: /metrics
+// (Prometheus-style text), /metrics.json, and /debug/obs (Chrome
+// trace_event JSON — load it in chrome://tracing or ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"openembedding/internal/obs"
 	"openembedding/internal/optim"
 	"openembedding/internal/ps"
 	"openembedding/internal/psengine"
@@ -23,22 +29,30 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		engine   = flag.String("engine", "pmem-oe", "storage engine: pmem-oe|dram-ps|ori-cache|pmem-hash")
-		dim      = flag.Int("dim", 64, "embedding dimension")
-		capacity = flag.Int("capacity", 1<<20, "max distinct embedding entries")
-		cache    = flag.Int("cache", 0, "DRAM cache entries (default capacity/8)")
-		optName  = flag.String("optimizer", "adagrad", "server-side optimizer: adagrad|sgd")
-		lr       = flag.Float64("lr", 0.05, "learning rate")
-		shards   = flag.Int("shards", 0, "engine key-space shards, rounded to a power of two (default GOMAXPROCS)")
-		image    = flag.String("pmem-image", "", "PMem image file (recover on start, save on stop)")
-		ckptDir  = flag.String("checkpoint-dir", "", "incremental-checkpoint directory (baseline engines)")
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		debugAddr = flag.String("debug-addr", "", "observability HTTP address (/metrics, /metrics.json, /debug/obs); empty disables")
+		engine    = flag.String("engine", "pmem-oe", "storage engine: pmem-oe|dram-ps|ori-cache|pmem-hash")
+		dim       = flag.Int("dim", 64, "embedding dimension")
+		capacity  = flag.Int("capacity", 1<<20, "max distinct embedding entries")
+		cache     = flag.Int("cache", 0, "DRAM cache entries (default capacity/8)")
+		optName   = flag.String("optimizer", "adagrad", "server-side optimizer: adagrad|sgd")
+		lr        = flag.Float64("lr", 0.05, "learning rate")
+		shards    = flag.Int("shards", 0, "engine key-space shards, rounded to a power of two (default GOMAXPROCS)")
+		image     = flag.String("pmem-image", "", "PMem image file (recover on start, save on stop)")
+		ckptDir   = flag.String("checkpoint-dir", "", "incremental-checkpoint directory (baseline engines)")
+		traceCap  = flag.Int("trace-spans", obs.DefaultTraceCapacity, "span ring capacity for /debug/obs (with -debug-addr)")
 	)
 	flag.Parse()
 
 	opt, err := optim.ByName(*optName, float32(*lr))
 	if err != nil {
 		log.Fatalf("oeps: %v", err)
+	}
+	var reg *obs.Registry
+	var spans *obs.Tracer
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		spans = obs.NewTracer(*traceCap)
 	}
 	node, err := ps.StartNode(*addr, ps.NodeConfig{
 		Engine: *engine,
@@ -51,6 +65,8 @@ func main() {
 		},
 		PMemImage:     *image,
 		CheckpointDir: *ckptDir,
+		Obs:           reg,
+		Spans:         spans,
 	})
 	if err != nil {
 		log.Fatalf("oeps: %v", err)
@@ -61,10 +77,24 @@ func main() {
 	}
 	fmt.Println()
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: node.ObsHandler()}
+		go func() {
+			fmt.Printf("oeps: observability on http://%s/metrics\n", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("oeps: debug server: %v", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("oeps: shutting down")
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	if err := node.Close(); err != nil {
 		log.Fatalf("oeps: shutdown: %v", err)
 	}

@@ -40,3 +40,35 @@ type wrapped struct {
 func (w *wrapped) bump() { w.n.Add(1) } // ok: method on atomic.Int64
 
 func (w *wrapped) read() int64 { return w.n.Load() } // ok
+
+// Registry-counter shape (internal/obs): record and snapshot go through
+// sync/atomic, so a plain-assignment reset is exactly the mixed access the
+// analyzer exists to catch — a racing reset can tear a concurrent record.
+type registryCounter struct {
+	count int64
+	sum   int64
+}
+
+func (c *registryCounter) record(v int64) { // ok: atomic record path
+	atomic.AddInt64(&c.count, 1)
+	atomic.AddInt64(&c.sum, v)
+}
+
+func (c *registryCounter) snapshot() (n, sum int64) { // ok: atomic snapshot
+	return atomic.LoadInt64(&c.count), atomic.LoadInt64(&c.sum)
+}
+
+func (c *registryCounter) reset() {
+	c.count = 0 // want `field count is accessed atomically`
+	c.sum = 0   // want `field sum is accessed atomically`
+}
+
+// Wrapper-typed registry metrics (the shape internal/obs actually uses) are
+// safe by construction: every access is a method on atomic.Int64.
+type registryGauge struct {
+	v atomic.Int64
+}
+
+func (g *registryGauge) set(v int64)  { g.v.Store(v) }
+func (g *registryGauge) value() int64 { return g.v.Load() }
+func (g *registryGauge) reset()       { g.v.Store(0) } // ok: wrapper type

@@ -24,8 +24,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"openembedding/internal/device"
+	"openembedding/internal/obs"
 )
 
 // Errors returned by the checkpoint package.
@@ -53,6 +55,11 @@ type Writer struct {
 	dir      string
 	device   *device.Timed // cost model of the checkpoint device (may be nil)
 	quantize bool
+
+	// metrics (nil, and free, without SetObs)
+	writeNS    *obs.Histogram
+	bytesOut   *obs.Counter
+	deltasDone *obs.Counter
 }
 
 // NewWriter creates (if needed) the checkpoint directory.
@@ -61,6 +68,18 @@ func NewWriter(dir string, dev *device.Timed) (*Writer, error) {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	return &Writer{dir: dir, device: dev}, nil
+}
+
+// SetObs attaches delta-write metrics: ckpt_write_ns (wall time of one
+// synchronous delta dump — the training pause of the incremental baselines),
+// ckpt_bytes_written, and ckpt_deltas_written.
+func (w *Writer) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	w.writeNS = reg.Histogram("ckpt_write_ns")
+	w.bytesOut = reg.Counter("ckpt_bytes_written")
+	w.deltasDone = reg.Counter("ckpt_deltas_written")
 }
 
 // SetQuantize toggles fp16 payload quantization (Check-N-Run's checkpoint
@@ -80,6 +99,10 @@ func deltaName(batch int64) string { return fmt.Sprintf("delta-%016d.ckpt", batc
 // checkpointing pauses training (Sec. II-A) — and charges the written bytes
 // as a sequential stream to the checkpoint device.
 func (w *Writer) WriteDelta(batch int64, entries []Entry) error {
+	var obsStart time.Time
+	if w.writeNS != nil {
+		obsStart = time.Now()
+	}
 	path := filepath.Join(w.dir, deltaName(batch))
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -151,6 +174,11 @@ func (w *Writer) WriteDelta(batch int64, entries []Entry) error {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	w.device.ChargeStreamWrite(total + 4)
+	if w.writeNS != nil {
+		w.writeNS.Observe(time.Since(obsStart))
+		w.bytesOut.Add(total + 4)
+		w.deltasDone.Add(1)
+	}
 	return nil
 }
 

@@ -7,7 +7,9 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"openembedding/internal/obs"
 	"openembedding/internal/psengine"
 	"openembedding/internal/rpc"
 )
@@ -19,23 +21,60 @@ func Partition(key uint64, n int) int {
 	return int((key * 0x9e3779b97f4a7c15) >> 32 % uint64(n))
 }
 
+// Options configures a cluster Client.
+type Options struct {
+	// RPC is forwarded to every per-node rpc.DialOpts call (I/O deadlines,
+	// client-side RPC metrics).
+	RPC rpc.Options
+	// Obs, when set, receives worker-side fan-out metrics:
+	// cluster_fanout_width (nodes contacted per pull/push),
+	// cluster_straggler_ns (slowest minus fastest node per fan-out),
+	// cluster_pull_ns / cluster_push_ns end-to-end latency.
+	Obs *obs.Registry
+	// Spans, when set, records per-batch cluster spans: cluster.pull /
+	// cluster.push parents with per-node cluster.node children.
+	Spans *obs.Tracer
+}
+
 // Client is a partitioned parameter-server client.
 type Client struct {
 	dim   int
 	nodes []*rpc.Client
+	addrs []string
+	spans *obs.Tracer
+
+	// metrics (nil, and free, without Options.Obs)
+	fanWidth  *obs.Histogram
+	straggler *obs.Histogram
+	pullNS    *obs.Histogram
+	pushNS    *obs.Histogram
+	reg       *obs.Registry
 }
 
-// Dial connects to every node address. dim must match the server engines.
+// Dial connects to every node address with default options. dim must match
+// the server engines.
 func Dial(dim int, addrs []string) (*Client, error) {
+	return DialOpts(dim, addrs, Options{})
+}
+
+// DialOpts connects to every node address with explicit options.
+func DialOpts(dim int, addrs []string, opts Options) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no node addresses")
 	}
-	c := &Client{dim: dim}
-	for _, a := range addrs {
-		cl, err := rpc.Dial(a)
+	c := &Client{dim: dim, addrs: append([]string(nil), addrs...), spans: opts.Spans}
+	if reg := opts.Obs; reg != nil {
+		c.reg = reg
+		c.fanWidth = reg.Histogram("cluster_fanout_width")
+		c.straggler = reg.Histogram("cluster_straggler_ns")
+		c.pullNS = reg.Histogram("cluster_pull_ns")
+		c.pushNS = reg.Histogram("cluster_push_ns")
+	}
+	for n, a := range addrs {
+		cl, err := rpc.DialOpts(a, opts.RPC)
 		if err != nil {
 			c.Close()
-			return nil, err
+			return nil, fmt.Errorf("cluster: node %d (%s): %w", n, a, err)
 		}
 		c.nodes = append(c.nodes, cl)
 	}
@@ -47,6 +86,15 @@ func (c *Client) Nodes() int { return len(c.nodes) }
 
 // Dim returns the embedding dimension.
 func (c *Client) Dim() int { return c.dim }
+
+// nodeErr attributes a per-node failure so a worker log names the failed
+// shard server, not just "connection reset".
+func (c *Client) nodeErr(n int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("cluster: node %d (%s): %w", n, c.addrs[n], err)
+}
 
 // plan groups the caller's keys by owning node, remembering each key's
 // original position for reassembly.
@@ -66,24 +114,55 @@ func (c *Client) plan(keys []uint64) plan {
 }
 
 // fanOut runs fn for every node with a non-empty key group, concurrently,
-// and returns the first error.
-func (c *Client) fanOut(p plan, fn func(node int, keys []uint64, pos []int) error) error {
+// and returns the first error (attributed to its node). When metrics are
+// enabled it also records the fan-out width and the straggler gap — the
+// spread between the fastest and slowest node of this request, the quantity
+// the paper's batched barrier is sensitive to.
+func (c *Client) fanOut(batch int64, p plan, fn func(node int, keys []uint64, pos []int) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.nodes))
+	durs := make([]time.Duration, len(c.nodes))
+	width := 0
 	for n := range c.nodes {
 		if len(p.keys[n]) == 0 {
 			continue
 		}
+		width++
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
+			var start time.Duration
+			if c.reg != nil {
+				start = c.reg.Now()
+			}
+			sp := c.spans.Start("cluster.node", "cluster", int64(n), batch)
 			errs[n] = fn(n, p.keys[n], p.pos[n])
+			sp.EndArg("keys", int64(len(p.keys[n])))
+			if c.reg != nil {
+				durs[n] = c.reg.Now() - start
+			}
 		}(n)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	if c.reg != nil && width > 0 {
+		c.fanWidth.ObserveValue(int64(width))
+		min, max := time.Duration(1<<62), time.Duration(0)
+		for n, d := range durs {
+			if len(p.keys[n]) == 0 {
+				continue
+			}
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		c.straggler.Observe(max - min)
+	}
+	for n, err := range errs {
 		if err != nil {
-			return err
+			return c.nodeErr(n, err)
 		}
 	}
 	return nil
@@ -95,20 +174,30 @@ func (c *Client) Pull(batch int64, keys []uint64, dst []float32) error {
 	if err := psengine.CheckBuf(keys, dst, c.dim); err != nil {
 		return err
 	}
+	var start time.Duration
+	if c.reg != nil {
+		start = c.reg.Now()
+	}
+	sp := c.spans.Start("cluster.pull", "cluster", -1, batch)
 	p := c.plan(keys)
-	return c.fanOut(p, func(n int, nodeKeys []uint64, pos []int) error {
+	err := c.fanOut(batch, p, func(n int, nodeKeys []uint64, pos []int) error {
 		vals, err := c.nodes[n].Pull(batch, nodeKeys)
 		if err != nil {
 			return err
 		}
 		if len(vals) != len(nodeKeys)*c.dim {
-			return fmt.Errorf("cluster: node %d returned %d floats for %d keys", n, len(vals), len(nodeKeys))
+			return fmt.Errorf("returned %d floats for %d keys", len(vals), len(nodeKeys))
 		}
 		for i, orig := range pos {
 			copy(dst[orig*c.dim:(orig+1)*c.dim], vals[i*c.dim:(i+1)*c.dim])
 		}
 		return nil
 	})
+	sp.EndArg("keys", int64(len(keys)))
+	if c.reg != nil && err == nil {
+		c.pullNS.Observe(c.reg.Now() - start)
+	}
+	return err
 }
 
 // Push routes gradients to the owning nodes.
@@ -116,17 +205,28 @@ func (c *Client) Push(batch int64, keys []uint64, grads []float32) error {
 	if err := psengine.CheckBuf(keys, grads, c.dim); err != nil {
 		return err
 	}
+	var start time.Duration
+	if c.reg != nil {
+		start = c.reg.Now()
+	}
+	sp := c.spans.Start("cluster.push", "cluster", -1, batch)
 	p := c.plan(keys)
-	return c.fanOut(p, func(n int, nodeKeys []uint64, pos []int) error {
+	err := c.fanOut(batch, p, func(n int, nodeKeys []uint64, pos []int) error {
 		nodeGrads := make([]float32, len(nodeKeys)*c.dim)
 		for i, orig := range pos {
 			copy(nodeGrads[i*c.dim:(i+1)*c.dim], grads[orig*c.dim:(orig+1)*c.dim])
 		}
 		return c.nodes[n].Push(batch, nodeKeys, nodeGrads)
 	})
+	sp.EndArg("keys", int64(len(keys)))
+	if c.reg != nil && err == nil {
+		c.pushNS.Observe(c.reg.Now() - start)
+	}
+	return err
 }
 
-// broadcast runs fn on every node concurrently and returns the first error.
+// broadcast runs fn on every node concurrently and returns the first error,
+// attributed to its node.
 func (c *Client) broadcast(fn func(*rpc.Client) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.nodes))
@@ -138,9 +238,9 @@ func (c *Client) broadcast(fn func(*rpc.Client) error) error {
 		}(i, n)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return err
+			return c.nodeErr(i, err)
 		}
 	}
 	return nil
@@ -165,10 +265,10 @@ func (c *Client) RequestCheckpoint(batch int64) error {
 // minimum over nodes (a checkpoint only counts when every shard has it).
 func (c *Client) CompletedCheckpoint() (int64, error) {
 	min := int64(1<<62 - 1)
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
 		v, err := n.CompletedCheckpoint()
 		if err != nil {
-			return -1, err
+			return -1, c.nodeErr(i, err)
 		}
 		if v < min {
 			min = v
@@ -180,10 +280,10 @@ func (c *Client) CompletedCheckpoint() (int64, error) {
 // Stats sums the counters across nodes.
 func (c *Client) Stats() (psengine.Stats, error) {
 	var total psengine.Stats
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
 		st, err := n.Stats()
 		if err != nil {
-			return total, err
+			return total, c.nodeErr(i, err)
 		}
 		total.Entries += st.Entries
 		total.CachedEntries += st.CachedEntries

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"openembedding/internal/obs"
+	"openembedding/internal/ps"
+	"openembedding/internal/rpc"
+)
+
+// startClusterOpts is startCluster with explicit dial options, returning the
+// nodes so a test can kill one mid-batch.
+func startClusterOpts(t *testing.T, engine string, nodes int, opts Options) (*Client, []*ps.Node) {
+	t.Helper()
+	var addrs []string
+	var ns []*ps.Node
+	for i := 0; i < nodes; i++ {
+		n, err := ps.StartNode("127.0.0.1:0", ps.NodeConfig{
+			Engine:        engine,
+			Store:         storeConfig(),
+			CheckpointDir: filepath.Join(t.TempDir(), "ckpt"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		addrs = append(addrs, n.Addr())
+		ns = append(ns, n)
+	}
+	c, err := DialOpts(4, addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, ns
+}
+
+// keysForAllNodes returns count keys spread so every node owns at least one.
+func keysForAllNodes(t *testing.T, nodes, count int) []uint64 {
+	t.Helper()
+	owned := make([]bool, nodes)
+	var keys []uint64
+	for k := uint64(0); len(keys) < count; k++ {
+		n := Partition(k, nodes)
+		if !owned[n] || len(keys) >= nodes {
+			owned[n] = true
+			keys = append(keys, k)
+		}
+	}
+	for n, ok := range owned {
+		if !ok {
+			t.Fatalf("no key found for node %d", n)
+		}
+	}
+	return keys
+}
+
+// TestFanOutNodeFailure kills one server mid-batch and checks that the next
+// Pull and Push fail promptly with an error naming the dead node, instead of
+// hanging the whole fan-out.
+func TestFanOutNodeFailure(t *testing.T) {
+	cl, nodes := startClusterOpts(t, "dram-ps", 3, Options{
+		RPC: rpc.Options{ReadTimeout: 2 * time.Second, WriteTimeout: 2 * time.Second},
+	})
+	keys := keysForAllNodes(t, 3, 9)
+	dst := make([]float32, len(keys)*4)
+	grads := make([]float32, len(keys)*4)
+
+	// Batch 0 succeeds with all nodes alive.
+	if err := cl.Pull(0, keys, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EndPullPhase(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Push(0, keys, grads); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EndBatch(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill node 1's server between batches.
+	dead := 1
+	deadAddr := nodes[dead].Addr()
+	if err := nodes[dead].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	err := cl.Pull(1, keys, dst)
+	if err == nil {
+		t.Fatal("pull succeeded with a dead node")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("pull took %v to notice the dead node", elapsed)
+	}
+	want := fmt.Sprintf("node %d (%s)", dead, deadAddr)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("pull error %q does not name %q", err, want)
+	}
+
+	// Push against the poisoned connection also fails fast, attributed.
+	start = time.Now()
+	err = cl.Push(1, keys, grads)
+	if err == nil {
+		t.Fatal("push succeeded with a dead node")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("push took %v to notice the dead node", elapsed)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("push error %q does not name %q", err, want)
+	}
+}
+
+// TestFanOutHungNodeTimesOut replaces one node with a listener that accepts
+// and never responds: the fan-out must surface the typed rpc timeout after
+// the configured read deadline, attributed to the silent node, and keep
+// errors.Is(err, rpc.ErrTimeout) working through the wrapper.
+func TestFanOutHungNodeTimesOut(t *testing.T) {
+	real, err := ps.StartNode("127.0.0.1:0", ps.NodeConfig{
+		Engine:        "dram-ps",
+		Store:         storeConfig(),
+		CheckpointDir: filepath.Join(t.TempDir(), "ckpt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { real.Close() })
+
+	hung, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hung.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			conn, err := hung.Accept()
+			if err != nil {
+				return
+			}
+			go func() { <-done; conn.Close() }()
+		}
+	}()
+
+	cl, err := DialOpts(4, []string{real.Addr(), hung.Addr().String()}, Options{
+		RPC: rpc.Options{ReadTimeout: 150 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	keys := keysForAllNodes(t, 2, 4)
+	dst := make([]float32, len(keys)*4)
+	start := time.Now()
+	err = cl.Pull(0, keys, dst)
+	if err == nil {
+		t.Fatal("pull succeeded with a silent node")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pull took %v, read deadline was 150ms", elapsed)
+	}
+	if !errors.Is(err, rpc.ErrTimeout) {
+		t.Fatalf("error %v lost ErrTimeout through the cluster wrapper", err)
+	}
+	var te *rpc.TimeoutError
+	if !errors.As(err, &te) || te.Op != "pull" {
+		t.Fatalf("error %v is not a pull *TimeoutError", err)
+	}
+	if want := fmt.Sprintf("node 1 (%s)", hung.Addr()); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q", err, want)
+	}
+}
+
+// TestClusterMetricsAndSpans checks the worker-side fan-out metrics and
+// per-batch spans populate during a normal batch.
+func TestClusterMetricsAndSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(256)
+	cl, _ := startClusterOpts(t, "dram-ps", 3, Options{Obs: reg, Spans: tr})
+	keys := keysForAllNodes(t, 3, 9)
+	dst := make([]float32, len(keys)*4)
+	grads := make([]float32, len(keys)*4)
+
+	for b := int64(0); b < 2; b++ {
+		if err := cl.Pull(b, keys, dst); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.EndPullPhase(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Push(b, keys, grads); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.EndBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := reg.Snapshot()
+	if got := s.Histograms["cluster_pull_ns"].Count; got != 2 {
+		t.Errorf("cluster_pull_ns count = %d, want 2", got)
+	}
+	if got := s.Histograms["cluster_push_ns"].Count; got != 2 {
+		t.Errorf("cluster_push_ns count = %d, want 2", got)
+	}
+	// Width: every pull and push touched all 3 nodes.
+	fw := s.Histograms["cluster_fanout_width"]
+	if fw.Count != 4 || fw.Max != 3 {
+		t.Errorf("cluster_fanout_width = %+v, want count 4 max 3", fw)
+	}
+	if got := s.Histograms["cluster_straggler_ns"].Count; got != 4 {
+		t.Errorf("cluster_straggler_ns count = %d, want 4", got)
+	}
+
+	var pulls, nodeSpans int
+	for _, sp := range tr.Spans() {
+		switch sp.Name {
+		case "cluster.pull":
+			pulls++
+		case "cluster.node":
+			nodeSpans++
+		}
+	}
+	if pulls != 2 {
+		t.Errorf("cluster.pull spans = %d, want 2", pulls)
+	}
+	if nodeSpans != 12 { // 3 nodes x (pull+push) x 2 batches
+		t.Errorf("cluster.node spans = %d, want 12", nodeSpans)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"openembedding/internal/device"
+	"openembedding/internal/obs"
 	"openembedding/internal/optim"
 	"openembedding/internal/pmem"
 	"openembedding/internal/psengine"
@@ -19,17 +20,24 @@ const (
 )
 
 // newBenchEngine builds an engine whose DRAM cache covers the whole
-// benchmark key space (the steady state under measurement is lock and
-// index contention, not eviction churn) and pre-populates every key.
+// benchmark key space with headroom — a cache sized exactly to the key
+// space evicts a tail during warm-up, which the benchmarks would then keep
+// re-reading from PMem (the steady state under measurement is lock and
+// index contention, not miss service) — and pre-populates every key.
 func newBenchEngine(b *testing.B, shards int) *Engine {
+	return newBenchEngineObs(b, shards, nil)
+}
+
+func newBenchEngineObs(b *testing.B, shards int, reg *obs.Registry) *Engine {
 	b.Helper()
 	cfg := psengine.Config{
 		Dim:          benchDim,
 		Optimizer:    optim.NewSGD(0.1),
 		Capacity:     1 << 16,
-		CacheEntries: benchKeySpace,
+		CacheEntries: 2 * benchKeySpace,
 		MaintThreads: 4,
 		Shards:       shards,
+		Obs:          reg,
 		// Meter left nil: virtual-time charges are no-ops, so the numbers
 		// measure the real synchronization cost.
 	}.WithDefaults()
@@ -117,6 +125,46 @@ func BenchmarkEnginePullParallel(b *testing.B) {
 			drainAccessQueues(e)
 		})
 	}
+}
+
+// BenchmarkEnginePullObs measures the observability overhead on the hottest
+// path: identical single-threaded pull workloads with obs disabled (nil
+// registry: nil-check-only instrumentation) and enabled (sampled latency
+// recording plus atomic counters). The acceptance budget for "on" vs "off"
+// is <5%; the obs-enabled variant relies on the 1-in-8 pull sampling to
+// amortize the ~40ns clock reads.
+func BenchmarkEnginePullObs(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			var reg *obs.Registry
+			if mode == "on" {
+				reg = obs.NewRegistry()
+			}
+			benchPullSingle(b, reg)
+		})
+	}
+}
+
+// benchPullSingle is the single-threaded DRAM-hit pull workload shared by
+// BenchmarkEnginePullObs and the BENCH-report harness (benchreport_test.go).
+func benchPullSingle(b *testing.B, reg *obs.Registry) {
+	e := newBenchEngineObs(b, 8, reg)
+	batches := benchBatches(256)
+	dst := make([]float32, benchBatchLen*benchDim)
+	b.ReportAllocs()
+	b.SetBytes(benchBatchLen * benchDim * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys := batches[i%len(batches)]
+		if err := e.Pull(1, keys, dst[:len(keys)*benchDim]); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%256 == 0 {
+			drainAccessQueues(e)
+		}
+	}
+	b.StopTimer()
+	drainAccessQueues(e)
 }
 
 // BenchmarkEnginePushParallel measures concurrent gradient pushes into the

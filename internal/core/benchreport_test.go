@@ -1,0 +1,88 @@
+package core
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"openembedding/internal/obs"
+)
+
+// TestBenchReport runs the obs-overhead benchmark pair (the same workload as
+// BenchmarkEnginePullObs) through testing.Benchmark and writes the
+// machine-readable BENCH artifact with the computed on/off overhead.
+//
+// It is gated on OE_BENCH_REPORT (the output path) so plain `go test ./...`
+// stays fast; CI sets it to BENCH_pr3.json and additionally enforces the
+// overhead regression gate via OE_BENCH_MAX_OVERHEAD_PCT. The acceptance
+// budget on a quiet machine is <5%; CI sets a looser threshold because its
+// single-core runners are noisy.
+func TestBenchReport(t *testing.T) {
+	path := os.Getenv("OE_BENCH_REPORT")
+	if path == "" {
+		t.Skip("OE_BENCH_REPORT not set")
+	}
+
+	// Best-of-N per mode: a single testing.Benchmark run swings by >10% on
+	// a busy single-core machine, which would drown the ~1% signal; the
+	// minimum is the run with the least scheduler interference.
+	const rounds = 3
+	best := func(f func(b *testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(f)
+		for i := 1; i < rounds; i++ {
+			if next := testing.Benchmark(f); next.NsPerOp() < r.NsPerOp() {
+				r = next
+			}
+		}
+		return r
+	}
+	off := best(func(b *testing.B) { benchPullSingle(b, nil) })
+	reg := obs.NewRegistry()
+	on := best(func(b *testing.B) { benchPullSingle(b, reg) })
+	if off.NsPerOp() <= 0 || on.NsPerOp() <= 0 {
+		t.Fatalf("degenerate benchmark results: off=%v on=%v", off, on)
+	}
+	overhead := 100 * (float64(on.NsPerOp()) - float64(off.NsPerOp())) / float64(off.NsPerOp())
+	t.Logf("pull obs-off %d ns/op, obs-on %d ns/op, overhead %+.2f%%",
+		off.NsPerOp(), on.NsPerOp(), overhead)
+
+	rep := obs.NewBenchReport("pr3")
+	rep.Add(obs.BenchResult{
+		Name:        "EnginePull/obs=off",
+		NsPerOp:     float64(off.NsPerOp()),
+		AllocsPerOp: float64(off.AllocsPerOp()),
+		BytesPerOp:  float64(off.AllocedBytesPerOp()),
+		N:           off.N,
+	})
+	onRes := obs.BenchResult{
+		Name:        "EnginePull/obs=on",
+		NsPerOp:     float64(on.NsPerOp()),
+		AllocsPerOp: float64(on.AllocsPerOp()),
+		BytesPerOp:  float64(on.AllocedBytesPerOp()),
+		N:           on.N,
+		Metrics:     map[string]float64{"overhead_pct": overhead},
+	}
+	// Fold the sampled latency percentiles the obs-on run recorded into the
+	// artifact: the report then documents both the cost of observing and
+	// what was observed.
+	if h, ok := reg.Snapshot().Histograms["engine_pull_ns"]; ok && h.Count > 0 {
+		onRes.Metrics["engine_pull_ns_p50"] = float64(h.P50)
+		onRes.Metrics["engine_pull_ns_p99"] = float64(h.P99)
+		onRes.Metrics["engine_pull_samples"] = float64(h.Count)
+	}
+	rep.Add(onRes)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	t.Logf("wrote %s", path)
+
+	if maxStr := os.Getenv("OE_BENCH_MAX_OVERHEAD_PCT"); maxStr != "" {
+		max, err := strconv.ParseFloat(maxStr, 64)
+		if err != nil {
+			t.Fatalf("bad OE_BENCH_MAX_OVERHEAD_PCT %q: %v", maxStr, err)
+		}
+		if overhead > max {
+			t.Errorf("obs-on pull overhead %.2f%% exceeds gate %.2f%%", overhead, max)
+		}
+	}
+}

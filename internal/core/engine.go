@@ -16,6 +16,7 @@ import (
 
 	"openembedding/internal/cache"
 	"openembedding/internal/device"
+	"openembedding/internal/obs"
 	"openembedding/internal/pmem"
 	"openembedding/internal/psengine"
 	"openembedding/internal/simclock"
@@ -85,6 +86,14 @@ type Engine struct {
 	ckptsDone               atomic.Int64
 	completedCkpt           atomic.Int64
 
+	// obs is the engine's metric set (all no-ops when cfg.Obs is nil) and
+	// spans its span tracer. Recording is atomics-only, so it is safe under
+	// any engine lock; timestamps come from obs.Now(), never the time
+	// package (this package is deterministic, and the readings are
+	// observational only — the simulated experiments leave obs nil).
+	obs   *psengine.EngineObs
+	spans *obs.Tracer
+
 	// payload scratch buffers
 	payloadPool sync.Pool
 	// scratchPool recycles the per-request partition/access-record buffers
@@ -105,6 +114,14 @@ type opScratch struct {
 	ids     []int32       // shards with a non-empty sublist
 	recs    [][]accessRec // per-shard access records
 	missing [][]int32     // per-shard first-touch positions
+
+	// obsTick drives the 1-in-8 latency sampling of Pull. It lives here
+	// because the scratch is owned exclusively for the request's duration:
+	// no shared counter, no atomics, no races. obsSample mirrors the tick's
+	// verdict for this request so the per-key miss path (readWeights) can
+	// ride the same sampling decision without re-deriving it.
+	obsTick   uint8
+	obsSample bool
 }
 
 // New creates a PMem-OE engine storing records in the given arena. The
@@ -120,6 +137,8 @@ func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
 		arena:   arena,
 		dram:    device.NewTimedDRAM(cfg.Meter),
 		maintCh: make(chan maintTask, 64),
+		obs:     psengine.NewEngineObs(cfg.Obs),
+		spans:   cfg.Spans,
 	}
 	// shardIndex multiplies by the golden ratio and keeps the top log2(n)
 	// bits. For n == 1 the shift is 64, which Go defines as yielding 0.
@@ -138,6 +157,7 @@ func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
 			index:    make(map[uint64]*entry),
 			lru:      cache.NewList[*entry](),
 			capacity: capi,
+			evictObs: e.obs.ShardEvictions(i),
 		}
 		e.shards[i].mu.initRank("core.shard.mu", 10)
 	}
@@ -281,6 +301,18 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	e.cfg.Meter.Charge(simclock.LockSync, psengine.LockCost)
 
 	sc := e.getScratch()
+	// Latency recording is sampled 1-in-8: two clock reads cost ~80ns on a
+	// server core, which would exceed the obs overhead budget on this
+	// sub-microsecond path (DESIGN.md §9). The tick lives in the pooled
+	// scratch, so sampling needs no shared counter and stays race-free.
+	var obsStart time.Duration
+	sc.obsSample = false
+	if e.obs.Enabled() {
+		if sc.obsTick++; sc.obsTick&7 == 0 {
+			obsStart = e.obs.Now()
+			sc.obsSample = true
+		}
+	}
 	var err error
 	if len(e.shards) == 1 {
 		err = e.shards[0].pull(batch, keys, nil, dst, sc, 0)
@@ -289,6 +321,9 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 		err = e.fanOut(sc.ids, func(sid int32) error {
 			return e.shards[sid].pull(batch, keys, sc.byShard[sid], dst, sc, int(sid))
 		})
+	}
+	if sc.obsSample {
+		e.obs.Pull.Observe(e.obs.Now() - obsStart)
 	}
 	e.putScratch(sc)
 	if err != nil {
@@ -304,7 +339,10 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 // readWeights copies the entry's weights into dst from whichever tier holds
 // them, charging the corresponding device cost, and reports whether the
 // read came from PMem. Caller holds the entry's shard lock (shared).
-func (e *Engine) readWeights(ent *entry, dst []float32) (fromPMem bool, err error) {
+// sampled says whether this request won the 1-in-8 obs sample; miss-service
+// latency rides the same decision so a miss-heavy workload pays the clock
+// reads at the same amortized rate as a hit-heavy one.
+func (e *Engine) readWeights(ent *entry, dst []float32, sampled bool) (fromPMem bool, err error) {
 	dim := e.cfg.Dim
 	if ent.inDRAM() {
 		copy(dst, ent.weights(dim))
@@ -314,12 +352,19 @@ func (e *Engine) readWeights(ent *entry, dst []float32) (fromPMem bool, err erro
 	}
 	// Served straight from PMem; promotion to DRAM is deferred to the
 	// maintenance phase so the request path stays read-only.
+	var missStart time.Duration
+	if sampled {
+		missStart = e.obs.Now()
+	}
 	bufp := e.payloadPool.Get().(*[]byte)
 	err = e.arena.ReadPayload(ent.slot, *bufp)
 	if err == nil {
 		pmem.DecodeFloats(dst, *bufp)
 		e.pmemReads.Add(1)
 		e.misses.Add(1)
+		if sampled {
+			e.obs.MissService.Observe(e.obs.Now() - missStart)
+		}
 	}
 	e.payloadPool.Put(bufp)
 	return true, err
@@ -337,19 +382,31 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 	if err := psengine.CheckBuf(keys, grads, e.cfg.Dim); err != nil {
 		return err
 	}
+	// Push latency includes the maintenance wait below: that is the latency
+	// a worker actually sees, and the optimizer math dominates the clock
+	// cost, so every call is recorded (no sampling).
+	var obsStart time.Duration
+	if e.obs.Enabled() {
+		obsStart = e.obs.Now()
+	}
 	// Ensure promotion finished so updates land in DRAM, never in PMem.
 	e.WaitMaintenance()
 
 	e.cfg.Meter.Charge(simclock.LockSync, psengine.LockCost)
+	var err error
 	if len(e.shards) == 1 {
-		return e.shards[0].push(batch, keys, nil, grads)
+		err = e.shards[0].push(batch, keys, nil, grads)
+	} else {
+		sc := e.getScratch()
+		e.partition(keys, sc)
+		err = e.fanOut(sc.ids, func(sid int32) error {
+			return e.shards[sid].push(batch, keys, sc.byShard[sid], grads)
+		})
+		e.putScratch(sc)
 	}
-	sc := e.getScratch()
-	e.partition(keys, sc)
-	err := e.fanOut(sc.ids, func(sid int32) error {
-		return e.shards[sid].push(batch, keys, sc.byShard[sid], grads)
-	})
-	e.putScratch(sc)
+	if obsStart != 0 {
+		e.obs.Push.Observe(e.obs.Now() - obsStart)
+	}
 	return err
 }
 

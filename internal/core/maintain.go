@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"openembedding/internal/device"
+	"openembedding/internal/obs"
 	"openembedding/internal/pmem"
 	"openembedding/internal/psengine"
 	"openembedding/internal/simclock"
@@ -51,6 +52,7 @@ func (e *Engine) EndPullPhase(batch int64) {
 			continue
 		}
 		e.pending.Add(1)
+		e.obs.MaintQueue.Add(1)
 		e.maintCh <- maintTask{batch: batch, sh: s, entries: entries}
 	}
 }
@@ -86,7 +88,21 @@ func (b *maintErrBox) take() error {
 func (e *Engine) maintainLoop() {
 	defer e.maintWG.Done()
 	for task := range e.maintCh {
-		if err := task.sh.runMaintenance(task.batch, task.entries); err != nil {
+		// Drain timing and the span happen outside every lock; the gauge
+		// reports tasks queued or running, so it drops only once the drain
+		// is done.
+		var start time.Duration
+		if e.obs.Enabled() {
+			start = e.obs.Now()
+		}
+		sp := e.spans.Start("maint.drain", "engine", int64(task.sh.id), task.batch)
+		err := task.sh.runMaintenance(task.batch, task.entries)
+		sp.EndArg("entries", int64(len(task.entries)))
+		if e.obs.Enabled() {
+			e.obs.MaintDrain.Observe(e.obs.Now() - start)
+		}
+		e.obs.MaintQueue.Add(-1)
+		if err != nil {
 			e.maintErrs.set(err)
 		} else if err := e.finalizeCheckpoints(); err != nil {
 			e.maintErrs.set(err)
@@ -214,6 +230,7 @@ func (s *shard) evictLocked(victim *entry) error {
 	s.lru.Remove(&victim.node)
 	victim.buf = nil
 	s.eng.evictions.Add(1)
+	s.evictObs.Add(1)
 	s.eng.cfg.Meter.Charge(simclock.Compute, lruOpCost)
 	return nil
 }
@@ -255,6 +272,7 @@ func (s *shard) flushLocked(ent *entry) error {
 	ent.persistedVersion = ent.dataVersion
 	ent.dirty = false
 	e.pmemWrites.Add(1)
+	e.obs.FlushBytes.Add(int64(e.arena.PayloadBytes()))
 	// When maintenance is inline, the lock holder additionally waits out
 	// the CLWB+SFENCE drain to media (~1us on Optane for a record-sized
 	// range) — pipelined maintenance pays it too, but off the critical
@@ -297,7 +315,24 @@ func (e *Engine) EndBatch(batch int64) error {
 	}
 	err := firstErr
 	if err == nil {
+		// Checkpoint stall: the finalizer time a batch boundary waits out.
+		// Both the histogram and the span fire only when checkpoint work was
+		// actually in flight, so neither is diluted by no-op batches.
+		busy := e.ckptRemaining.Load() > 0 || e.PendingCheckpoints() > 0
+		stalled := e.obs.Enabled() && busy
+		var start time.Duration
+		if stalled {
+			start = e.obs.Now()
+		}
+		var sp obs.Span
+		if busy {
+			sp = e.spans.Start("ckpt.finalize", "engine", 0, batch)
+		}
 		err = e.finalizeCheckpoints()
+		sp.End()
+		if stalled {
+			e.obs.CkptStall.Observe(e.obs.Now() - start)
+		}
 	}
 	e.lastEnded.Store(batch)
 	e.reclaim()

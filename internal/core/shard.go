@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"openembedding/internal/cache"
+	"openembedding/internal/obs"
 	"openembedding/internal/psengine"
 	"openembedding/internal/simclock"
 )
@@ -54,6 +55,10 @@ type shard struct {
 
 	// capacity is this shard's slice of the DRAM cache budget.
 	capacity int
+
+	// evictObs counts this shard's LRU evictions for the obs registry
+	// (nil, and therefore free, when obs is disabled).
+	evictObs *obs.Counter
 }
 
 // pull serves this shard's portion of a Pull: idxs lists the positions in
@@ -88,7 +93,7 @@ func (s *shard) pull(batch int64, keys []uint64, idxs []int32, dst []float32, sc
 			recs = append(recs, accessRec{}) // placeholder; createMissing fills it
 			continue
 		}
-		fromPMem, err := e.readWeights(ent, dst[i*dim:(i+1)*dim])
+		fromPMem, err := e.readWeights(ent, dst[i*dim:(i+1)*dim], sc.obsSample)
 		if err != nil {
 			s.mu.RUnlock()
 			return err

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"openembedding/internal/checkpoint"
 	"openembedding/internal/device"
@@ -32,6 +33,7 @@ type entry struct {
 // Engine is a pure-DRAM parameter-server storage engine.
 type Engine struct {
 	cfg    psengine.Config
+	obs    *psengine.EngineObs
 	dram   *device.Timed
 	shards [numShards]shard
 
@@ -82,6 +84,7 @@ func New(cfg psengine.Config, opts Options) (*Engine, error) {
 	cfg = cfg.WithDefaults()
 	e := &Engine{
 		cfg:     cfg,
+		obs:     psengine.NewEngineObs(cfg.Obs),
 		dram:    device.NewTimedDRAM(cfg.Meter),
 		ckptDev: opts.CheckpointDevice,
 		async:   opts.AsyncCheckpoint,
@@ -100,6 +103,7 @@ func New(cfg psengine.Config, opts Options) (*Engine, error) {
 			return nil, err
 		}
 		w.SetQuantize(opts.QuantizeCheckpoint)
+		w.SetObs(cfg.Obs)
 		e.writer = w
 	}
 	return e, nil
@@ -123,6 +127,10 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	if err := psengine.CheckBuf(keys, dst, e.cfg.Dim); err != nil {
 		return err
 	}
+	var obsStart time.Duration
+	if e.obs.Enabled() {
+		obsStart = e.obs.Now()
+	}
 	dim := e.cfg.Dim
 	meter := e.cfg.Meter
 	meter.Charge(simclock.LockSync, psengine.LockCost)
@@ -135,6 +143,9 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 		copy(dst[i*dim:(i+1)*dim], ent.buf[:dim])
 		e.dram.ChargeRead(4 * dim)
 		e.hits.Add(1)
+	}
+	if e.obs.Enabled() {
+		e.obs.Pull.Observe(e.obs.Now() - obsStart)
 	}
 	return nil
 }
@@ -178,6 +189,10 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 	if err := psengine.CheckBuf(keys, grads, e.cfg.Dim); err != nil {
 		return err
 	}
+	var obsStart time.Duration
+	if e.obs.Enabled() {
+		obsStart = e.obs.Now()
+	}
 	dim := e.cfg.Dim
 	meter := e.cfg.Meter
 	meter.Charge(simclock.LockSync, psengine.LockCost)
@@ -195,6 +210,9 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 		ent.dirty = true
 		ent.mu.Unlock()
 		e.dram.ChargeWrite(4 * dim)
+	}
+	if e.obs.Enabled() {
+		e.obs.Push.Observe(e.obs.Now() - obsStart)
 	}
 	return nil
 }
@@ -223,8 +241,17 @@ func (e *Engine) RequestCheckpoint(batch int64) error {
 		return fmt.Errorf("dramps: checkpoint batch %d is not the last sealed batch %d", batch, e.lastEnded.Load())
 	}
 	if !e.async {
+		// The synchronous dump is the baseline's training pause (Figs.
+		// 12/13): the whole dump duration is checkpoint stall.
+		var obsStart time.Duration
+		if e.obs.Enabled() {
+			obsStart = e.obs.Now()
+		}
 		if err := e.collectAndWrite(batch); err != nil {
 			return err
+		}
+		if e.obs.Enabled() {
+			e.obs.CkptStall.Observe(e.obs.Now() - obsStart)
 		}
 		e.completedCkpt.Store(batch)
 		e.ckptsDone.Add(1)

@@ -24,6 +24,7 @@ import (
 	"openembedding/internal/cache"
 	"openembedding/internal/checkpoint"
 	"openembedding/internal/device"
+	"openembedding/internal/obs"
 	"openembedding/internal/pmem"
 	"openembedding/internal/psengine"
 	"openembedding/internal/simclock"
@@ -48,9 +49,11 @@ type entry struct {
 
 // Engine is the Ori-Cache storage engine.
 type Engine struct {
-	cfg   psengine.Config
-	arena *pmem.Arena
-	dram  *device.Timed
+	cfg      psengine.Config
+	obs      *psengine.EngineObs
+	evictObs *obs.Counter // single global LRU, so one shard-0 counter
+	arena    *pmem.Arena
+	dram     *device.Timed
 
 	shards [numShards]shard
 
@@ -101,6 +104,7 @@ func New(cfg psengine.Config, arena *pmem.Arena, opts Options) (*Engine, error) 
 	}
 	e := &Engine{
 		cfg:        cfg,
+		obs:        psengine.NewEngineObs(cfg.Obs),
 		arena:      arena,
 		dram:       device.NewTimedDRAM(cfg.Meter),
 		lru:        cache.NewList[*entry](),
@@ -115,12 +119,14 @@ func New(cfg psengine.Config, arena *pmem.Arena, opts Options) (*Engine, error) 
 	for i := range e.shards {
 		e.shards[i].entries = make(map[uint64]*entry)
 	}
+	e.evictObs = e.obs.ShardEvictions(0)
 	if opts.CheckpointDir != "" {
 		w, err := checkpoint.NewWriter(opts.CheckpointDir, e.ckptDev)
 		if err != nil {
 			return nil, err
 		}
 		w.SetQuantize(opts.QuantizeCheckpoint)
+		w.SetObs(cfg.Obs)
 		e.writer = w
 	}
 	return e, nil
@@ -149,6 +155,10 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	if err := psengine.CheckBuf(keys, dst, e.cfg.Dim); err != nil {
 		return err
 	}
+	var obsStart time.Duration
+	if e.obs.Enabled() {
+		obsStart = e.obs.Now()
+	}
 	dim := e.cfg.Dim
 	for i, k := range keys {
 		ent, err := e.access(k, true)
@@ -159,6 +169,9 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 		copy(dst[i*dim:(i+1)*dim], ent.buf[:dim])
 		ent.mu.Unlock()
 		e.dram.ChargeRead(4 * dim)
+	}
+	if e.obs.Enabled() {
+		e.obs.Pull.Observe(e.obs.Now() - obsStart)
 	}
 	return nil
 }
@@ -187,6 +200,10 @@ func (e *Engine) access(k uint64, isRead bool) (*entry, error) {
 	cached := ent.buf != nil
 	if !cached {
 		// Inline promotion: PMem read on the critical path.
+		var missStart time.Duration
+		if e.obs.Enabled() {
+			missStart = e.obs.Now()
+		}
 		buf := make([]byte, e.arena.PayloadBytes())
 		if err := e.arena.ReadPayload(ent.slot, buf); err != nil {
 			ent.mu.Unlock()
@@ -197,6 +214,9 @@ func (e *Engine) access(k uint64, isRead bool) (*entry, error) {
 		e.dram.ChargeWrite(4 * e.cfg.EntryFloats())
 		e.pmemReads.Add(1)
 		e.misses.Add(1)
+		if e.obs.Enabled() {
+			e.obs.MissService.Observe(e.obs.Now() - missStart)
+		}
 	} else if isRead {
 		e.hits.Add(1)
 	}
@@ -288,6 +308,7 @@ func (e *Engine) writeback(v *entry) error {
 	}
 	v.buf = nil
 	e.evictions.Add(1)
+	e.evictObs.Add(1)
 	return nil
 }
 
@@ -306,6 +327,10 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 	}
 	if err := psengine.CheckBuf(keys, grads, e.cfg.Dim); err != nil {
 		return err
+	}
+	var obsStart time.Duration
+	if e.obs.Enabled() {
+		obsStart = e.obs.Now()
 	}
 	dim := e.cfg.Dim
 	for i, k := range keys {
@@ -327,6 +352,9 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 		ent.mu.Unlock()
 		e.dram.ChargeWrite(4 * dim)
 		e.markDirty(k)
+	}
+	if e.obs.Enabled() {
+		e.obs.Push.Observe(e.obs.Now() - obsStart)
 	}
 	return nil
 }
@@ -355,6 +383,12 @@ func (e *Engine) RequestCheckpoint(batch int64) error {
 	}
 	if batch != e.lastEnded.Load() {
 		return fmt.Errorf("oricache: checkpoint batch %d is not the last sealed batch %d", batch, e.lastEnded.Load())
+	}
+	// Like DRAM-PS, the incremental dump runs synchronously: its whole
+	// duration is checkpoint stall visible to training.
+	var obsStart time.Duration
+	if e.obs.Enabled() {
+		obsStart = e.obs.Now()
 	}
 	e.dirtyMu.Lock()
 	dirty := e.dirtySince
@@ -388,6 +422,9 @@ func (e *Engine) RequestCheckpoint(batch int64) error {
 	}
 	if err := e.writer.WriteDelta(batch, delta); err != nil {
 		return err
+	}
+	if e.obs.Enabled() {
+		e.obs.CkptStall.Observe(e.obs.Now() - obsStart)
 	}
 	e.completedCkpt.Store(batch)
 	e.ckptsDone.Add(1)

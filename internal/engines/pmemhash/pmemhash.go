@@ -31,6 +31,7 @@ type shard struct {
 // Engine is the PMem-resident hash-table storage engine.
 type Engine struct {
 	cfg   psengine.Config
+	obs   *psengine.EngineObs
 	arena *pmem.Arena
 
 	shards  [numShards]shard
@@ -50,7 +51,7 @@ func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
 	if want := pmem.FloatBytes(cfg.EntryFloats()); arena.PayloadBytes() != want {
 		return nil, fmt.Errorf("pmemhash: arena payload %dB does not match entry size %dB", arena.PayloadBytes(), want)
 	}
-	e := &Engine{cfg: cfg, arena: arena}
+	e := &Engine{cfg: cfg, obs: psengine.NewEngineObs(cfg.Obs), arena: arena}
 	e.completedCkpt.Store(-1)
 	e.lastEnded.Store(-1)
 	for i := range e.shards {
@@ -120,6 +121,10 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	if err := psengine.CheckBuf(keys, dst, e.cfg.Dim); err != nil {
 		return err
 	}
+	var obsStart time.Duration
+	if e.obs.Enabled() {
+		obsStart = e.obs.Now()
+	}
 	dim := e.cfg.Dim
 	buf := make([]byte, e.arena.PayloadBytes())
 	for i, k := range keys {
@@ -132,6 +137,13 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 		}
 		pmem.DecodeFloats(dst[i*dim:(i+1)*dim], buf)
 		e.pmemReads.Add(1)
+	}
+	if e.obs.Enabled() {
+		d := e.obs.Now() - obsStart
+		e.obs.Pull.Observe(d)
+		// Every PMem-Hash read is a miss by construction — the same reading
+		// Stats reports — so pull latency doubles as miss service time.
+		e.obs.MissService.Observe(d)
 	}
 	return nil
 }
@@ -152,6 +164,10 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 	}
 	if err := psengine.CheckBuf(keys, grads, e.cfg.Dim); err != nil {
 		return err
+	}
+	var obsStart time.Duration
+	if e.obs.Enabled() {
+		obsStart = e.obs.Now()
 	}
 	dim := e.cfg.Dim
 	raw := make([]byte, e.arena.PayloadBytes())
@@ -180,6 +196,9 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 		stripe.Unlock()
 		e.pmemReads.Add(1)
 		e.pmemWrites.Add(2)
+	}
+	if e.obs.Enabled() {
+		e.obs.Push.Observe(e.obs.Now() - obsStart)
 	}
 	return nil
 }

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchResult is one benchmark measurement in a BenchReport.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	N           int                `json:"n,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the machine-readable benchmark artifact the harness emits
+// (BENCH_<pr>.json): environment provenance plus a list of results, so CI
+// can archive per-PR performance trajectories.
+type BenchReport struct {
+	PR        string        `json:"pr"`
+	CreatedAt time.Time     `json:"created_at"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Results   []BenchResult `json:"results"`
+}
+
+// NewBenchReport returns an empty report stamped with the runtime
+// environment.
+func NewBenchReport(pr string) *BenchReport {
+	return &BenchReport{
+		PR:        pr,
+		CreatedAt: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+}
+
+// Add appends one result.
+func (r *BenchReport) Add(res BenchResult) { r.Results = append(r.Results, res) }
+
+// WriteFile writes the report as indented JSON.
+func (r *BenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchReport loads a report written by WriteFile.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

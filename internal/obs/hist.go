@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of every histogram: values 0..7 get
+// exact buckets, and each further power of two is split into 4 quarter-octave
+// sub-buckets, so the relative quantization error is bounded by ~12.5% across
+// the full non-negative int64 range (1ns .. ~9.2s when recording
+// nanoseconds, and equally fine for plain values such as fan-out widths).
+//
+// Index layout: idx = v for v < 8; otherwise with o = floor(log2 v) >= 3,
+// idx = 4*(o-1) + ((v >> (o-2)) & 3). The top octave (o = 62) ends at
+// index 247.
+const histBuckets = 248
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 8 {
+		return int(v)
+	}
+	o := bits.Len64(uint64(v)) - 1
+	return 4*(o-1) + int((uint64(v)>>(o-2))&3)
+}
+
+// bucketLow returns the smallest value mapping to bucket idx.
+func bucketLow(idx int) int64 {
+	if idx < 8 {
+		return int64(idx)
+	}
+	o := idx/4 + 1
+	sub := idx % 4
+	return int64(4+sub) << (o - 2)
+}
+
+// bucketMid returns a representative value for bucket idx (the midpoint of
+// its range), used when reporting quantiles.
+func bucketMid(idx int) int64 {
+	lo := bucketLow(idx)
+	if idx+1 >= histBuckets {
+		return lo
+	}
+	hi := bucketLow(idx + 1)
+	return lo + (hi-lo)/2
+}
+
+// Histogram is a fixed-size log-scale histogram. Observations are three
+// atomic adds plus (rarely) a CAS to track the max; no allocation, no lock.
+// All methods are safe on a nil receiver, so disabled instrumentation costs
+// a nil check.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records a duration (negative values clamp to zero).
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// ObserveValue records a raw value (negative values clamp to zero).
+func (h *Histogram) ObserveValue(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistSnapshot is a point-in-time summary of one histogram. Quantiles come
+// from the log-scale buckets, so they carry the bucket quantization error
+// (<= ~12.5% relative); Max is exact.
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot summarizes the histogram. Nil-safe (returns a zero snapshot).
+// Concurrent observations may tear between buckets and the count; each
+// quantile is computed against the bucket sum actually captured, so the
+// result is always internally consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if total == 0 {
+		return s
+	}
+	quantile := func(q float64) int64 {
+		target := int64(q * float64(total))
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		for i := range counts {
+			cum += counts[i]
+			if cum >= target {
+				v := bucketMid(i)
+				if v > s.Max && s.Max > 0 {
+					v = s.Max // never report beyond the exact max
+				}
+				return v
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P95 = quantile(0.95)
+	s.P99 = quantile(0.99)
+	return s
+}

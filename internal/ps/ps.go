@@ -5,6 +5,7 @@ package ps
 
 import (
 	"fmt"
+	"net/http"
 	"os"
 
 	"openembedding/internal/core"
@@ -12,6 +13,7 @@ import (
 	"openembedding/internal/engines/dramps"
 	"openembedding/internal/engines/oricache"
 	"openembedding/internal/engines/pmemhash"
+	"openembedding/internal/obs"
 	"openembedding/internal/pmem"
 	"openembedding/internal/psengine"
 	"openembedding/internal/rpc"
@@ -33,6 +35,13 @@ type NodeConfig struct {
 	// CheckpointDir configures the incremental checkpointer for the
 	// baseline engines.
 	CheckpointDir string
+	// Obs enables node observability: the registry is handed to the engine
+	// (engine_* metrics) and the RPC server (rpc_server_* metrics), and
+	// ObsHandler serves it over HTTP. Nil disables all of it.
+	Obs *obs.Registry
+	// Spans is the node's span ring, handed to the engine; ObsHandler dumps
+	// it as Chrome trace JSON. Nil disables tracing.
+	Spans *obs.Tracer
 }
 
 // Node is one running parameter-server node.
@@ -57,6 +66,8 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 		cfg.ArenaSlotsFactor = 3
 	}
 	store := cfg.Store.WithDefaults()
+	store.Obs = cfg.Obs
+	store.Spans = cfg.Spans
 	cfg.Store = store
 
 	n := &Node{cfg: cfg, RecoveredBatch: -1}
@@ -139,7 +150,7 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("ps: unknown engine %q", cfg.Engine)
 	}
 
-	srv, err := rpc.Serve(addr, n.engine)
+	srv, err := rpc.ServeOpts(addr, n.engine, rpc.ServerOptions{Obs: cfg.Obs})
 	if err != nil {
 		n.engine.Close()
 		return nil, err
@@ -147,6 +158,11 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 	n.srv = srv
 	return n, nil
 }
+
+// ObsHandler returns the node's observability HTTP handler (/metrics,
+// /metrics.json, /debug/obs). With no registry or tracer configured it still
+// serves well-formed empty documents.
+func (n *Node) ObsHandler() http.Handler { return obs.Handler(n.cfg.Obs, n.cfg.Spans) }
 
 // Addr returns the node's bound address.
 func (n *Node) Addr() string { return n.srv.Addr() }

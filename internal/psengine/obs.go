@@ -1,0 +1,76 @@
+package psengine
+
+import (
+	"fmt"
+	"time"
+
+	"openembedding/internal/obs"
+)
+
+// EngineObs is the canonical per-engine metric set, shared by every backend
+// so oectl and the exporters see one naming scheme regardless of engine:
+//
+//	engine_pull_ns          pull latency histogram (sampled on hot engines)
+//	engine_push_ns          push latency histogram
+//	engine_miss_service_ns  time to serve one cache miss from PMem (the
+//	                        core engine samples it with pull, 1-in-8)
+//	engine_maint_queue_depth  queued maintenance tasks (gauge)
+//	engine_maint_drain_ns   one shard maintenance drain
+//	engine_ckpt_stall_ns    checkpoint work a batch boundary waited out
+//	engine_ckpt_flush_bytes bytes persisted for checkpoints/evictions
+//	engine_evictions_shard<i> per-shard LRU evictions (via ShardEvictions)
+//
+// All handles are resolved once here; recording is atomics-only and every
+// field is nil when the registry is nil, so instrumentation points need no
+// enabled/disabled branches. One engine per registry.
+type EngineObs struct {
+	reg *obs.Registry
+
+	Pull        *obs.Histogram
+	Push        *obs.Histogram
+	MissService *obs.Histogram
+	MaintDrain  *obs.Histogram
+	CkptStall   *obs.Histogram
+	MaintQueue  *obs.Gauge
+	FlushBytes  *obs.Counter
+}
+
+// NewEngineObs resolves the canonical engine metrics from reg. It always
+// returns a usable (possibly all-no-op) value, so engines store it without
+// nil checks.
+func NewEngineObs(reg *obs.Registry) *EngineObs {
+	m := &EngineObs{reg: reg}
+	if reg == nil {
+		return m
+	}
+	m.Pull = reg.Histogram("engine_pull_ns")
+	m.Push = reg.Histogram("engine_push_ns")
+	m.MissService = reg.Histogram("engine_miss_service_ns")
+	m.MaintDrain = reg.Histogram("engine_maint_drain_ns")
+	m.CkptStall = reg.Histogram("engine_ckpt_stall_ns")
+	m.MaintQueue = reg.Gauge("engine_maint_queue_depth")
+	m.FlushBytes = reg.Counter("engine_ckpt_flush_bytes")
+	return m
+}
+
+// Enabled reports whether a registry is attached.
+func (m *EngineObs) Enabled() bool { return m != nil && m.reg != nil }
+
+// Now returns the registry clock (0 when disabled). Deterministic packages
+// time themselves through this instead of the time package directly; the
+// readings are observational only and never influence engine behavior.
+func (m *EngineObs) Now() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return m.reg.Now()
+}
+
+// ShardEvictions resolves the eviction counter for one shard (nil when
+// disabled).
+func (m *EngineObs) ShardEvictions(shard int) *obs.Counter {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	return m.reg.Counter(fmt.Sprintf("engine_evictions_shard%d", shard))
+}

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"time"
 
+	"openembedding/internal/obs"
 	"openembedding/internal/optim"
 	"openembedding/internal/simclock"
 )
@@ -85,6 +86,14 @@ type Config struct {
 	// Meter receives virtual-time charges for every device access the
 	// engine performs. Nil disables accounting.
 	Meter *simclock.Meter
+	// Obs receives wall-clock operational metrics (latency histograms,
+	// byte counters, queue depths — see NewEngineObs for the canonical
+	// set). Nil disables recording at the cost of a nil check; the
+	// deterministic simulated experiments leave it nil.
+	Obs *obs.Registry
+	// Spans receives per-batch spans (maintenance drains, checkpoint
+	// finalization) for the Chrome-trace exporter. Nil disables tracing.
+	Spans *obs.Tracer
 	// MaintThreads is the cache-maintainer pool size for pipelined engines.
 	MaintThreads int
 	// Shards is the number of independent key-space shards for engines that

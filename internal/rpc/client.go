@@ -2,51 +2,221 @@ package rpc
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"openembedding/internal/obs"
 	"openembedding/internal/psengine"
 )
+
+// DefaultTimeout is the dial / per-request read / per-request write
+// deadline applied when an Options field is zero. A hung or partitioned
+// server therefore turns into an error instead of blocking a cluster
+// fan-out forever.
+const DefaultTimeout = 30 * time.Second
+
+// NoTimeout disables a deadline (pass it in an Options field).
+const NoTimeout = time.Duration(-1)
+
+// Options configures a Client.
+type Options struct {
+	// DialTimeout bounds connection establishment. 0 means DefaultTimeout;
+	// NoTimeout disables the bound.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each request's response wait, measured from when
+	// the request hits the wire. 0 means DefaultTimeout; NoTimeout
+	// disables it.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each request's write+flush. 0 means
+	// DefaultTimeout; NoTimeout disables it.
+	WriteTimeout time.Duration
+	// Obs, when set, receives client metrics: rpc_client_rtt_ns,
+	// rpc_client_bytes_out/in, rpc_client_inflight, rpc_client_timeouts.
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	def := func(d time.Duration) time.Duration {
+		switch {
+		case d == 0:
+			return DefaultTimeout
+		case d < 0:
+			return 0 // disabled
+		default:
+			return d
+		}
+	}
+	o.DialTimeout = def(o.DialTimeout)
+	o.ReadTimeout = def(o.ReadTimeout)
+	o.WriteTimeout = def(o.WriteTimeout)
+	return o
+}
+
+// ErrTimeout matches (via errors.Is) every request that failed on an I/O
+// deadline.
+var ErrTimeout = errors.New("rpc: request timed out")
+
+// TimeoutError is the typed error for a request that hit a deadline.
+type TimeoutError struct {
+	Addr  string        // server address
+	Op    string        // request kind ("pull", "push", ...)
+	After time.Duration // the deadline that expired
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("rpc: %s to %s timed out after %v", e.Op, e.Addr, e.After)
+}
+
+// Is reports true for ErrTimeout targets so errors.Is(err, rpc.ErrTimeout)
+// works without unwrapping to the concrete type.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
+
+// Timeout implements the net.Error convention.
+func (e *TimeoutError) Timeout() bool { return true }
 
 // Client is a connection to one parameter-server node. A Client serializes
 // its requests; workers that want parallelism across shards hold one Client
 // per node (as internal/cluster does).
+//
+// After any I/O failure — including a timeout — the connection is broken:
+// the request/response framing may be desynchronized (a late response could
+// answer the wrong request), so the client closes the socket and every
+// later call fails fast with the original error.
 type Client struct {
+	addr string
+	opts Options
+
 	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	err  error // first I/O failure; poisons the client
+
+	// metrics (nil, and free, without Options.Obs)
+	rtt      *obs.Histogram
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	inflight *obs.Gauge
+	timeouts *obs.Counter
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects with default options (30s dial/read/write deadlines).
+func Dial(addr string) (*Client, error) { return DialOpts(addr, Options{}) }
+
+// DialOpts connects to a server with explicit options.
+func DialOpts(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
+		if isTimeout(err) {
+			return nil, &TimeoutError{Addr: addr, Op: "dial", After: opts.DialTimeout}
+		}
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return &Client{
+	c := &Client{
+		addr: addr,
+		opts: opts,
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 1<<16),
 		bw:   bufio.NewWriterSize(conn, 1<<16),
-	}, nil
+	}
+	if reg := opts.Obs; reg != nil {
+		c.rtt = reg.Histogram("rpc_client_rtt_ns")
+		c.bytesIn = reg.Counter("rpc_client_bytes_in")
+		c.bytesOut = reg.Counter("rpc_client_bytes_out")
+		c.inflight = reg.Gauge("rpc_client_inflight")
+		c.timeouts = reg.Counter("rpc_client_timeouts")
+	}
+	return c, nil
+}
+
+// Addr returns the server address this client dialed.
+func (c *Client) Addr() string { return c.addr }
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// fail marks the connection broken with the first error, translating
+// deadline expiries into *TimeoutError. Caller holds c.mu.
+func (c *Client) fail(op string, after time.Duration, err error) error {
+	if isTimeout(err) {
+		err = &TimeoutError{Addr: c.addr, Op: op, After: after}
+		c.timeouts.Add(1)
+	} else {
+		err = fmt.Errorf("rpc: %s to %s: %w", op, c.addr, err)
+	}
+	c.err = err
+	c.conn.Close()
+	return err
 }
 
 // do sends one request body and returns the decoded response reader.
+// body[0] is the message type (set by NewBuffer).
 func (c *Client) do(body []byte) (*Reader, error) {
+	op := msgName(body[0])
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	var start time.Duration
+	if c.rtt != nil {
+		start = c.opts.Obs.Now()
+	}
+	if c.opts.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	}
 	if err := WriteFrame(c.bw, body); err != nil {
-		return nil, err
+		return nil, c.fail(op, c.opts.WriteTimeout, err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return nil, c.fail(op, c.opts.WriteTimeout, err)
+	}
+	if c.opts.ReadTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
 	}
 	resp, err := ReadFrame(c.br)
 	if err != nil {
-		return nil, err
+		return nil, c.fail(op, c.opts.ReadTimeout, err)
+	}
+	c.bytesOut.Add(int64(len(body)) + 4)
+	c.bytesIn.Add(int64(len(resp)) + 4)
+	if c.rtt != nil {
+		c.rtt.Observe(c.opts.Obs.Now() - start)
 	}
 	return DecodeResponse(resp)
+}
+
+// msgName names a message type for error and metric labels.
+func msgName(t byte) string {
+	switch t {
+	case MsgPull:
+		return "pull"
+	case MsgPush:
+		return "push"
+	case MsgEndPullPhase:
+		return "end-pull-phase"
+	case MsgEndBatch:
+		return "end-batch"
+	case MsgCheckpoint:
+		return "checkpoint"
+	case MsgCompletedCkpt:
+		return "completed-checkpoint"
+	case MsgStats:
+		return "stats"
+	case MsgPing:
+		return "ping"
+	default:
+		return fmt.Sprintf("msg-0x%02x", t)
+	}
 }
 
 // Pull fetches weights for keys (len(keys)*dim floats).

@@ -5,9 +5,20 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"openembedding/internal/obs"
 	"openembedding/internal/psengine"
 )
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Obs, when set, receives server metrics: rpc_server_pull_ns /
+	// rpc_server_push_ns / rpc_server_other_ns request-service histograms,
+	// rpc_server_bytes_in/out, rpc_server_requests and the
+	// rpc_server_conns gauge.
+	Obs *obs.Registry
+}
 
 // Server exposes one storage engine (one shard) over TCP. Each accepted
 // connection is served by its own goroutine; a worker that wants request
@@ -21,16 +32,41 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	closed bool
+
+	// metrics (nil, and free, without ServerOptions.Obs)
+	reg      *obs.Registry
+	pullNS   *obs.Histogram
+	pushNS   *obs.Histogram
+	otherNS  *obs.Histogram
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	requests *obs.Counter
+	connsG   *obs.Gauge
 }
 
 // Serve starts a server for engine on addr ("127.0.0.1:0" picks a free
 // port). The returned server is already accepting.
 func Serve(addr string, engine psengine.Engine) (*Server, error) {
+	return ServeOpts(addr, engine, ServerOptions{})
+}
+
+// ServeOpts starts a server with explicit options.
+func ServeOpts(addr string, engine psengine.Engine, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: listen: %w", err)
 	}
 	s := &Server{engine: engine, ln: ln, conns: make(map[net.Conn]struct{})}
+	if reg := opts.Obs; reg != nil {
+		s.reg = reg
+		s.pullNS = reg.Histogram("rpc_server_pull_ns")
+		s.pushNS = reg.Histogram("rpc_server_push_ns")
+		s.otherNS = reg.Histogram("rpc_server_other_ns")
+		s.bytesIn = reg.Counter("rpc_server_bytes_in")
+		s.bytesOut = reg.Counter("rpc_server_bytes_out")
+		s.requests = reg.Counter("rpc_server_requests")
+		s.connsG = reg.Gauge("rpc_server_conns")
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -61,7 +97,9 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.connsG.Add(1)
 	defer func() {
+		s.connsG.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -74,7 +112,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or broken conn
 		}
+		var start time.Duration
+		if s.reg != nil {
+			start = s.reg.Now()
+		}
 		resp := s.handle(body)
+		if s.reg != nil {
+			d := s.reg.Now() - start
+			var t byte
+			if len(body) > 0 {
+				t = body[0]
+			}
+			switch t {
+			case MsgPull:
+				s.pullNS.Observe(d)
+			case MsgPush:
+				s.pushNS.Observe(d)
+			default:
+				s.otherNS.Observe(d)
+			}
+			s.requests.Add(1)
+			s.bytesIn.Add(int64(len(body)) + 4)
+			s.bytesOut.Add(int64(len(resp)) + 4)
+		}
 		if err := WriteFrame(bw, resp); err != nil {
 			return
 		}

@@ -1,0 +1,154 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"openembedding/internal/engines/dramps"
+	"openembedding/internal/obs"
+	"openembedding/internal/optim"
+	"openembedding/internal/psengine"
+)
+
+func timeoutTestEngine(t *testing.T) psengine.Engine {
+	t.Helper()
+	eng, err := dramps.New(psengine.Config{
+		Dim: 4, Optimizer: optim.NewSGD(0.1), Capacity: 1024, CacheEntries: 1024,
+	}, dramps.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func TestOptionsWithDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.DialTimeout != DefaultTimeout || o.ReadTimeout != DefaultTimeout || o.WriteTimeout != DefaultTimeout {
+		t.Fatalf("zero options did not default to 30s: %+v", o)
+	}
+	o = Options{DialTimeout: NoTimeout, ReadTimeout: NoTimeout, WriteTimeout: time.Second}.withDefaults()
+	if o.DialTimeout != 0 || o.ReadTimeout != 0 {
+		t.Fatalf("NoTimeout did not disable deadlines: %+v", o)
+	}
+	if o.WriteTimeout != time.Second {
+		t.Fatalf("explicit timeout overridden: %+v", o)
+	}
+}
+
+// TestReadTimeoutOnHungServer connects to a listener that accepts and then
+// never responds: the request must fail with the typed timeout error after
+// the configured read deadline, not hang.
+func TestReadTimeoutOnHungServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		<-done // swallow the request, never answer
+	}()
+
+	c, err := DialOpts(ln.Addr().String(), Options{ReadTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	err = c.Ping()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("ping of a hung server succeeded")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error does not match ErrTimeout: %v", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is not a *TimeoutError: %v", err)
+	}
+	if te.Op != "ping" || te.Addr != ln.Addr().String() {
+		t.Fatalf("timeout error not attributed: %+v", te)
+	}
+	if !te.Timeout() {
+		t.Fatal("TimeoutError.Timeout() = false")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline was 100ms", elapsed)
+	}
+
+	// The connection is poisoned: later requests fail fast with the same
+	// typed error instead of writing into a desynchronized stream.
+	start = time.Now()
+	if err := c.Ping(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("second ping after timeout: %v", err)
+	}
+	if since := time.Since(start); since > time.Second {
+		t.Fatalf("poisoned client took %v to fail", since)
+	}
+}
+
+// TestClientServerMetrics round-trips real requests and checks both sides'
+// obs metrics populate.
+func TestClientServerMetrics(t *testing.T) {
+	serverReg := obs.NewRegistry()
+	clientReg := obs.NewRegistry()
+	srv, err := ServeOpts("127.0.0.1:0", timeoutTestEngine(t), ServerOptions{Obs: serverReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialOpts(srv.Addr(), Options{Obs: clientReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pull(0, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Push(0, []uint64{1, 2, 3}, make([]float32, 12)); err != nil {
+		t.Fatal(err)
+	}
+
+	cs := clientReg.Snapshot()
+	if got := cs.Histograms["rpc_client_rtt_ns"].Count; got != 3 {
+		t.Errorf("client rtt count = %d, want 3", got)
+	}
+	if cs.Counters["rpc_client_bytes_out"] == 0 || cs.Counters["rpc_client_bytes_in"] == 0 {
+		t.Errorf("client byte counters empty: %+v", cs.Counters)
+	}
+	if cs.Counters["rpc_client_timeouts"] != 0 {
+		t.Errorf("spurious timeouts: %d", cs.Counters["rpc_client_timeouts"])
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ss := serverReg.Snapshot()
+		if ss.Histograms["rpc_server_pull_ns"].Count == 1 &&
+			ss.Histograms["rpc_server_push_ns"].Count == 1 &&
+			ss.Counters["rpc_server_requests"] == 3 &&
+			ss.Counters["rpc_server_bytes_in"] > 0 &&
+			ss.Gauges["rpc_server_conns"] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server metrics never settled: %+v", ss)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

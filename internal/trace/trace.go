@@ -2,13 +2,30 @@
 // timeline, reproducing the paper's workload analyses: the per-millisecond
 // request counting of Fig. 2 (paired pull/update bursts at batch
 // boundaries) and the access-frequency statistics behind Table II.
+//
+// Since the obs subsystem landed, the Recorder is a thin veneer over an
+// obs.Tracer ring: each access event becomes a point span (Cat "psreq") on
+// the same timeline engine and cluster spans use, so one trace — dumpable as
+// Chrome trace_event JSON via obs — is the single source of truth for both
+// the Fig. 2 tables and span-level debugging.
 package trace
 
 import (
 	"sort"
 	"sync"
 	"time"
+
+	"openembedding/internal/obs"
 )
+
+// psreqCat is the span category carrying access events; Events filters on
+// it, so psreq events coexist with engine/cluster spans in a shared tracer.
+const psreqCat = "psreq"
+
+// recorderCapacity bounds a Recorder-owned ring. Virtual-time experiments
+// emit two events per batch, so this covers ~500k batches — far beyond any
+// experiment in this repo — before the oldest events drop.
+const recorderCapacity = 1 << 20
 
 // Op is the request kind.
 type Op int
@@ -19,8 +36,20 @@ const (
 	Push
 )
 
+func (o Op) spanName() string {
+	if o == Pull {
+		return "pull"
+	}
+	return "push"
+}
+
 // Event is one batched request arrival: n embedding-entry accesses of one
 // kind at one virtual instant.
+//
+// Deprecated: Event remains the accessor type for the Fig. 2 analyses, but
+// new instrumentation should emit obs.SpanRecord values (via Recorder.Tracer
+// or a shared obs.Tracer) instead of inventing parallel time.Duration event
+// types; one timeline, one dump format.
 type Event struct {
 	At       time.Duration
 	Op       Op
@@ -28,24 +57,58 @@ type Event struct {
 	Batch    int64
 }
 
-// Recorder accumulates events; it is safe for concurrent use.
+// Recorder accumulates events; it is safe for concurrent use. The zero
+// value is ready: it lazily creates a private obs.Tracer ring. Use
+// NewRecorder to share a tracer with other span sources.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
+	once sync.Once
+	t    *obs.Tracer
 }
 
-// Record appends one event.
+// NewRecorder returns a Recorder that records into t, so access events and
+// wall-clock spans share one ring. A nil t behaves like the zero Recorder.
+func NewRecorder(t *obs.Tracer) *Recorder {
+	r := &Recorder{}
+	if t != nil {
+		r.once.Do(func() {})
+		r.t = t
+	}
+	return r
+}
+
+// Tracer returns the underlying span ring (creating it on first use), for
+// merging into obs exports such as the Chrome trace dump.
+func (r *Recorder) Tracer() *obs.Tracer {
+	r.once.Do(func() { r.t = obs.NewTracer(recorderCapacity) })
+	return r.t
+}
+
+// Record appends one event at virtual instant `at`.
 func (r *Recorder) Record(at time.Duration, op Op, batch int64, requests int) {
-	r.mu.Lock()
-	r.events = append(r.events, Event{At: at, Op: op, Requests: requests, Batch: batch})
-	r.mu.Unlock()
+	r.Tracer().Emit(obs.SpanRecord{
+		Name:  op.spanName(),
+		Cat:   psreqCat,
+		Batch: batch,
+		Arg:   int64(requests),
+		ArgN:  "requests",
+		Start: at,
+	})
 }
 
-// Events returns a copy of the recorded events sorted by time.
+// Events returns a copy of the recorded access events sorted by time. Spans
+// from other categories sharing the tracer are ignored.
 func (r *Recorder) Events() []Event {
-	r.mu.Lock()
-	out := append([]Event(nil), r.events...)
-	r.mu.Unlock()
+	var out []Event
+	for _, s := range r.Tracer().Spans() {
+		if s.Cat != psreqCat {
+			continue
+		}
+		op := Pull
+		if s.Name == Push.spanName() {
+			op = Push
+		}
+		out = append(out, Event{At: s.Start, Op: op, Requests: int(s.Arg), Batch: s.Batch})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }

@@ -1,9 +1,13 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"sync"
 	"testing"
 	"time"
+
+	"openembedding/internal/obs"
 )
 
 func TestRecorderEventsSorted(t *testing.T) {
@@ -71,6 +75,44 @@ func TestBatchSpan(t *testing.T) {
 	}
 	if _, _, ok := r.BatchSpan(99); ok {
 		t.Fatal("missing batch found")
+	}
+}
+
+// TestSharedTracer checks a Recorder layered on a shared obs.Tracer: psreq
+// events land in the same ring as foreign spans, Events filters to psreq
+// only, and the merged ring dumps as one Chrome trace.
+func TestSharedTracer(t *testing.T) {
+	tr := obs.NewTracer(64)
+	r := NewRecorder(tr)
+	r.Record(time.Millisecond, Pull, 3, 42)
+	tr.Emit(obs.SpanRecord{Name: "maint.drain", Cat: "engine", Batch: 3, Start: 2 * time.Millisecond})
+	r.Record(3*time.Millisecond, Push, 3, 42)
+
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2 (engine span must be filtered)", len(ev))
+	}
+	if ev[0].Op != Pull || ev[0].Requests != 42 || ev[0].Batch != 3 {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+	if ev[1].Op != Push {
+		t.Fatalf("event 1 = %+v", ev[1])
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Fatalf("shared ring holds %d spans, want 3", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("chrome trace has %d events, want 3", len(doc.TraceEvents))
 	}
 }
 

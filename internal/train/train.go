@@ -13,9 +13,12 @@ package train
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"openembedding/internal/model"
+	"openembedding/internal/obs"
 	"openembedding/internal/psengine"
+	"openembedding/internal/simclock"
 	"openembedding/internal/workload"
 )
 
@@ -79,6 +82,20 @@ type Config struct {
 	DenseCheckpointDir string
 	// StartBatch is the first batch ID (checkpoint+1 when resuming).
 	StartBatch int64
+	// Obs, when set, receives per-batch wall-clock metrics: train_batch_ns
+	// and the train_pull_ns / train_compute_ns / train_push_ns phase
+	// histograms, plus the train_virtual_wall_skew_ns gauge when Meter is
+	// also set.
+	Obs *obs.Registry
+	// Spans, when set, records train.batch spans with pull/compute/push
+	// children per batch.
+	Spans *obs.Tracer
+	// Meter, when set together with Obs, is the virtual-time meter charged
+	// by the engine under test; the trainer reports cumulative virtual time
+	// minus cumulative wall time as train_virtual_wall_skew_ns (how far the
+	// simulation's cost model runs ahead of — positive — or behind real
+	// execution).
+	Meter *simclock.Meter
 }
 
 // Trainer runs synchronous training against a parameter server.
@@ -86,6 +103,13 @@ type Trainer struct {
 	cfg     Config
 	ps      ParamServer
 	workers []*worker
+
+	// metrics (nil, and free, without Config.Obs)
+	batchNS   *obs.Histogram
+	pullNS    *obs.Histogram
+	computeNS *obs.Histogram
+	pushNS    *obs.Histogram
+	skew      *obs.Gauge
 }
 
 type worker struct {
@@ -107,6 +131,15 @@ func New(cfg Config, ps ParamServer) (*Trainer, error) {
 		return nil, fmt.Errorf("train: Data source required")
 	}
 	tr := &Trainer{cfg: cfg, ps: ps}
+	if reg := cfg.Obs; reg != nil {
+		tr.batchNS = reg.Histogram("train_batch_ns")
+		tr.pullNS = reg.Histogram("train_pull_ns")
+		tr.computeNS = reg.Histogram("train_compute_ns")
+		tr.pushNS = reg.Histogram("train_push_ns")
+		if cfg.Meter != nil {
+			tr.skew = reg.Gauge("train_virtual_wall_skew_ns")
+		}
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		tr.workers = append(tr.workers, &worker{
 			id:    w,
@@ -138,8 +171,22 @@ func (tr *Trainer) Run(steps int) (EpochStats, error) {
 	fields := cfg.Model.Fields
 	dim := cfg.Model.Dim
 
+	// Baselines for the virtual-vs-wall skew gauge: how much virtual time
+	// the cost model charges per unit of wall time over this run.
+	var wallBase, virtBase time.Duration
+	if tr.skew != nil {
+		wallBase = cfg.Obs.Now()
+		virtBase = cfg.Meter.Sum()
+	}
+
 	for s := 0; s < steps; s++ {
 		batch := cfg.StartBatch + int64(s)
+		var batchStart time.Duration
+		if tr.batchNS != nil {
+			batchStart = cfg.Obs.Now()
+		}
+		bsp := cfg.Spans.Start("train.batch", "train", 0, batch)
+		psp := cfg.Spans.Start("train.pull", "train", 0, batch)
 
 		type workItem struct {
 			samples []workload.Sample
@@ -179,6 +226,15 @@ func (tr *Trainer) Run(steps int) (EpochStats, error) {
 		if err := tr.ps.EndPullPhase(batch); err != nil {
 			return out, err
 		}
+		psp.EndArg("workers", int64(len(tr.workers)))
+		if tr.pullNS != nil {
+			tr.pullNS.Observe(cfg.Obs.Now() - batchStart)
+		}
+		var computeStart time.Duration
+		if tr.computeNS != nil {
+			computeStart = cfg.Obs.Now()
+		}
+		csp := cfg.Spans.Start("train.compute", "train", 0, batch)
 
 		// Compute phase: dense forward/backward per worker, gradients
 		// aggregated per unique key.
@@ -227,6 +283,15 @@ func (tr *Trainer) Run(steps int) (EpochStats, error) {
 
 		// Dense allreduce: average parameters across workers.
 		tr.allreduce()
+		csp.End()
+		if tr.computeNS != nil {
+			tr.computeNS.Observe(cfg.Obs.Now() - computeStart)
+		}
+		var pushStart time.Duration
+		if tr.pushNS != nil {
+			pushStart = cfg.Obs.Now()
+		}
+		usp := cfg.Spans.Start("train.push", "train", 0, batch)
 
 		// Push phase: all workers in parallel.
 		var stepLoss float64
@@ -250,6 +315,10 @@ func (tr *Trainer) Run(steps int) (EpochStats, error) {
 		if err := tr.ps.EndBatch(batch); err != nil {
 			return out, err
 		}
+		usp.End()
+		if tr.pushNS != nil {
+			tr.pushNS.Observe(cfg.Obs.Now() - pushStart)
+		}
 		if cfg.CheckpointEvery > 0 && (s+1)%cfg.CheckpointEvery == 0 {
 			if err := tr.ps.RequestCheckpoint(batch); err != nil {
 				return out, err
@@ -263,6 +332,13 @@ func (tr *Trainer) Run(steps int) (EpochStats, error) {
 		}
 		out.Steps = append(out.Steps, StepStats{Batch: batch, Loss: stepLoss})
 		out.FinalLoss = stepLoss
+		bsp.End()
+		if tr.batchNS != nil {
+			tr.batchNS.Observe(cfg.Obs.Now() - batchStart)
+		}
+		if tr.skew != nil {
+			tr.skew.Set(int64((cfg.Meter.Sum() - virtBase) - (cfg.Obs.Now() - wallBase)))
+		}
 	}
 	return out, nil
 }
