@@ -1,6 +1,6 @@
 // Command oevet runs the OpenEmbedding invariant analyzer suite: lockorder,
-// pmemdurability, determinism and atomicstat (see internal/analysis and
-// DESIGN.md §8).
+// pmemdurability, determinism, faultdet and atomicstat (see
+// internal/analysis and DESIGN.md §8).
 //
 // Standalone (authoritative; cross-package facts flow in dependency order):
 //

@@ -22,6 +22,7 @@ import (
 
 	"openembedding/internal/analysis/atomicstat"
 	"openembedding/internal/analysis/determinism"
+	"openembedding/internal/analysis/faultdet"
 	"openembedding/internal/analysis/lockorder"
 	"openembedding/internal/analysis/oeanalysis"
 	"openembedding/internal/analysis/pmemdurability"
@@ -32,6 +33,7 @@ var Suite = []*oeanalysis.Analyzer{
 	lockorder.Analyzer,
 	pmemdurability.Analyzer,
 	determinism.Analyzer,
+	faultdet.Analyzer,
 	atomicstat.Analyzer,
 }
 

@@ -1,0 +1,94 @@
+// Package faultdet mechanizes the replay contract of the fault-injection
+// layer: a chaos run must be reproducible from its printed seed alone, so
+// packages marked
+//
+//	//oevet:fault-deterministic
+//
+// (internal/faultinject) must derive every injection decision as a pure
+// function of (seed, decision coordinates) — a stateless hash — and never
+// from ambient randomness or the wall clock.
+//
+// The contract here is strictly stronger than the determinism analyzer's:
+// determinism permits an explicitly seeded rand.New(rand.NewSource(seed)),
+// but a *rand.Rand is still a stateful stream, and when several
+// (point, label) fault streams share one generator the draw order — and
+// therefore every decision — depends on goroutine interleaving. faultdet
+// rejects math/rand and math/rand/v2 wholesale, constructors included;
+// injection decisions must use a stateless mix (splitmix64 over the
+// decision coordinates) instead.
+//
+// Three checks:
+//
+//   - math/rand, math/rand/v2: every call is reported, including rand.New
+//     and rand.NewSource, and including methods on *rand.Rand / rand.Source
+//     values (stateful streams are the problem, not just the global one);
+//   - crypto/rand: every call is reported (OS entropy can never replay);
+//   - wall clock: calls to time.Now / time.Since / time.Until are reported
+//     — a decision keyed on "when" differs between runs. time.Sleep and
+//     time.Duration arithmetic are fine: *executing* an injected delay is
+//     deterministic, *deciding* from the clock is not.
+package faultdet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"openembedding/internal/analysis/oeanalysis"
+)
+
+// Analyzer flags ambient-randomness and wall-clock decision sources in
+// //oevet:fault-deterministic packages.
+var Analyzer = &oeanalysis.Analyzer{
+	Name: "faultdet",
+	Doc:  "forbid math/rand (even seeded), crypto/rand and wall-clock reads in //oevet:fault-deterministic packages; fault decisions must be stateless hashes of the seed",
+	Run:  run,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *oeanalysis.Pass) error {
+	if !oeanalysis.PackageMarked(pass.Files, "fault-deterministic") {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkCall(pass, info, call)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCall(pass *oeanalysis.Pass, info *types.Info, call *ast.CallExpr) {
+	fn := oeanalysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	pkgLevel := sig != nil && sig.Recv() == nil
+	switch fn.Pkg().Path() {
+	case "time":
+		if pkgLevel && wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "call to time.%s in a fault-deterministic package; decisions must not depend on the wall clock", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Both package-level calls AND methods: a seeded *rand.Rand is a
+		// stateful stream whose draw order depends on interleaving.
+		what := "rand." + fn.Name()
+		if !pkgLevel {
+			what = "(rand stream)." + fn.Name()
+		}
+		pass.Reportf(call.Pos(), "call to %s in a fault-deterministic package; derive decisions as a stateless hash of (seed, point, label, occurrence)", what)
+	case "crypto/rand":
+		pass.Reportf(call.Pos(), "call to crypto/rand %s in a fault-deterministic package; OS entropy can never replay from a seed", fn.Name())
+	}
+}

@@ -1,0 +1,13 @@
+package faultdet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/faultdet"
+	"openembedding/internal/analysis/oeanalysistest"
+)
+
+func TestFaultdet(t *testing.T) {
+	oeanalysistest.Run(t, faultdet.Analyzer, filepath.Join("testdata", "src", "a"))
+}

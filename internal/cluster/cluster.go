@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"openembedding/internal/faultinject"
 	"openembedding/internal/obs"
 	"openembedding/internal/psengine"
 	"openembedding/internal/rpc"
@@ -24,8 +25,15 @@ func Partition(key uint64, n int) int {
 // Options configures a cluster Client.
 type Options struct {
 	// RPC is forwarded to every per-node rpc.DialOpts call (I/O deadlines,
-	// client-side RPC metrics).
+	// retry policy, client-side RPC metrics). Each node's copy gets a
+	// deterministic injector label ("node<i>", unless RPC.Label is set) and
+	// a per-node retry jitter seed derived from RPC.Retry.Seed and the node
+	// index, so a seeded chaos run replays identically.
 	RPC rpc.Options
+	// Inject, when set, arms the deterministic fault injector on every
+	// per-node connection (client-side dial and wire faults). Nil leaves
+	// the hot path untouched.
+	Inject *faultinject.Injector
 	// Obs, when set, receives worker-side fan-out metrics:
 	// cluster_fanout_width (nodes contacted per pull/push),
 	// cluster_straggler_ns (slowest minus fastest node per fan-out),
@@ -48,6 +56,7 @@ type Client struct {
 	straggler *obs.Histogram
 	pullNS    *obs.Histogram
 	pushNS    *obs.Histogram
+	replays   *obs.Counter
 	reg       *obs.Registry
 }
 
@@ -69,9 +78,19 @@ func DialOpts(dim int, addrs []string, opts Options) (*Client, error) {
 		c.straggler = reg.Histogram("cluster_straggler_ns")
 		c.pullNS = reg.Histogram("cluster_pull_ns")
 		c.pushNS = reg.Histogram("cluster_push_ns")
+		c.replays = reg.Counter("cluster_replays")
 	}
 	for n, a := range addrs {
-		cl, err := rpc.DialOpts(a, opts.RPC)
+		ro := opts.RPC
+		if opts.Inject != nil {
+			ro.Inject = opts.Inject
+		}
+		if ro.Label == "" {
+			ro.Label = fmt.Sprintf("node%d", n)
+		}
+		// Distinct per-node jitter streams from one configured seed.
+		ro.Retry.Seed ^= uint64(n) * 0x9e3779b97f4a7c15
+		cl, err := rpc.DialOpts(a, ro)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: node %d (%s): %w", n, a, err)
@@ -276,6 +295,36 @@ func (c *Client) CompletedCheckpoint() (int64, error) {
 	}
 	return min, nil
 }
+
+// Recover runs the coordinated rollback half of the recovery protocol
+// (DESIGN.md §10): every node is rolled back to the cluster-wide committed
+// checkpoint — idempotent for a node already there, such as one that just
+// crash-recovered — and then every connection re-adopts its node's new
+// epoch. Nodes are visited sequentially in index order so a seeded chaos
+// run's per-node fault streams replay deterministically. The caller (the
+// trainer) rewinds its own dense state and data streams to commit before
+// resuming; commit is normally the value CompletedCheckpoint returned
+// after the failure.
+func (c *Client) Recover(commit int64) error {
+	c.replays.Add(1)
+	for i, n := range c.nodes {
+		if err := n.Rollback(commit); err != nil {
+			return c.nodeErr(i, fmt.Errorf("rollback to %d: %w", commit, err))
+		}
+	}
+	for i, n := range c.nodes {
+		if _, err := n.AdoptEpoch(); err != nil {
+			return c.nodeErr(i, fmt.Errorf("adopt epoch: %w", err))
+		}
+	}
+	return nil
+}
+
+// Recoverable reports whether err is worth a rollback + replay — transport
+// failures, timeouts and epoch fences — rather than a permanent
+// application error. It implements the trainer's Recoverer interface
+// together with Recover.
+func (c *Client) Recoverable(err error) bool { return rpc.IsRecoverable(err) }
 
 // Stats sums the counters across nodes.
 func (c *Client) Stats() (psengine.Stats, error) {

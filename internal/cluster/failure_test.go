@@ -182,6 +182,135 @@ func TestFanOutHungNodeTimesOut(t *testing.T) {
 	}
 }
 
+// TestClusterRecoverAfterCrash exercises the coordinated recovery
+// protocol end to end: a node crash-restarts (losing un-checkpointed
+// state), the next fan-out fails recoverably, and Recover(commit) rolls
+// every node — healthy ones included — back to the cluster-wide committed
+// checkpoint so a replay resumes from a consistent state.
+func TestClusterRecoverAfterCrash(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := storeConfig()
+	store.RetainCheckpoints = 2
+	var addrs []string
+	var ns []*ps.Node
+	for i := 0; i < 3; i++ {
+		n, err := ps.StartNode("127.0.0.1:0", ps.NodeConfig{Engine: "pmem-oe", Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		addrs = append(addrs, n.Addr())
+		ns = append(ns, n)
+	}
+	cl, err := DialOpts(4, addrs, Options{
+		RPC: rpc.Options{
+			Retry:        rpc.RetryPolicy{MaxAttempts: 5, Backoff: time.Millisecond},
+			ReadTimeout:  2 * time.Second,
+			WriteTimeout: 2 * time.Second,
+		},
+		Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	keys := keysForAllNodes(t, 3, 9)
+	grads := make([]float32, len(keys)*4)
+	for i := range grads {
+		grads[i] = 1.0
+	}
+	runBatch := func(b int64) []float32 {
+		t.Helper()
+		dst := make([]float32, len(keys)*4)
+		if err := cl.Pull(b, keys, dst); err != nil {
+			t.Fatalf("pull %d: %v", b, err)
+		}
+		if err := cl.EndPullPhase(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Push(b, keys, grads); err != nil {
+			t.Fatalf("push %d: %v", b, err)
+		}
+		if err := cl.EndBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		return dst
+	}
+
+	runBatch(0)
+	if err := cl.RequestCheckpoint(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done, err := cl.CompletedCheckpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done >= 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint 0 never committed cluster-wide")
+		}
+	}
+
+	// Batch 1 trains past the checkpoint; its updates will be lost and
+	// replayed. Record the state the replay must see again.
+	atCkpt := runBatch(1)
+
+	if err := ns[1].Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns[1].Restart(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = func() ([]float32, error) {
+		dst := make([]float32, len(keys)*4)
+		return dst, cl.Pull(2, keys, dst)
+	}()
+	if err == nil {
+		t.Fatal("pull succeeded against a restarted, fenced node")
+	}
+	if !cl.Recoverable(err) {
+		t.Fatalf("crash-induced failure not Recoverable: %v", err)
+	}
+
+	commit, err := cl.CompletedCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit != 0 {
+		t.Fatalf("cluster commit = %d, want 0", commit)
+	}
+	if err := cl.Recover(commit); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got := reg.Snapshot().Counters["cluster_replays"]; got != 1 {
+		t.Fatalf("cluster_replays = %d, want 1", got)
+	}
+
+	// Replaying batch 1 pulls exactly the state the first attempt saw:
+	// every node — including the two that never crashed — rewound to the
+	// checkpoint.
+	replayed := make([]float32, len(keys)*4)
+	if err := cl.Pull(1, keys, replayed); err != nil {
+		t.Fatalf("pull after recover: %v", err)
+	}
+	for i := range replayed {
+		if replayed[i] != atCkpt[i] {
+			t.Fatalf("replayed[%d] = %v, want %v (bit-exact)", i, replayed[i], atCkpt[i])
+		}
+	}
+	for i, n := range ns {
+		if n.Epoch() < 1 {
+			t.Errorf("node %d epoch = %d, want >= 1 after recovery", i, n.Epoch())
+		}
+	}
+}
+
 // TestClusterMetricsAndSpans checks the worker-side fan-out metrics and
 // per-batch spans populate during a normal batch.
 func TestClusterMetricsAndSpans(t *testing.T) {

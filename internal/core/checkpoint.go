@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"openembedding/internal/psengine"
 )
 
 // Checkpointing follows Algorithm 2's co-design with cache replacement: a
@@ -66,6 +68,26 @@ func (e *Engine) RequestCheckpoint(batch int64) error {
 
 // CompletedCheckpoint implements psengine.Engine.
 func (e *Engine) CompletedCheckpoint() int64 { return e.completedCkpt.Load() }
+
+// PrevCompletedCheckpoint returns the checkpoint retained behind the
+// latest one, or -1 (always -1 unless cfg.RetainCheckpoints >= 2). A
+// rollback (RecoverTo) may target either retained checkpoint.
+func (e *Engine) PrevCompletedCheckpoint() int64 { return e.prevCompleted.Load() }
+
+// AdvanceCheckpoints pushes the active checkpoint toward completion by one
+// finalizer budget without sealing a batch — the progress hook a trainer's
+// checkpoint-commit poll drives over RPC, so a checkpoint requested at the
+// last batch of a run still completes. Safe from any request thread: it
+// takes the same locks as the maintenance finalizer and nothing else.
+func (e *Engine) AdvanceCheckpoints() error {
+	if e.closed.Load() {
+		return psengine.ErrClosed
+	}
+	if err := e.maintErrs.peek(); err != nil {
+		return err
+	}
+	return e.finalizeCheckpoints()
+}
 
 // PendingCheckpoints reports how many checkpoint requests are in flight.
 func (e *Engine) PendingCheckpoints() int {
@@ -182,6 +204,19 @@ func (e *Engine) noteFlushed(needed bool) {
 //
 // oevet:holds core.shard.mu 10
 func (e *Engine) completeCheckpoint(cp int64) {
+	if e.cfg.RetainCheckpoints >= 2 {
+		// The outgoing checkpoint becomes the retained previous one.
+		// Ordering matters for crash safety: persist prev BEFORE advancing
+		// cur. A crash between the stores leaves prev == cur, which
+		// recovery reads as "one checkpoint retained" — safe; the reverse
+		// order could leave prev pointing at records already reclaimed.
+		prev := e.completedCkpt.Load()
+		if err := e.arena.SetPrevCheckpointedBatch(prev); err != nil {
+			e.maintErrs.set(err)
+			return
+		}
+		e.prevCompleted.Store(prev)
+	}
 	if err := e.arena.SetCheckpointedBatch(cp); err != nil {
 		e.maintErrs.set(err)
 		return
@@ -256,6 +291,7 @@ func (e *Engine) finalizeCheckpoints() error {
 // sealed batch). Takes no shard locks, so it is safe from any context.
 func (e *Engine) reclaim() {
 	completed := e.completedCkpt.Load()
+	prev := e.prevCompleted.Load()
 	e.ckptMu.Lock()
 	queued := append([]int64(nil), e.ckptQueue...)
 	e.ckptMu.Unlock()
@@ -266,6 +302,9 @@ func (e *Engine) reclaim() {
 		}
 		if completed >= oldV && completed < newV {
 			return true
+		}
+		if prev >= 0 && prev >= oldV && prev < newV {
+			return true // the retained previous checkpoint still needs it
 		}
 		for _, q := range queued {
 			if q >= oldV && q < newV {

@@ -85,6 +85,10 @@ type Engine struct {
 	pmemReads, pmemWrites   atomic.Int64
 	ckptsDone               atomic.Int64
 	completedCkpt           atomic.Int64
+	// prevCompleted is the checkpoint retained behind completedCkpt (-1 for
+	// none). Only meaningful with cfg.RetainCheckpoints >= 2; mirrored
+	// durably in the arena header so recovery can roll back one checkpoint.
+	prevCompleted atomic.Int64
 
 	// obs is the engine's metric set (all no-ops when cfg.Obs is nil) and
 	// spans its span tracer. Recording is atomics-only, so it is safe under
@@ -172,6 +176,7 @@ func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
 	}
 	e.fanout = make(chan struct{}, fan)
 	e.completedCkpt.Store(-1)
+	e.prevCompleted.Store(-1)
 	e.currBatch.Store(-1)
 	e.lastEnded.Store(-1)
 	e.ckptActive = -1

@@ -77,6 +77,14 @@ func (b *maintErrBox) set(err error) {
 	b.mu.Unlock()
 }
 
+// peek reports the pending maintenance error without consuming it, so
+// EndBatch's take still surfaces it on the training path.
+func (b *maintErrBox) peek() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
 func (b *maintErrBox) take() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()

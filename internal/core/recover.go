@@ -33,6 +33,23 @@ func Recover(cfg psengine.Config, dev *pmem.Device) (*Engine, int64, error) {
 // goroutines that scan and filter concurrently, and the surviving records
 // are merged into the index afterwards. workers <= 0 uses GOMAXPROCS.
 func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engine, int64, error) {
+	return recoverImpl(cfg, dev, workers, 0, false)
+}
+
+// RecoverTo rebuilds an engine at an explicit retained checkpoint instead
+// of the latest durable one — the rollback step of coordinated cluster
+// replay (DESIGN.md §10). target must be one of the checkpoints the image
+// retains: the durable Checkpointed Batch ID, or (for engines configured
+// with RetainCheckpoints >= 2) the durable previous ID; -1 means "recover
+// to scratch" and is valid only while the image retains no older state.
+// Rolling back rewrites the durable IDs so the rollback itself survives a
+// crash. RecoverTo with target equal to the latest checkpoint is exactly
+// Recover, which is what makes the rollback RPC idempotent.
+func RecoverTo(cfg psengine.Config, dev *pmem.Device, target int64) (*Engine, int64, error) {
+	return recoverImpl(cfg, dev, runtime.GOMAXPROCS(0), target, true)
+}
+
+func recoverImpl(cfg psengine.Config, dev *pmem.Device, workers int, target int64, haveTarget bool) (*Engine, int64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -44,16 +61,58 @@ func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engin
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: recover: %w", err)
 	}
+	prev, err := arena.PrevCheckpointedBatch()
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: recover: %w", err)
+	}
+	if prev >= ckpt {
+		// A crash between the prev and cur header stores can leave
+		// prev == cur; either way only one checkpoint is retained.
+		prev = -1
+	}
+	if !haveTarget {
+		target = ckpt
+	} else if target != ckpt && target != prev {
+		return nil, 0, fmt.Errorf("core: recover: target checkpoint %d not retained (have %d, prev %d)",
+			target, ckpt, prev)
+	}
+	// horizon is the older checkpoint that must STAY recoverable after this
+	// recovery: rolling back to prev (or scratch) discards it.
+	horizon := int64(-1)
+	if target == ckpt {
+		horizon = prev
+	}
 
 	eng, err := New(cfg, arena)
 	if err != nil {
 		return nil, 0, err
 	}
-	if ckpt < 0 {
-		// No checkpoint ever completed: training restarts from scratch
-		// (the paper's semantics — records on PMem carry no batch-level
-		// consistency guarantee before the first checkpoint).
+	finish := func() (*Engine, int64, error) {
+		if target != ckpt {
+			// Durably adopt the rollback, cur first: a crash between the
+			// stores leaves prev == cur, which re-collapses to "one
+			// retained" above.
+			if err := arena.SetCheckpointedBatch(target); err != nil {
+				eng.Close()
+				return nil, 0, fmt.Errorf("core: recover: %w", err)
+			}
+			if err := arena.SetPrevCheckpointedBatch(-1); err != nil {
+				eng.Close()
+				return nil, 0, fmt.Errorf("core: recover: %w", err)
+			}
+		}
+		eng.lastEnded.Store(target)
+		eng.completedCkpt.Store(target)
+		eng.prevCompleted.Store(horizon)
+		return eng, target, nil
+	}
+	if target < 0 {
+		// Recovering to scratch: nothing to index, every slot is free.
 		arena.FinishRecovery()
+		eng.lastEnded.Store(-1)
+		if target != ckpt {
+			return finish()
+		}
 		return eng, -1, nil
 	}
 
@@ -63,8 +122,10 @@ func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engin
 	}
 
 	// Phase 1: partitioned scan. Each worker filters its slot range —
-	// records newer than the checkpoint are dropped (Observation 2's
-	// batch-range atomicity) — keeping the newest survivor per key.
+	// records newer than the target are dropped (Observation 2's
+	// batch-range atomicity) — keeping the newest survivor per key, plus
+	// the newest record at or below the horizon when that is an older slot
+	// (the retained previous checkpoint still needs it).
 	slots := uint32(arena.Slots())
 	if uint32(workers) > slots {
 		workers = int(slots)
@@ -72,7 +133,11 @@ func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engin
 			workers = 1
 		}
 	}
-	partials := make([]map[uint64]best, workers)
+	type partial struct {
+		newest map[uint64]best // newest version <= target
+		horiz  map[uint64]best // newest version <= horizon
+	}
+	partials := make([]partial, workers)
 	scanErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -84,13 +149,21 @@ func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engin
 		wg.Add(1)
 		go func(w int, lo, hi uint32) {
 			defer wg.Done()
-			local := make(map[uint64]best)
+			local := partial{newest: make(map[uint64]best)}
+			if horizon >= 0 {
+				local.horiz = make(map[uint64]best)
+			}
 			scanErrs[w] = arena.ScanRange(lo, hi, func(r pmem.Record) error {
-				if r.Version > ckpt {
+				if r.Version > target {
 					return nil
 				}
-				if prev, ok := local[r.Key]; !ok || r.Version > prev.version {
-					local[r.Key] = best{slot: r.Slot, version: r.Version}
+				if p, ok := local.newest[r.Key]; !ok || r.Version > p.version {
+					local.newest[r.Key] = best{slot: r.Slot, version: r.Version}
+				}
+				if horizon >= 0 && r.Version <= horizon {
+					if p, ok := local.horiz[r.Key]; !ok || r.Version > p.version {
+						local.horiz[r.Key] = best{slot: r.Slot, version: r.Version}
+					}
 				}
 				return nil
 			})
@@ -107,11 +180,17 @@ func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engin
 
 	// Phase 2: merge partitions (a key's records can land in any
 	// partition; newest version wins).
-	newest := partials[0]
+	newest := partials[0].newest
+	horiz := partials[0].horiz
 	for _, local := range partials[1:] {
-		for key, b := range local {
-			if prev, ok := newest[key]; !ok || b.version > prev.version {
+		for key, b := range local.newest {
+			if p, ok := newest[key]; !ok || b.version > p.version {
 				newest[key] = b
+			}
+		}
+		for key, b := range local.horiz {
+			if p, ok := horiz[key]; !ok || b.version > p.version {
+				horiz[key] = b
 			}
 		}
 	}
@@ -128,15 +207,32 @@ func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engin
 		arena.MarkOccupied(b.slot)
 		eng.dram.ChargeWrite(entryIndexBytes)
 	}
+	// Horizon records that live in a different slot than the indexed winner
+	// are re-marked occupied and re-retired: the rebuilt in-DRAM retired
+	// list is what lets the normal reclaim path free them once the retained
+	// previous checkpoint is superseded.
+	//
+	retire := make(map[uint64][2]best, 0)
+	//oevet:ignore iteration order cannot reach the result: each key touches only its own slots and the retired set is order-insensitive for reclaim
+	for key, hb := range horiz {
+		tb := newest[key] // present: horizon records also match <= target
+		if tb.slot == hb.slot {
+			continue
+		}
+		arena.MarkOccupied(hb.slot)
+		retire[key] = [2]best{hb, tb}
+	}
 	eng.entries.Store(int64(len(newest)))
 	arena.FinishRecovery()
+	//oevet:ignore iteration order cannot reach the result: Retire appends independent slots; reclaim decisions depend only on the (version, supersededBy) pairs
+	for _, pair := range retire {
+		arena.Retire(pair[0].slot, pair[0].version, pair[1].version)
+	}
 	if len(newest) > cfg.WithDefaults().Capacity {
 		eng.Close()
 		return nil, 0, fmt.Errorf("%w: recovered %d entries", psengine.ErrCapacity, len(newest))
 	}
-	eng.lastEnded.Store(ckpt)
-	eng.completedCkpt.Store(ckpt)
-	return eng, ckpt, nil
+	return finish()
 }
 
 // entryIndexBytes is the DRAM footprint charged per rebuilt index entry

@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// WrapConn wraps a connection so reads and writes consult the injector
+// under the given stream label. A nil injector returns conn unchanged, so
+// the fault-free path has no wrapper at all.
+func (in *Injector) WrapConn(conn net.Conn, label string) net.Conn {
+	if in == nil {
+		return conn
+	}
+	return &faultConn{Conn: conn, in: in, label: label}
+}
+
+type faultConn struct {
+	net.Conn
+	in    *Injector
+	label string
+}
+
+func (c *faultConn) errf(kind Kind, op string) error {
+	return fmt.Errorf("%w: %s during %s on %s", ErrInjected, kind, op, c.label)
+}
+
+// Read consults the injector: KindReset closes the connection and fails the
+// read; KindDelay sleeps first. Torn/drop are write-side faults and are
+// treated as resets if a rule targets reads with them.
+func (c *faultConn) Read(p []byte) (int, error) {
+	switch f := c.in.On(PointConnRead, c.label); f.Kind {
+	case KindNone:
+	case KindDelay:
+		time.Sleep(f.Delay)
+	default:
+		c.Conn.Close()
+		return 0, c.errf(f.Kind, "read")
+	}
+	return c.Conn.Read(p)
+}
+
+// Write consults the injector. KindTorn writes a strict prefix of p before
+// closing, so the peer observes a mid-frame failure; KindDrop discards the
+// bytes while reporting success and then closes, so a response the server
+// fully processed never arrives; KindReset closes immediately.
+func (c *faultConn) Write(p []byte) (int, error) {
+	switch f := c.in.On(PointConnWrite, c.label); f.Kind {
+	case KindNone:
+	case KindDelay:
+		time.Sleep(f.Delay)
+	case KindTorn:
+		n := len(p) / 2
+		if n > 0 {
+			c.Conn.Write(p[:n])
+		}
+		c.Conn.Close()
+		return n, c.errf(KindTorn, "write")
+	case KindDrop:
+		c.Conn.Close()
+		return len(p), nil
+	default:
+		c.Conn.Close()
+		return 0, c.errf(f.Kind, "write")
+	}
+	return c.Conn.Write(p)
+}

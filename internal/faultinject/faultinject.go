@@ -1,0 +1,311 @@
+// Package faultinject is a deterministic, seeded fault injector for the
+// distributed stack: connection resets, torn frames, delays, dropped
+// responses and whole-node crash schedules, at scripted or seeded-random
+// points. A nil *Injector is valid everywhere and costs one nil check, so
+// the fault-free hot path is unchanged.
+//
+// Determinism contract: every decision is a pure function of (seed, point,
+// label, per-stream occurrence number, rule index) — never of wall-clock
+// time, goroutine interleaving across streams, or global RNG state — so a
+// chaos run replays exactly from its seed as long as each (point, label)
+// stream is itself issued in a deterministic order (the RPC client
+// serializes requests per connection, which gives exactly that). The
+// package-level marker below puts it under the oevet faultdet analyzer:
+// all randomness must flow from the injected seed.
+//
+//oevet:fault-deterministic
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openembedding/internal/obs"
+)
+
+// Point identifies where in the stack a fault can be injected.
+type Point uint8
+
+// Injection points.
+const (
+	// PointDial fires when a client establishes a connection.
+	PointDial Point = iota
+	// PointConnRead fires on a wrapped connection's Read.
+	PointConnRead
+	// PointConnWrite fires on a wrapped connection's Write.
+	PointConnWrite
+	numPoints
+)
+
+func (p Point) String() string {
+	switch p {
+	case PointDial:
+		return "dial"
+	case PointConnRead:
+		return "conn-read"
+	case PointConnWrite:
+		return "conn-write"
+	default:
+		return fmt.Sprintf("point-%d", uint8(p))
+	}
+}
+
+// Kind is the fault to inject.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindNone means no fault.
+	KindNone Kind = iota
+	// KindReset closes the connection and fails the operation.
+	KindReset
+	// KindTorn writes a prefix of the frame, then closes the connection:
+	// the peer observes a mid-frame failure.
+	KindTorn
+	// KindDelay sleeps Rule.Delay before performing the operation.
+	KindDelay
+	// KindDrop pretends the write succeeded but discards the bytes and
+	// closes the connection afterwards, so a fully-processed response never
+	// reaches the peer.
+	KindDrop
+	// KindCrash marks a whole-node crash point (used by CrashSchedule and
+	// counted like the wire kinds; the harness performs the crash).
+	KindCrash
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindReset:
+		return "reset"
+	case KindTorn:
+		return "torn"
+	case KindDelay:
+		return "delay"
+	case KindDrop:
+		return "drop"
+	case KindCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("kind-%d", uint8(k))
+	}
+}
+
+// ErrInjected matches (via errors.Is) every error produced by an injected
+// fault, so tests can distinguish injected failures from real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule arms one fault. A rule fires either on an exact occurrence number
+// (Nth, scripted) or with probability Prob per matching call
+// (seeded-random); Count bounds total fires.
+type Rule struct {
+	// Point selects the injection point the rule applies to.
+	Point Point
+	// Label restricts the rule to one stream label ("" matches every
+	// label). Labels must be deterministic across runs: node indexes, not
+	// ephemeral addresses.
+	Label string
+	// Kind is the fault to inject when the rule fires.
+	Kind Kind
+	// Prob fires the rule with this probability per matching call, decided
+	// by the injector seed (ignored when Nth is set).
+	Prob float64
+	// Nth fires the rule exactly on the Nth matching call of its (point,
+	// label) stream, 1-based. 0 means use Prob.
+	Nth uint64
+	// Count caps how many times the rule fires in total; 0 is unlimited.
+	Count int
+	// Delay is the sleep for KindDelay.
+	Delay time.Duration
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind  Kind
+	Delay time.Duration
+}
+
+type streamKey struct {
+	point Point
+	label string
+}
+
+// Injector decides faults from a seed and a rule set. The zero value of
+// *Injector (nil) injects nothing.
+type Injector struct {
+	seed  uint64
+	rules []Rule
+
+	mu    sync.Mutex
+	calls map[streamKey]uint64 // per-(point,label) occurrence counter
+	fired []int                // per-rule fire count (for Count caps)
+
+	total [numKinds]atomic.Int64
+
+	// counters (nil, and free, without SetObs)
+	injected [numKinds]*obs.Counter
+}
+
+// New builds an injector with the given seed and rules.
+func New(seed uint64, rules ...Rule) *Injector {
+	return &Injector{
+		seed:  seed,
+		rules: append([]Rule(nil), rules...),
+		calls: make(map[streamKey]uint64),
+		fired: make([]int, len(rules)),
+	}
+}
+
+// Seed returns the injector's seed (printed by chaos tests so a failure
+// reproduces).
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// SetObs registers the faultinject_injected_<kind> counters on reg; every
+// fired fault increments its kind's counter.
+func (in *Injector) SetObs(reg *obs.Registry) {
+	if in == nil || reg == nil {
+		return
+	}
+	for k := KindReset; k < numKinds; k++ {
+		in.injected[k] = reg.Counter("faultinject_injected_" + k.String())
+	}
+}
+
+// On consumes one occurrence of the (point, label) stream and returns the
+// fault to inject, KindNone for most calls. Safe for concurrent use; nil
+// receiver always returns KindNone.
+func (in *Injector) On(point Point, label string) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	in.mu.Lock()
+	key := streamKey{point: point, label: label}
+	n := in.calls[key] + 1
+	in.calls[key] = n
+	var f Fault
+	for ri := range in.rules {
+		r := &in.rules[ri]
+		if r.Point != point || (r.Label != "" && r.Label != label) {
+			continue
+		}
+		if r.Count > 0 && in.fired[ri] >= r.Count {
+			continue
+		}
+		if r.Nth > 0 {
+			if n != r.Nth {
+				continue
+			}
+		} else if rand01(in.seed, uint64(point), hashLabel(label), n, uint64(ri)) >= r.Prob {
+			continue
+		}
+		in.fired[ri]++
+		f = Fault{Kind: r.Kind, Delay: r.Delay}
+		break
+	}
+	in.mu.Unlock()
+	if f.Kind != KindNone {
+		in.count(f.Kind)
+	}
+	return f
+}
+
+// count records one injected fault of the given kind (also used by
+// harnesses that perform scheduled crashes themselves).
+func (in *Injector) count(k Kind) {
+	in.total[k].Add(1)
+	in.injected[k].Add(1)
+}
+
+// CountCrash records one scheduled node crash against this injector's
+// counters. Nil-safe.
+func (in *Injector) CountCrash() {
+	if in == nil {
+		return
+	}
+	in.count(KindCrash)
+}
+
+// Counts returns how many faults of each kind have been injected.
+func (in *Injector) Counts() map[Kind]int64 {
+	out := make(map[Kind]int64)
+	if in == nil {
+		return out
+	}
+	for k := KindReset; k < numKinds; k++ {
+		if v := in.total[k].Load(); v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// splitmix64 is the same finalizer the engines use for hashing: a
+// high-quality, dependency-free mix whose output is a pure function of its
+// input.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashLabel folds a label into the decision hash (FNV-1a).
+func hashLabel(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// rand01 maps the decision coordinates to a uniform [0,1) value.
+func rand01(seed, point, label, n, rule uint64) float64 {
+	x := splitmix64(seed ^ splitmix64(point^splitmix64(label^splitmix64(n^splitmix64(rule)))))
+	return float64(x>>11) / float64(1<<53)
+}
+
+// CrashSchedule deterministically assigns each of nodes crash points:
+// perNode distinct batches in [1, batches-1] per node, derived from seed
+// alone. The result maps batch -> node indexes to crash just before that
+// batch's pull phase (sorted, so the harness kills them in a fixed order).
+// Batch 0 is excluded so every run performs at least one full batch.
+func CrashSchedule(seed uint64, nodes, batches, perNode int) map[int64][]int {
+	out := make(map[int64][]int)
+	if batches < 2 || perNode <= 0 {
+		return out
+	}
+	span := uint64(batches - 1) // candidate batches 1..batches-1
+	if uint64(perNode) > span {
+		perNode = int(span)
+	}
+	for node := 0; node < nodes; node++ {
+		chosen := make(map[int64]bool, perNode)
+		for attempt := uint64(0); len(chosen) < perNode; attempt++ {
+			b := int64(splitmix64(seed^splitmix64(uint64(node)<<32^attempt))%span) + 1
+			if !chosen[b] {
+				chosen[b] = true
+				out[b] = append(out[b], node)
+			}
+		}
+	}
+	for _, ns := range out {
+		// insertion sort: lists are tiny and package stays dependency-light
+		for i := 1; i < len(ns); i++ {
+			for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+				ns[j], ns[j-1] = ns[j-1], ns[j]
+			}
+		}
+	}
+	return out
+}

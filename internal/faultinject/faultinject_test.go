@@ -1,0 +1,227 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"openembedding/internal/obs"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if f := in.On(PointConnWrite, "x"); f.Kind != KindNone {
+		t.Fatalf("nil injector fired %v", f.Kind)
+	}
+	if got := in.Seed(); got != 0 {
+		t.Fatalf("nil Seed = %d", got)
+	}
+	in.CountCrash()
+	if n := len(in.Counts()); n != 0 {
+		t.Fatalf("nil Counts has %d entries", n)
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if wrapped := in.WrapConn(c1, "x"); wrapped != c1 {
+		t.Fatal("nil WrapConn must return the conn unchanged")
+	}
+}
+
+func TestScriptedNthFiresExactlyOnce(t *testing.T) {
+	in := New(1, Rule{Point: PointConnWrite, Kind: KindReset, Nth: 3})
+	for i := 1; i <= 10; i++ {
+		f := in.On(PointConnWrite, "a")
+		if (f.Kind == KindReset) != (i == 3) {
+			t.Fatalf("call %d: kind %v", i, f.Kind)
+		}
+	}
+	if got := in.Counts()[KindReset]; got != 1 {
+		t.Fatalf("reset count = %d, want 1", got)
+	}
+}
+
+func TestLabelScoping(t *testing.T) {
+	in := New(1, Rule{Point: PointConnWrite, Label: "node1", Kind: KindTorn, Nth: 1})
+	if f := in.On(PointConnWrite, "node0"); f.Kind != KindNone {
+		t.Fatalf("fired on wrong label: %v", f.Kind)
+	}
+	if f := in.On(PointConnWrite, "node1"); f.Kind != KindTorn {
+		t.Fatalf("did not fire on its label: %v", f.Kind)
+	}
+	// Per-label occurrence counters are independent: node1's first call is
+	// occurrence 1 even though node0 was called first.
+}
+
+func TestCountCap(t *testing.T) {
+	in := New(1, Rule{Point: PointConnRead, Kind: KindReset, Prob: 1, Count: 2})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.On(PointConnRead, "a").Kind == KindReset {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (Count cap)", fired)
+	}
+}
+
+func TestSameSeedSameDecisions(t *testing.T) {
+	rules := []Rule{
+		{Point: PointConnWrite, Kind: KindReset, Prob: 0.3},
+		{Point: PointConnRead, Kind: KindDelay, Prob: 0.2, Delay: time.Millisecond},
+		{Point: PointDial, Kind: KindReset, Prob: 0.5},
+	}
+	run := func(seed uint64) []Kind {
+		in := New(seed, rules...)
+		var out []Kind
+		for i := 0; i < 200; i++ {
+			out = append(out, in.On(PointConnWrite, "n0").Kind)
+			out = append(out, in.On(PointConnRead, "n0").Kind)
+			out = append(out, in.On(PointDial, "n1").Kind)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs for same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 600-decision streams")
+	}
+}
+
+func TestInterleavingInvariance(t *testing.T) {
+	// Decisions are keyed per (point, label) stream, so interleaving two
+	// labels differently must not change either label's decision sequence.
+	rules := []Rule{{Point: PointConnWrite, Kind: KindReset, Prob: 0.4}}
+	seq := func(interleaved bool) (a, b []Kind) {
+		in := New(7, rules...)
+		if interleaved {
+			for i := 0; i < 50; i++ {
+				a = append(a, in.On(PointConnWrite, "a").Kind)
+				b = append(b, in.On(PointConnWrite, "b").Kind)
+			}
+			return a, b
+		}
+		for i := 0; i < 50; i++ {
+			a = append(a, in.On(PointConnWrite, "a").Kind)
+		}
+		for i := 0; i < 50; i++ {
+			b = append(b, in.On(PointConnWrite, "b").Kind)
+		}
+		return a, b
+	}
+	a1, b1 := seq(true)
+	a2, b2 := seq(false)
+	for i := range a1 {
+		if a1[i] != a2[i] || b1[i] != b2[i] {
+			t.Fatalf("decision %d depends on cross-stream interleaving", i)
+		}
+	}
+}
+
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(1, Rule{Point: PointConnWrite, Kind: KindTorn, Nth: 1})
+	in.SetObs(reg)
+	in.On(PointConnWrite, "a")
+	in.CountCrash()
+	snap := reg.Snapshot()
+	if got := snap.Counters["faultinject_injected_torn"]; got != 1 {
+		t.Fatalf("faultinject_injected_torn = %d, want 1", got)
+	}
+	if got := snap.Counters["faultinject_injected_crash"]; got != 1 {
+		t.Fatalf("faultinject_injected_crash = %d, want 1", got)
+	}
+}
+
+func TestWrapConnFaults(t *testing.T) {
+	// Torn: a strict prefix reaches the peer, then the conn dies.
+	in := New(1, Rule{Point: PointConnWrite, Label: "w", Kind: KindTorn, Nth: 1})
+	a, b := net.Pipe()
+	defer b.Close()
+	w := in.WrapConn(a, "w")
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		done <- buf[:n]
+	}()
+	msg := []byte("0123456789")
+	n, err := w.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v, want ErrInjected", err)
+	}
+	if n != len(msg)/2 {
+		t.Fatalf("torn write reported %d bytes, want %d", n, len(msg)/2)
+	}
+	if got := <-done; len(got) >= len(msg) {
+		t.Fatalf("peer received full message (%q) despite torn write", got)
+	}
+
+	// Drop: the write "succeeds" but nothing arrives and the conn closes.
+	in2 := New(1, Rule{Point: PointConnWrite, Label: "w", Kind: KindDrop, Nth: 1})
+	c, d := net.Pipe()
+	defer d.Close()
+	w2 := in2.WrapConn(c, "w")
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := d.Read(make([]byte, 16))
+		readErr <- err
+	}()
+	if n, err := w2.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("drop write = (%d, %v), want full fake success", n, err)
+	}
+	if err := <-readErr; err == nil {
+		t.Fatal("peer read succeeded despite dropped write")
+	}
+}
+
+func TestCrashSchedule(t *testing.T) {
+	sched := CrashSchedule(99, 3, 12, 2)
+	perNode := make(map[int]int)
+	for batch, nodes := range sched {
+		if batch < 1 || batch >= 12 {
+			t.Fatalf("crash scheduled at out-of-range batch %d", batch)
+		}
+		for i, n := range nodes {
+			perNode[n]++
+			if i > 0 && nodes[i-1] >= n {
+				t.Fatalf("batch %d node list not sorted/unique: %v", batch, nodes)
+			}
+		}
+	}
+	for n := 0; n < 3; n++ {
+		if perNode[n] != 2 {
+			t.Fatalf("node %d scheduled %d crashes, want 2", n, perNode[n])
+		}
+	}
+	// Deterministic in the seed.
+	again := CrashSchedule(99, 3, 12, 2)
+	if len(again) != len(sched) {
+		t.Fatal("CrashSchedule not deterministic")
+	}
+	for b, nodes := range sched {
+		o := again[b]
+		if len(o) != len(nodes) {
+			t.Fatalf("batch %d differs between identical calls", b)
+		}
+		for i := range nodes {
+			if o[i] != nodes[i] {
+				t.Fatalf("batch %d differs between identical calls", b)
+			}
+		}
+	}
+}

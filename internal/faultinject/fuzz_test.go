@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+// FuzzFaultSchedule replays arbitrary seeds and rule parameters through the
+// injector twice and asserts the decision streams are identical — the
+// replay-exactness property every chaos test depends on — and that
+// CrashSchedule stays in bounds and deterministic. A failure prints the
+// fuzz inputs, which ARE the reproducing seed.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint64(1), 0.1, uint64(3), 3, 10, 2)
+	f.Add(uint64(42), 0.9, uint64(0), 5, 2, 1)
+	f.Add(uint64(0), 0.0, uint64(1), 1, 100, 7)
+	f.Fuzz(func(t *testing.T, seed uint64, prob float64, nth uint64, nodes, batches, perNode int) {
+		if nodes < 0 || nodes > 16 || batches < 0 || batches > 1<<12 || perNode < 0 || perNode > 1<<8 {
+			t.Skip("out of modeled range")
+		}
+		rules := []Rule{
+			{Point: PointConnWrite, Kind: KindReset, Prob: prob, Nth: nth},
+			{Point: PointConnRead, Label: "n1", Kind: KindDrop, Prob: 1 - prob},
+			{Point: PointDial, Kind: KindTorn, Prob: prob / 2, Count: 3},
+		}
+		run := func() []Kind {
+			in := New(seed, rules...)
+			var out []Kind
+			for i := 0; i < 64; i++ {
+				out = append(out, in.On(PointConnWrite, "n0").Kind)
+				out = append(out, in.On(PointConnRead, "n1").Kind)
+				out = append(out, in.On(PointDial, "n0").Kind)
+			}
+			return out
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: replay length mismatch", seed)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: decision %d not replayable: %v vs %v", seed, i, a[i], b[i])
+			}
+		}
+
+		s1 := CrashSchedule(seed, nodes, batches, perNode)
+		s2 := CrashSchedule(seed, nodes, batches, perNode)
+		if len(s1) != len(s2) {
+			t.Fatalf("seed %d: CrashSchedule not deterministic", seed)
+		}
+		for batch, ns := range s1 {
+			if batch < 1 || batch >= int64(batches) {
+				t.Fatalf("seed %d: crash at out-of-range batch %d of %d", seed, batch, batches)
+			}
+			o := s2[batch]
+			if len(o) != len(ns) {
+				t.Fatalf("seed %d: CrashSchedule batch %d differs", seed, batch)
+			}
+			for i, n := range ns {
+				if n < 0 || n >= nodes {
+					t.Fatalf("seed %d: crash for out-of-range node %d", seed, n)
+				}
+				if o[i] != n {
+					t.Fatalf("seed %d: CrashSchedule batch %d differs", seed, batch)
+				}
+			}
+		}
+	})
+}

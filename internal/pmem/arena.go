@@ -51,6 +51,11 @@ const (
 	offPayload = 8
 	offSlots   = 12
 	offCkptID  = 16
+	// offPrevCkptID holds the checkpoint completed immediately before
+	// offCkptID, or -1. Engines configured to retain two checkpoints keep
+	// both recoverable, which is what lets a node roll back one committed
+	// batch during coordinated cluster replay (DESIGN.md §10).
+	offPrevCkptID = 24
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -82,7 +87,8 @@ func NewArena(dev *Device, payloadBytes, slots int) (*Arena, error) {
 	binary.LittleEndian.PutUint64(hdr[offMagic:], arenaMagic)
 	binary.LittleEndian.PutUint32(hdr[offPayload:], uint32(payloadBytes))
 	binary.LittleEndian.PutUint32(hdr[offSlots:], uint32(slots))
-	binary.LittleEndian.PutUint64(hdr[offCkptID:], uint64(math.MaxUint64)) // -1
+	binary.LittleEndian.PutUint64(hdr[offCkptID:], uint64(math.MaxUint64))     // -1
+	binary.LittleEndian.PutUint64(hdr[offPrevCkptID:], uint64(math.MaxUint64)) // -1
 	if err := dev.Persist(0, hdr); err != nil {
 		return nil, err
 	}
@@ -375,6 +381,29 @@ func (a *Arena) SetCheckpointedBatch(id int64) error {
 // no checkpoint has ever completed.
 func (a *Arena) CheckpointedBatch() (int64, error) {
 	buf, err := a.dev.View(offCkptID, 8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf)), nil
+}
+
+// SetPrevCheckpointedBatch atomically persists the ID of the checkpoint
+// retained *behind* the latest one (-1 for none). Engines that keep two
+// recoverable checkpoints persist this BEFORE advancing the current ID, so
+// a crash between the two stores leaves (prev==cur), which recovery treats
+// as "only one checkpoint retained" — safe in both orders.
+//
+// oevet:pmem-publish
+func (a *Arena) SetPrevCheckpointedBatch(id int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(id))
+	return a.dev.Persist(offPrevCkptID, buf[:])
+}
+
+// PrevCheckpointedBatch returns the persisted previous-checkpoint ID, or -1
+// if at most one checkpoint is retained.
+func (a *Arena) PrevCheckpointedBatch() (int64, error) {
+	buf, err := a.dev.View(offPrevCkptID, 8)
 	if err != nil {
 		return 0, err
 	}

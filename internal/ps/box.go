@@ -1,0 +1,61 @@
+package ps
+
+import (
+	"sync"
+
+	"openembedding/internal/psengine"
+)
+
+// engineBox is the swappable engine slot a restartable node serves through:
+// Crash/Restart/rollback replace the engine underneath the running RPC
+// server without re-plumbing it. The RWMutex makes the swap safe against
+// in-flight requests — readers (every request) share, the swap excludes.
+// Requests that race a swap hit the closed old engine and fail with
+// psengine.ErrClosed, which fault-tolerant clients treat as retryable once
+// the transport drops; fenced clients are rejected by epoch anyway.
+type engineBox struct {
+	mu  sync.RWMutex
+	eng psengine.Engine
+}
+
+func newEngineBox(eng psengine.Engine) *engineBox { return &engineBox{eng: eng} }
+
+func (b *engineBox) get() psengine.Engine {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.eng
+}
+
+func (b *engineBox) set(eng psengine.Engine) {
+	b.mu.Lock()
+	b.eng = eng
+	b.mu.Unlock()
+}
+
+// psengine.Engine forwarding.
+
+func (b *engineBox) Name() string { return b.get().Name() }
+func (b *engineBox) Dim() int     { return b.get().Dim() }
+func (b *engineBox) Pull(batch int64, keys []uint64, dst []float32) error {
+	return b.get().Pull(batch, keys, dst)
+}
+func (b *engineBox) EndPullPhase(batch int64) { b.get().EndPullPhase(batch) }
+func (b *engineBox) WaitMaintenance()         { b.get().WaitMaintenance() }
+func (b *engineBox) Push(batch int64, keys []uint64, grads []float32) error {
+	return b.get().Push(batch, keys, grads)
+}
+func (b *engineBox) EndBatch(batch int64) error          { return b.get().EndBatch(batch) }
+func (b *engineBox) RequestCheckpoint(batch int64) error { return b.get().RequestCheckpoint(batch) }
+func (b *engineBox) CompletedCheckpoint() int64          { return b.get().CompletedCheckpoint() }
+func (b *engineBox) Stats() psengine.Stats               { return b.get().Stats() }
+func (b *engineBox) Close() error                        { return b.get().Close() }
+
+// AdvanceCheckpoints forwards the optional checkpoint-progress hook when
+// the boxed engine supports it, so the RPC server's type assertion sees it
+// through the box.
+func (b *engineBox) AdvanceCheckpoints() error {
+	if adv, ok := b.get().(interface{ AdvanceCheckpoints() error }); ok {
+		return adv.AdvanceCheckpoints()
+	}
+	return nil
+}

@@ -1,18 +1,27 @@
 // Package ps assembles a parameter-server node: a storage engine of a
 // chosen kind behind the RPC server, with the PMem device image optionally
 // persisted to a file so the node can recover after a restart (Sec. V-C).
+//
+// A pmem-oe node is restartable in-process: Crash tears down the server
+// and engine and drops unpersisted device state, Restart recovers a fresh
+// engine from the surviving image and re-serves the same address at a
+// bumped epoch (fencing stale clients), and the rollback RPC swaps in an
+// engine recovered at an older retained checkpoint for coordinated cluster
+// replay (DESIGN.md §10).
 package ps
 
 import (
 	"fmt"
 	"net/http"
 	"os"
+	"sync"
 
 	"openembedding/internal/core"
 	"openembedding/internal/device"
 	"openembedding/internal/engines/dramps"
 	"openembedding/internal/engines/oricache"
 	"openembedding/internal/engines/pmemhash"
+	"openembedding/internal/faultinject"
 	"openembedding/internal/obs"
 	"openembedding/internal/pmem"
 	"openembedding/internal/psengine"
@@ -35,6 +44,14 @@ type NodeConfig struct {
 	// CheckpointDir configures the incremental checkpointer for the
 	// baseline engines.
 	CheckpointDir string
+	// Inject, when set, arms the deterministic fault injector on the node's
+	// RPC server (server-side wire faults). Nil leaves the hot path
+	// untouched.
+	Inject *faultinject.Injector
+	// Label is the injector stream label for this node's server-side
+	// connections; it must be deterministic across runs (a node index, not
+	// an address). Defaults to "server".
+	Label string
 	// Obs enables node observability: the registry is handed to the engine
 	// (engine_* metrics) and the RPC server (rpc_server_* metrics), and
 	// ObsHandler serves it over HTTP. Nil disables all of it.
@@ -46,13 +63,22 @@ type NodeConfig struct {
 
 // Node is one running parameter-server node.
 type Node struct {
-	cfg    NodeConfig
-	engine psengine.Engine
-	dev    *pmem.Device // nil for dram-ps
-	srv    *rpc.Server
+	cfg NodeConfig
+	box *engineBox
+	dev *pmem.Device // nil for dram-ps
+
+	// mu guards srv/addr/epoch/crashed across Crash/Restart/rollback.
+	// Never held while closing the server (its handler drain would
+	// deadlock against a rollback RPC waiting for mu).
+	mu      sync.Mutex
+	srv     *rpc.Server
+	addr    string
+	epoch   int64
+	crashed bool
 
 	// RecoveredBatch is the checkpoint the engine recovered to when the
-	// node started from an existing PMem image (-1 otherwise).
+	// node started from an existing PMem image (-1 otherwise); Restart
+	// updates it to the checkpoint the restarted engine recovered to.
 	RecoveredBatch int64
 }
 
@@ -85,6 +111,7 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 		return pmem.NewDevice(pmem.ArenaLayout(payload, slots), timed), false, nil
 	}
 
+	var engine psengine.Engine
 	switch cfg.Engine {
 	case "pmem-oe":
 		dev, existing, err := newDevice()
@@ -97,7 +124,7 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ps: recover: %w", err)
 			}
-			n.engine = eng
+			engine = eng
 			n.RecoveredBatch = ckpt
 		} else {
 			arena, err := pmem.NewArena(dev, payload, slots)
@@ -108,14 +135,14 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			n.engine = eng
+			engine = eng
 		}
 	case "dram-ps":
 		eng, err := dramps.New(store, dramps.Options{CheckpointDir: cfg.CheckpointDir})
 		if err != nil {
 			return nil, err
 		}
-		n.engine = eng
+		engine = eng
 	case "ori-cache":
 		dev, _, err := newDevice()
 		if err != nil {
@@ -130,7 +157,7 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.engine = eng
+		engine = eng
 	case "pmem-hash":
 		dev, _, err := newDevice()
 		if err != nil {
@@ -145,18 +172,33 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.engine = eng
+		engine = eng
 	default:
 		return nil, fmt.Errorf("ps: unknown engine %q", cfg.Engine)
 	}
+	n.box = newEngineBox(engine)
 
-	srv, err := rpc.ServeOpts(addr, n.engine, rpc.ServerOptions{Obs: cfg.Obs})
+	srv, err := rpc.ServeOpts(addr, n.box, n.serverOptions())
 	if err != nil {
-		n.engine.Close()
+		engine.Close()
 		return nil, err
 	}
 	n.srv = srv
+	n.addr = srv.Addr()
 	return n, nil
+}
+
+func (n *Node) serverOptions() rpc.ServerOptions {
+	opts := rpc.ServerOptions{
+		Epoch:  n.epoch,
+		Inject: n.cfg.Inject,
+		Label:  n.cfg.Label,
+		Obs:    n.cfg.Obs,
+	}
+	if n.cfg.Engine == "pmem-oe" {
+		opts.Rollback = n.rollbackTo
+	}
+	return opts
 }
 
 // ObsHandler returns the node's observability HTTP handler (/metrics,
@@ -164,18 +206,125 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 // serves well-formed empty documents.
 func (n *Node) ObsHandler() http.Handler { return obs.Handler(n.cfg.Obs, n.cfg.Spans) }
 
-// Addr returns the node's bound address.
-func (n *Node) Addr() string { return n.srv.Addr() }
+// Addr returns the node's bound address (stable across Crash/Restart).
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addr
+}
 
-// Engine exposes the underlying storage engine (for embedded use).
-func (n *Node) Engine() psengine.Engine { return n.engine }
+// Epoch returns the node's current epoch: 0 at start, bumped by every
+// Restart and rollback.
+func (n *Node) Epoch() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// Engine exposes the underlying storage engine (for embedded use). The
+// returned handle stays valid across Crash/Restart/rollback — it forwards
+// to whichever engine currently backs the node.
+func (n *Node) Engine() psengine.Engine { return n.box }
+
+// Crash simulates a node failure in-process: the server stops (every
+// client connection drops), the engine is torn down, and unpersisted
+// device state is discarded exactly as a power loss would. The PMem image
+// survives; Restart recovers from it. Only pmem-oe nodes — whose PMem
+// image is crash-consistent by design — support it.
+func (n *Node) Crash() error {
+	if n.cfg.Engine != "pmem-oe" {
+		return fmt.Errorf("ps: crash unsupported for engine %q", n.cfg.Engine)
+	}
+	n.mu.Lock()
+	if n.crashed {
+		n.mu.Unlock()
+		return fmt.Errorf("ps: node already crashed")
+	}
+	srv := n.srv
+	n.mu.Unlock()
+	// Close the server outside mu: its handler drain may include a
+	// rollback RPC that needs mu.
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Drain background maintenance, then drop whatever the "power loss"
+	// catches un-persisted. Records and checkpoint IDs were Persisted on
+	// write, so the surviving image is exactly the durable state.
+	if err := n.box.Close(); err != nil && err != psengine.ErrClosed {
+		_ = err // the engine state is discarded either way
+	}
+	n.dev.Crash()
+	n.crashed = true
+	return nil
+}
+
+// Restart recovers a crashed node from its surviving PMem image and
+// re-serves the SAME address at a bumped epoch. Clients synchronized to
+// the old epoch are fenced on their next batch-protocol request and must
+// run the cluster recovery protocol (rollback + AdoptEpoch).
+func (n *Node) Restart() (int64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.crashed {
+		return -1, fmt.Errorf("ps: restart of a node that is not crashed")
+	}
+	eng, ckpt, err := core.Recover(n.cfg.Store, n.dev)
+	if err != nil {
+		return -1, fmt.Errorf("ps: restart: %w", err)
+	}
+	n.box.set(eng)
+	n.epoch++
+	srv, err := rpc.ServeOpts(n.addr, n.box, n.serverOptions())
+	if err != nil {
+		eng.Close()
+		return -1, fmt.Errorf("ps: restart: re-listen on %s: %w", n.addr, err)
+	}
+	n.srv = srv
+	n.crashed = false
+	n.RecoveredBatch = ckpt
+	return ckpt, nil
+}
+
+// rollbackTo serves the rollback RPC: it swaps in an engine recovered at
+// the requested retained checkpoint and bumps the epoch so every other
+// client re-synchronizes before touching the rolled-back state. Idempotent
+// — rolling back to the checkpoint the engine is already at is a recovery
+// to the same state.
+func (n *Node) rollbackTo(target int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.crashed {
+		return fmt.Errorf("ps: rollback of a crashed node")
+	}
+	old := n.box.get()
+	if err := old.Close(); err != nil && err != psengine.ErrClosed {
+		return fmt.Errorf("ps: rollback: draining engine: %w", err)
+	}
+	eng, _, err := core.RecoverTo(n.cfg.Store, n.dev, target)
+	if err != nil {
+		return fmt.Errorf("ps: rollback to %d: %w", target, err)
+	}
+	n.box.set(eng)
+	n.epoch++
+	n.srv.SetEpoch(n.epoch)
+	return nil
+}
 
 // Close stops serving, closes the engine and, when configured, saves the
-// PMem image so a restarted node can recover.
+// PMem image so a restarted node can recover. Closing a crashed node only
+// saves the image.
 func (n *Node) Close() error {
-	err := n.srv.Close()
-	if cerr := n.engine.Close(); err == nil {
-		err = cerr
+	n.mu.Lock()
+	srv, crashed := n.srv, n.crashed
+	n.mu.Unlock()
+	var err error
+	if !crashed {
+		err = srv.Close()
+		if cerr := n.box.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if n.dev != nil && n.cfg.PMemImage != "" {
 		if serr := n.dev.Save(n.cfg.PMemImage); err == nil {

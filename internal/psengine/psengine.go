@@ -115,6 +115,12 @@ type Config struct {
 	// CacheDisabled bypasses the DRAM cache entirely (every access goes to
 	// PMem). Used by the Fig. 9 ablation.
 	CacheDisabled bool
+	// RetainCheckpoints is how many completed checkpoints stay recoverable
+	// on PMem. 1 (the default) keeps only the latest. 2 also retains the
+	// previous checkpoint's records and persists its ID, which is what a
+	// fault-tolerant cluster needs: coordinated replay may roll a node back
+	// to a checkpoint its peers have already superseded (DESIGN.md §10).
+	RetainCheckpoints int
 }
 
 // WithDefaults returns a copy of c with zero fields defaulted.
@@ -141,6 +147,9 @@ func (c Config) WithDefaults() Config {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}
 	c.Shards = normalizeShards(c.Shards)
+	if c.RetainCheckpoints == 0 {
+		c.RetainCheckpoints = 1
+	}
 	return c
 }
 

@@ -1,0 +1,89 @@
+package rpc
+
+import (
+	"testing"
+
+	"openembedding/internal/engines/dramps"
+	"openembedding/internal/optim"
+	"openembedding/internal/psengine"
+)
+
+func benchSetup(b *testing.B, opts Options) (*Client, []uint64, []float32) {
+	b.Helper()
+	eng, err := dramps.New(psengine.Config{
+		Dim: 16, Optimizer: optim.NewSGD(0.1), Capacity: 1 << 16, CacheEntries: 1 << 16,
+	}, dramps.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	srv, err := Serve("127.0.0.1:0", eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl, err := DialOpts(srv.Addr(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	grads := make([]float32, len(keys)*16)
+	if _, err := cl.Pull(0, keys); err != nil {
+		b.Fatal(err)
+	}
+	return cl, keys, grads
+}
+
+// BenchmarkClientPull measures the fault-free request path without retry
+// machinery — the baseline the retry-enabled variant must stay within noise
+// of.
+func BenchmarkClientPull(b *testing.B) {
+	cl, keys, _ := benchSetup(b, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Pull(0, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientPullRetryEnabled is the same request path with the retry
+// policy and (idle) injection hooks armed: the fault-free overhead of fault
+// tolerance.
+func BenchmarkClientPullRetryEnabled(b *testing.B) {
+	cl, keys, _ := benchSetup(b, Options{Retry: RetryPolicy{MaxAttempts: 3}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Pull(0, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientPush measures the mutating path, which additionally
+// carries the clientID+seq pair and passes the server's dedup layer.
+func BenchmarkClientPush(b *testing.B) {
+	cl, keys, grads := benchSetup(b, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Push(0, keys, grads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientPushRetryEnabled: the mutating path with dedup sequence
+// numbers active server-side.
+func BenchmarkClientPushRetryEnabled(b *testing.B) {
+	cl, keys, grads := benchSetup(b, Options{Retry: RetryPolicy{MaxAttempts: 3}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Push(0, keys, grads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"openembedding/internal/faultinject"
+	"openembedding/internal/obs"
+)
+
+// ftClient dials with fault tolerance enabled and short timeouts so
+// injected faults turn into fast failures.
+func ftClient(t *testing.T, addr string, opts Options) *Client {
+	t.Helper()
+	if opts.Retry.MaxAttempts == 0 {
+		opts.Retry.MaxAttempts = 4
+	}
+	if opts.Retry.Backoff == 0 {
+		opts.Retry.Backoff = time.Millisecond
+	}
+	opts.ReadTimeout = 2 * time.Second
+	opts.WriteTimeout = 2 * time.Second
+	cl, err := DialOpts(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// TestRedialAfterServerRestart: a fault-tolerant client survives the server
+// process being torn down and re-listened on the same address at the same
+// epoch — the redial plus handshake is transparent to the caller.
+func TestRedialAfterServerRestart(t *testing.T) {
+	eng := testEngine(t)
+	srv, err := Serve("127.0.0.1:0", eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	reg := obs.NewRegistry()
+	cl := ftClient(t, addr, Options{Obs: reg})
+	if _, err := cl.Pull(0, []uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Serve(addr, eng) // same address, same epoch (0)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	if _, err := cl.Pull(0, []uint64{1, 2}); err != nil {
+		t.Fatalf("pull across server restart: %v", err)
+	}
+	if got := reg.Snapshot().Counters["rpc_client_redials"]; got < 1 {
+		t.Fatalf("rpc_client_redials = %d, want >= 1", got)
+	}
+}
+
+// TestPushRetryDedup: the server drops a Push response on the floor (the
+// mutation ran, the ack was lost). The client's retry re-delivers the same
+// sequence number and the server replays its cached response instead of
+// applying the gradient twice.
+func TestPushRetryDedup(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Server connection writes: #1 hello resp, #2 pull resp, #3 push resp.
+	inj := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PointConnWrite, Label: "server",
+		Kind: faultinject.KindDrop, Nth: 3,
+	})
+	srv, err := ServeOpts("127.0.0.1:0", testEngine(t), ServerOptions{Inject: inj, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := ftClient(t, srv.Addr(), Options{})
+
+	keys := []uint64{1}
+	w1, err := cl.Pull(0, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Push(0, keys, []float32{1, 1, 1, 1}); err != nil {
+		t.Fatalf("push through dropped ack: %v", err)
+	}
+	if err := cl.EndPullPhase(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EndBatch(0); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := cl.Pull(1, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w2 {
+		want := w1[i] - 0.1 // applied exactly once (twice would be -0.2)
+		if d := w2[i] - want; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("w2[%d] = %v, want %v: push not deduplicated", i, w2[i], want)
+		}
+	}
+	if got := reg.Snapshot().Counters["rpc_server_dedup_hits"]; got != 1 {
+		t.Fatalf("rpc_server_dedup_hits = %d, want 1", got)
+	}
+}
+
+// TestEpochFence: when the server moves to a new epoch (a recovery), the
+// stale client's batch-protocol requests fail with a typed *EpochError —
+// first from the server, then fast client-side — until AdoptEpoch
+// re-synchronizes.
+func TestEpochFence(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := ServeOpts("127.0.0.1:0", testEngine(t), ServerOptions{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := ftClient(t, srv.Addr(), Options{})
+	if _, err := cl.Pull(0, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Epoch(); got != 0 {
+		t.Fatalf("client epoch = %d, want 0", got)
+	}
+
+	srv.SetEpoch(1) // the node "recovered"
+
+	_, err = cl.Pull(0, []uint64{1})
+	if !errors.Is(err, ErrEpochFenced) {
+		t.Fatalf("pull after epoch bump: %v, want ErrEpochFenced", err)
+	}
+	var ee *EpochError
+	if !errors.As(err, &ee) || ee.ServerEpoch != 1 {
+		t.Fatalf("epoch error not attributed: %v", err)
+	}
+	// Fenced fast-fail: the second attempt never touches the wire.
+	if _, err := cl.Pull(0, []uint64{1}); !errors.Is(err, ErrEpochFenced) {
+		t.Fatalf("second pull: %v, want client-side fence", err)
+	}
+	// Unfenced requests still work while fenced.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping while fenced: %v", err)
+	}
+
+	ep, err := cl.AdoptEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != 1 {
+		t.Fatalf("AdoptEpoch = %d, want 1", ep)
+	}
+	if _, err := cl.Pull(0, []uint64{1}); err != nil {
+		t.Fatalf("pull after AdoptEpoch: %v", err)
+	}
+	if got := reg.Snapshot().Counters["rpc_server_epoch_rejects"]; got < 1 {
+		t.Fatalf("rpc_server_epoch_rejects = %d, want >= 1", got)
+	}
+}
+
+// TestCloseDuringRedialNoLeak: Close racing an in-flight redial must win —
+// the freshly dialed connection is discarded, the pending request fails
+// with ErrClientClosed, and the server ends with zero live connections.
+func TestCloseDuringRedialNoLeak(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := ServeOpts("127.0.0.1:0", testEngine(t), ServerOptions{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Client write #2 (the ping after the dial-time hello) resets the conn.
+	inj := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PointConnWrite, Label: "c",
+		Kind: faultinject.KindReset, Nth: 2,
+	})
+	cl, err := DialOpts(srv.Addr(), Options{
+		Retry:        RetryPolicy{MaxAttempts: 1},
+		Inject:       inj,
+		Label:        "c",
+		ReadTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(); err == nil {
+		t.Fatal("injected reset did not surface")
+	}
+
+	// The next request redials; the test hook holds the fresh conn between
+	// dial and install long enough for Close to land in the window.
+	cl.testRedialDelay = 200 * time.Millisecond
+	done := make(chan error, 1)
+	go func() { done <- cl.Ping() }()
+	time.Sleep(50 * time.Millisecond)
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("ping during close = %v, want ErrClientClosed", err)
+	}
+	if err := cl.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("ping after close = %v, want ErrClientClosed", err)
+	}
+
+	// No leaked socket: the server's conn gauge must drain to zero.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if reg.Snapshot().Gauges["rpc_server_conns"] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server conns gauge stuck at %d: redialed conn leaked",
+				reg.Snapshot().Gauges["rpc_server_conns"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerTornResponse: the server tears a response frame mid-write. A
+// legacy client surfaces a typed transport error; a fresh connection works
+// because the fault was scripted, not systemic.
+func TestServerTornResponse(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PointConnWrite, Label: "server",
+		Kind: faultinject.KindTorn, Nth: 1,
+	})
+	srv, err := ServeOpts("127.0.0.1:0", testEngine(t), ServerOptions{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := DialOpts(srv.Addr(), Options{ReadTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, err = cl.Pull(0, []uint64{1})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("torn response error = %v, want ErrUnavailable", err)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || te.Op != "pull" {
+		t.Fatalf("torn response error not attributed: %v", err)
+	}
+
+	cl2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.Pull(0, []uint64{1}); err != nil {
+		t.Fatalf("fresh connection after torn response: %v", err)
+	}
+}
+
+// TestTornResponseRetries: the same torn response is healed transparently
+// when retries are enabled.
+func TestTornResponseRetries(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Server writes: #1 hello resp, #2 pull resp (torn), then after the
+	// redial #3 hello resp and #4 the pull retry.
+	inj := faultinject.New(1, faultinject.Rule{
+		Point: faultinject.PointConnWrite, Label: "server",
+		Kind: faultinject.KindTorn, Nth: 2,
+	})
+	srv, err := ServeOpts("127.0.0.1:0", testEngine(t), ServerOptions{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := ftClient(t, srv.Addr(), Options{Obs: reg})
+	if _, err := cl.Pull(0, []uint64{1}); err != nil {
+		t.Fatalf("pull through torn response: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["rpc_client_retries"] < 1 {
+		t.Fatalf("rpc_client_retries = %d, want >= 1", snap.Counters["rpc_client_retries"])
+	}
+}
+
+// TestLegacyClientAgainstEpochServer: a client that never handshakes binds
+// lazily to the server's current epoch, so pre-fault-tolerance tooling
+// keeps working against an un-crashed node.
+func TestLegacyClientAgainstEpochServer(t *testing.T) {
+	srv, err := ServeOpts("127.0.0.1:0", testEngine(t), ServerOptions{Epoch: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Pull(0, []uint64{1}); err != nil {
+		t.Fatalf("legacy pull against epoch-5 server: %v", err)
+	}
+	if err := cl.EndPullPhase(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRollbackUnsupported: MsgRollback against a server without a rollback
+// hook is a clean remote error, not a hang or disconnect.
+func TestRollbackUnsupported(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Rollback(0); err == nil {
+		t.Fatal("rollback accepted by a server without a rollback hook")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("connection broken after rollback error: %v", err)
+	}
+}

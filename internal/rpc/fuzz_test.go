@@ -62,6 +62,36 @@ func TestWireRoundTripProperty(t *testing.T) {
 	}
 }
 
+// FuzzFrameTear: a frame torn at any byte boundary — what the injector's
+// KindTorn fault produces on the wire — must decode to an error, never a
+// panic, a hang, or silently truncated data.
+func FuzzFrameTear(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(3))
+	f.Add([]byte{}, uint16(0))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), uint16(40))
+	f.Fuzz(func(t *testing.T, body []byte, cutAt uint16) {
+		var wire bytes.Buffer
+		if err := WriteFrame(&wire, body); err != nil {
+			t.Skip("body over MaxFrame")
+		}
+		full := wire.Bytes()
+		cut := int(cutAt) % (len(full) + 1)
+		got, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if cut < len(full) {
+			if err == nil {
+				t.Fatalf("frame torn at %d/%d decoded without error", cut, len(full))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("intact frame failed to decode: %v", err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("intact frame decoded to %v, want %v", got, body)
+		}
+	})
+}
+
 // TestServerHandleNeverPanics: arbitrary request bodies must produce a
 // response (usually MsgErr), never a panic or a hang.
 func TestServerHandleNeverPanics(t *testing.T) {

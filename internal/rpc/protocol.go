@@ -32,11 +32,31 @@ const (
 	MsgCompletedCkpt
 	MsgStats
 	MsgPing
+	// MsgHello is the fault-tolerant client's handshake: payload is the
+	// client's known epoch (-1 to adopt the server's) and its client ID.
+	// The response is MsgData with the server's current epoch, and the
+	// connection is bound to the client's epoch for fencing.
+	MsgHello
+	// MsgRollback asks the node to roll its engine back to the checkpoint
+	// in the batch field (the coordinated replay protocol; see DESIGN.md
+	// §10). Exempt from epoch fencing, since it is how a fenced cluster
+	// re-synchronizes.
+	MsgRollback
 
 	MsgOK   byte = 0x80
 	MsgErr  byte = 0x81
 	MsgData byte = 0x82
+	// MsgErrEpoch rejects a request from a connection bound to a stale
+	// epoch; the payload carries the server's current epoch.
+	MsgErrEpoch byte = 0x84
 )
+
+// Mutating message bodies (Push, EndPullPhase, EndBatch, Checkpoint) carry,
+// directly after the batch ID, a client ID and a client-assigned sequence
+// number. Sequence 0 means "no dedup" (legacy clients); otherwise the
+// server caches the last response per client and replays it when a retry
+// re-delivers the same sequence, making every mutating op at-most-once
+// under retries.
 
 // MaxFrame bounds a frame body; larger frames indicate protocol corruption.
 const MaxFrame = 64 << 20
@@ -228,8 +248,17 @@ func ErrBody(err error) []byte {
 	return b.Bytes()
 }
 
+// EpochErrBody encodes an epoch-fence rejection carrying the server's
+// current epoch.
+func EpochErrBody(serverEpoch int64) []byte {
+	b := &Buffer{b: []byte{MsgErrEpoch}}
+	b.PutI64(serverEpoch)
+	return b.Bytes()
+}
+
 // DecodeResponse inspects a response body: nil error for MsgOK/MsgData
-// (returning the remaining reader), or the remote error for MsgErr.
+// (returning the remaining reader), the remote error for MsgErr, or a typed
+// *EpochError for MsgErrEpoch.
 func DecodeResponse(body []byte) (*Reader, error) {
 	r := NewReader(body)
 	t, err := r.Type()
@@ -245,6 +274,12 @@ func DecodeResponse(body []byte) (*Reader, error) {
 			return nil, err
 		}
 		return nil, fmt.Errorf("rpc: remote: %s", msg)
+	case MsgErrEpoch:
+		se, err := r.I64()
+		if err != nil {
+			return nil, err
+		}
+		return nil, &EpochError{ServerEpoch: se, ClientEpoch: -1}
 	default:
 		return nil, fmt.Errorf("rpc: unexpected response type 0x%02x", t)
 	}

@@ -5,43 +5,93 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"openembedding/internal/faultinject"
 	"openembedding/internal/obs"
 	"openembedding/internal/psengine"
 )
 
 // ServerOptions configures a Server.
 type ServerOptions struct {
+	// Epoch is the server's starting epoch. A node that recovers from a
+	// crash restarts its server at a higher epoch, which fences every
+	// client still synchronized to the old one.
+	Epoch int64
+	// Inject, when set, wraps accepted connections with the deterministic
+	// fault injector (server-side wire faults: torn responses, resets,
+	// drops). Nil leaves the hot path untouched.
+	Inject *faultinject.Injector
+	// Label is the injector stream label for this server's connections;
+	// it defaults to "server".
+	Label string
+	// Rollback, when set, serves MsgRollback by rolling the node's engine
+	// back to the requested checkpoint. Nil rejects rollback requests.
+	Rollback func(target int64) error
 	// Obs, when set, receives server metrics: rpc_server_pull_ns /
 	// rpc_server_push_ns / rpc_server_other_ns request-service histograms,
-	// rpc_server_bytes_in/out, rpc_server_requests and the
-	// rpc_server_conns gauge.
+	// rpc_server_bytes_in/out, rpc_server_requests, the rpc_server_conns
+	// gauge, and the fault-tolerance counters rpc_server_epoch_rejects and
+	// rpc_server_dedup_hits.
 	Obs *obs.Registry
 }
+
+// advancer is the optional engine hook the MsgCompletedCkpt handler drives:
+// it lets a client's checkpoint-progress poll push background checkpoint
+// finalization forward instead of waiting for the next batch.
+type advancer interface{ AdvanceCheckpoints() error }
+
+// dedupEntry caches one client's last mutating request outcome.
+type dedupEntry struct {
+	seq  int64
+	resp []byte
+}
+
+// epochUnbound marks a connection that has not yet bound to an epoch: the
+// first fenced request (or MsgHello) binds it. Legacy clients never send
+// MsgHello and bind lazily to whatever epoch is current, so pre-fault-
+// tolerance tooling keeps working against an un-crashed node.
+const epochUnbound = int64(-2)
 
 // Server exposes one storage engine (one shard) over TCP. Each accepted
 // connection is served by its own goroutine; a worker that wants request
 // parallelism opens several connections, as the paper's multi-threaded
 // pull handlers do.
+//
+// The server carries an epoch: connections bind to it at handshake (or
+// lazily, for legacy clients) and requests from a connection bound to an
+// older epoch are rejected with MsgErrEpoch. A recovered node bumps the
+// epoch (ps.Node.Restart), so no stale client can mutate recovered state.
+// Mutating requests carrying a client sequence number are deduplicated:
+// a retry of the last request replays the cached response.
 type Server struct {
-	engine psengine.Engine
-	ln     net.Listener
+	engine   psengine.Engine
+	ln       net.Listener
+	epoch    atomic.Int64
+	inject   *faultinject.Injector
+	label    string
+	rollback func(target int64) error
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	closed bool
 
+	dedupMu sync.Mutex
+	dedup   map[int64]dedupEntry // client ID -> last mutating request
+
 	// metrics (nil, and free, without ServerOptions.Obs)
-	reg      *obs.Registry
-	pullNS   *obs.Histogram
-	pushNS   *obs.Histogram
-	otherNS  *obs.Histogram
-	bytesIn  *obs.Counter
-	bytesOut *obs.Counter
-	requests *obs.Counter
-	connsG   *obs.Gauge
+	reg          *obs.Registry
+	pullNS       *obs.Histogram
+	pushNS       *obs.Histogram
+	otherNS      *obs.Histogram
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
+	requests     *obs.Counter
+	connsG       *obs.Gauge
+	epochRejects *obs.Counter
+	dedupHits    *obs.Counter
 }
 
 // Serve starts a server for engine on addr ("127.0.0.1:0" picks a free
@@ -56,7 +106,18 @@ func ServeOpts(addr string, engine psengine.Engine, opts ServerOptions) (*Server
 	if err != nil {
 		return nil, fmt.Errorf("rpc: listen: %w", err)
 	}
-	s := &Server{engine: engine, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		engine:   engine,
+		ln:       ln,
+		inject:   opts.Inject,
+		label:    opts.Label,
+		rollback: opts.Rollback,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.epoch.Store(opts.Epoch)
+	if s.label == "" {
+		s.label = "server"
+	}
 	if reg := opts.Obs; reg != nil {
 		s.reg = reg
 		s.pullNS = reg.Histogram("rpc_server_pull_ns")
@@ -66,6 +127,8 @@ func ServeOpts(addr string, engine psengine.Engine, opts ServerOptions) (*Server
 		s.bytesOut = reg.Counter("rpc_server_bytes_out")
 		s.requests = reg.Counter("rpc_server_requests")
 		s.connsG = reg.Gauge("rpc_server_conns")
+		s.epochRejects = reg.Counter("rpc_server_epoch_rejects")
+		s.dedupHits = reg.Counter("rpc_server_dedup_hits")
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -74,6 +137,13 @@ func ServeOpts(addr string, engine psengine.Engine, opts ServerOptions) (*Server
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Epoch returns the server's current epoch.
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// SetEpoch moves the server to a new epoch. Connections bound to the old
+// epoch have their next fenced request rejected with MsgErrEpoch.
+func (s *Server) SetEpoch(e int64) { s.epoch.Store(e) }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -105,8 +175,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	br := bufio.NewReaderSize(conn, 1<<16)
-	bw := bufio.NewWriterSize(conn, 1<<16)
+	// The injected wrapper sits between the raw conn (which Close tracks)
+	// and the framing, so server-side faults tear/drop/reset responses.
+	wire := s.inject.WrapConn(conn, s.label)
+	br := bufio.NewReaderSize(wire, 1<<16)
+	bw := bufio.NewWriterSize(wire, 1<<16)
+	bound := epochUnbound
 	for {
 		body, err := ReadFrame(br)
 		if err != nil {
@@ -116,7 +190,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.reg != nil {
 			start = s.reg.Now()
 		}
-		resp := s.handle(body)
+		resp := s.dispatch(&bound, body)
 		if s.reg != nil {
 			d := s.reg.Now() - start
 			var t byte
@@ -144,7 +218,118 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// handle dispatches one request body and returns the response body.
+// dispatch applies per-connection epoch fencing and per-client dedup, then
+// delegates to handle. bound is the connection's epoch binding state.
+func (s *Server) dispatch(bound *int64, body []byte) []byte {
+	if len(body) == 0 {
+		return ErrBody(ErrTruncated)
+	}
+	t := body[0]
+	if t == MsgHello {
+		return s.handleHello(bound, body)
+	}
+	if fencedMsg(t) {
+		cur := s.epoch.Load()
+		if *bound == epochUnbound {
+			*bound = cur // legacy client: lazily adopt the current epoch
+		}
+		if *bound != cur {
+			s.epochRejects.Add(1)
+			return EpochErrBody(cur)
+		}
+	}
+	if mutatingMsg(t) {
+		return s.handleMutating(body)
+	}
+	return s.handle(body)
+}
+
+// handleHello binds the connection to an epoch and replies with the
+// server's current one. A client epoch < 0 adopts the current epoch.
+func (s *Server) handleHello(bound *int64, body []byte) []byte {
+	r := NewReader(body)
+	r.Type()
+	if _, err := r.I64(); err != nil { // batch field, unused
+		return ErrBody(err)
+	}
+	clientEpoch, err := r.I64()
+	if err != nil {
+		return ErrBody(err)
+	}
+	if _, err := r.I64(); err != nil { // client ID, informational
+		return ErrBody(err)
+	}
+	cur := s.epoch.Load()
+	if clientEpoch < 0 {
+		clientEpoch = cur
+	}
+	*bound = clientEpoch
+	out := &Buffer{b: []byte{MsgData}}
+	out.PutI64(cur)
+	return out.Bytes()
+}
+
+// mutatingMsg lists the messages that carry a clientID+seq pair and are
+// subject to at-most-once dedup.
+func mutatingMsg(t byte) bool {
+	switch t {
+	case MsgPush, MsgEndPullPhase, MsgEndBatch, MsgCheckpoint:
+		return true
+	}
+	return false
+}
+
+// handleMutating peeks the clientID+seq pair that mutating bodies carry
+// after the batch field, consults the dedup cache, and stores the response
+// for replay. Sequence 0 disables dedup (legacy clients).
+func (s *Server) handleMutating(body []byte) []byte {
+	r := NewReader(body)
+	r.Type()
+	if _, err := r.I64(); err != nil { // batch
+		return ErrBody(err)
+	}
+	clientID, err := r.I64()
+	if err != nil {
+		return ErrBody(err)
+	}
+	seq, err := r.I64()
+	if err != nil {
+		return ErrBody(err)
+	}
+	if seq == 0 {
+		return s.handle(body)
+	}
+	s.dedupMu.Lock()
+	if s.dedup == nil {
+		s.dedup = make(map[int64]dedupEntry)
+	}
+	last, ok := s.dedup[clientID]
+	s.dedupMu.Unlock()
+	if ok {
+		if seq == last.seq {
+			// Retry of the last request: the mutation already ran (or its
+			// response was lost in flight after running); replay it.
+			s.dedupHits.Add(1)
+			return last.resp
+		}
+		if seq < last.seq {
+			return ErrBody(fmt.Errorf("stale sequence %d from client %d (last %d)",
+				seq, clientID, last.seq))
+		}
+	}
+	resp := s.handle(body)
+	s.dedupMu.Lock()
+	if s.dedup == nil {
+		s.dedup = make(map[int64]dedupEntry)
+	}
+	s.dedup[clientID] = dedupEntry{seq: seq, resp: resp}
+	s.dedupMu.Unlock()
+	return resp
+}
+
+// handle dispatches one request body and returns the response body. It
+// performs no fencing or dedup — dispatch layers those on top — so legacy
+// in-process callers (tests, fuzzers) can exercise it directly.
 func (s *Server) handle(body []byte) []byte {
 	r := NewReader(body)
 	t, err := r.Type()
@@ -154,6 +339,16 @@ func (s *Server) handle(body []byte) []byte {
 	batch, err := r.I64()
 	if err != nil {
 		return ErrBody(err)
+	}
+	if mutatingMsg(t) {
+		// Skip the clientID+seq pair; handleMutating already consumed its
+		// meaning.
+		if _, err := r.I64(); err != nil {
+			return ErrBody(err)
+		}
+		if _, err := r.I64(); err != nil {
+			return ErrBody(err)
+		}
 	}
 	switch t {
 	case MsgPull:
@@ -195,9 +390,25 @@ func (s *Server) handle(body []byte) []byte {
 		}
 		return OKBody()
 	case MsgCompletedCkpt:
+		// A progress poll also drives background checkpoint finalization
+		// forward when the engine supports it, so a trainer waiting for a
+		// commit is never stuck behind "no more batches are coming".
+		if adv, ok := s.engine.(advancer); ok {
+			if err := adv.AdvanceCheckpoints(); err != nil {
+				return ErrBody(err)
+			}
+		}
 		out := &Buffer{b: []byte{MsgData}}
 		out.PutI64(s.engine.CompletedCheckpoint())
 		return out.Bytes()
+	case MsgRollback:
+		if s.rollback == nil {
+			return ErrBody(fmt.Errorf("rollback unsupported by this node"))
+		}
+		if err := s.rollback(batch); err != nil {
+			return ErrBody(err)
+		}
+		return OKBody()
 	case MsgStats:
 		st := s.engine.Stats()
 		out := &Buffer{b: []byte{MsgData}}

@@ -57,8 +57,28 @@ func (l Local) EndBatch(batch int64) error { return l.Engine.EndBatch(batch) }
 // RequestCheckpoint implements ParamServer.
 func (l Local) RequestCheckpoint(batch int64) error { return l.Engine.RequestCheckpoint(batch) }
 
-// CompletedCheckpoint implements ParamServer.
-func (l Local) CompletedCheckpoint() (int64, error) { return l.Engine.CompletedCheckpoint(), nil }
+// CompletedCheckpoint implements ParamServer. Like the RPC server's
+// progress hook, it first drives the engine's checkpoint finalizer when
+// the engine exposes one, so a trainer's commit-gate poll makes progress
+// instead of spinning on a checkpoint nothing else is finishing.
+func (l Local) CompletedCheckpoint() (int64, error) {
+	if adv, ok := l.Engine.(interface{ AdvanceCheckpoints() error }); ok {
+		if err := adv.AdvanceCheckpoints(); err != nil {
+			return -1, err
+		}
+	}
+	return l.Engine.CompletedCheckpoint(), nil
+}
+
+// Recoverer is the recovery half of a fault-tolerant ParamServer
+// (implemented by cluster.Client). After a Recoverable request failure the
+// trainer queries the committed checkpoint, calls Recover(commit) to roll
+// every node back to it, rewinds its own dense model and data streams, and
+// replays from commit+1 (DESIGN.md §10).
+type Recoverer interface {
+	Recover(commit int64) error
+	Recoverable(err error) bool
+}
 
 // Config configures a training run.
 type Config struct {
@@ -82,6 +102,23 @@ type Config struct {
 	DenseCheckpointDir string
 	// StartBatch is the first batch ID (checkpoint+1 when resuming).
 	StartBatch int64
+	// MaxReplays bounds how many rollback + replay recoveries one Run may
+	// perform (0, the default, disables recovery: the first error aborts
+	// the run exactly as before). Recovery requires a ParamServer that
+	// implements Recoverer and, for a remote cluster, engines configured
+	// with RetainCheckpoints >= 2. While recovery is enabled every
+	// requested checkpoint is also gated to completion before training
+	// continues, so the cluster-wide commit is always a batch the trainer
+	// holds a dense snapshot for.
+	MaxReplays int
+	// CommitTimeout bounds each checkpoint-commit gate when MaxReplays > 0.
+	// Defaults to 30s.
+	CommitTimeout time.Duration
+	// BatchStart, when set, is called just before each batch's pull phase
+	// with the batch ID — the hook where a chaos harness fires its node
+	// crash schedule. Replayed batches invoke it again; a harness that must
+	// act once per batch dedupes by ID.
+	BatchStart func(batch int64)
 	// Obs, when set, receives per-batch wall-clock metrics: train_batch_ns
 	// and the train_pull_ns / train_compute_ns / train_push_ns phase
 	// histograms, plus the train_virtual_wall_skew_ns gauge when Meter is
@@ -103,6 +140,11 @@ type Trainer struct {
 	cfg     Config
 	ps      ParamServer
 	workers []*worker
+
+	// snaps holds dense-parameter snapshots keyed by committed batch (and
+	// StartBatch-1 for the initial state) while recovery is enabled; a
+	// rewind restores the snapshot of the rollback target.
+	snaps map[int64][]float32
 
 	// metrics (nil, and free, without Config.Obs)
 	batchNS   *obs.Histogram
@@ -165,11 +207,18 @@ type EpochStats struct {
 }
 
 // Run executes steps synchronous batches and returns per-step statistics.
+//
+// With Config.MaxReplays > 0 and a Recoverer ParamServer, a recoverable
+// batch failure (node crash, epoch fence, exhausted transport retries)
+// triggers the replay protocol instead of aborting: the trainer rolls the
+// cluster back to the committed checkpoint, restores its dense snapshot,
+// rewinds every worker's data stream, truncates the recorded steps, and
+// re-executes from the batch after the commit. Replayed batches recompute
+// bit-identically — same samples, same dense state, same embedding state —
+// so a chaos run converges to the exact state of a fault-free run.
 func (tr *Trainer) Run(steps int) (EpochStats, error) {
 	var out EpochStats
 	cfg := tr.cfg
-	fields := cfg.Model.Fields
-	dim := cfg.Model.Dim
 
 	// Baselines for the virtual-vs-wall skew gauge: how much virtual time
 	// the cost model charges per unit of wall time over this run.
@@ -179,168 +228,300 @@ func (tr *Trainer) Run(steps int) (EpochStats, error) {
 		virtBase = cfg.Meter.Sum()
 	}
 
-	for s := 0; s < steps; s++ {
+	rec, _ := tr.ps.(Recoverer)
+	if cfg.MaxReplays > 0 {
+		if rec == nil {
+			return out, fmt.Errorf("train: MaxReplays set but the parameter server implements no Recoverer")
+		}
+		tr.snaps = map[int64][]float32{}
+		tr.snapshotDense(cfg.StartBatch - 1)
+	}
+
+	replays := 0
+	for s := 0; s < steps; {
 		batch := cfg.StartBatch + int64(s)
-		var batchStart time.Duration
-		if tr.batchNS != nil {
-			batchStart = cfg.Obs.Now()
+		if cfg.BatchStart != nil {
+			cfg.BatchStart(batch)
 		}
-		bsp := cfg.Spans.Start("train.batch", "train", 0, batch)
-		psp := cfg.Spans.Start("train.pull", "train", 0, batch)
-
-		type workItem struct {
-			samples []workload.Sample
-			keys    []uint64
-			keyIdx  map[uint64]int
-			weights []float32
-			loss    float64
-			grads   []float32 // per unique key, summed
-			err     error
+		err := tr.runBatch(&out, batch, wallBase, virtBase)
+		if err == nil {
+			s++
+			continue
 		}
-		items := make([]*workItem, len(tr.workers))
-
-		// Pull phase: all workers in parallel (the paper's burst).
-		var wg sync.WaitGroup
-		for i, w := range tr.workers {
-			wg.Add(1)
-			go func(i int, w *worker) {
-				defer wg.Done()
-				it := &workItem{}
-				items[i] = it
-				it.samples = w.data.NextBatch(cfg.BatchSize)
-				it.keys = workload.UniqueKeys(it.samples)
-				it.keyIdx = make(map[uint64]int, len(it.keys))
-				for j, k := range it.keys {
-					it.keyIdx[k] = j
-				}
-				it.weights = make([]float32, len(it.keys)*dim)
-				it.err = tr.ps.Pull(batch, it.keys, it.weights)
-			}(i, w)
-		}
-		wg.Wait()
-		for _, it := range items {
-			if it.err != nil {
-				return out, it.err
-			}
-		}
-		if err := tr.ps.EndPullPhase(batch); err != nil {
+		if cfg.MaxReplays <= 0 || !rec.Recoverable(err) || replays >= cfg.MaxReplays {
 			return out, err
 		}
-		psp.EndArg("workers", int64(len(tr.workers)))
-		if tr.pullNS != nil {
-			tr.pullNS.Observe(cfg.Obs.Now() - batchStart)
+		replays++
+		commit, rerr := tr.rewind(rec, &out)
+		if rerr != nil {
+			return out, fmt.Errorf("train: replay %d (after %v): %w", replays, err, rerr)
 		}
-		var computeStart time.Duration
-		if tr.computeNS != nil {
-			computeStart = cfg.Obs.Now()
-		}
-		csp := cfg.Spans.Start("train.compute", "train", 0, batch)
-
-		// Compute phase: dense forward/backward per worker, gradients
-		// aggregated per unique key.
-		for i, w := range tr.workers {
-			wg.Add(1)
-			go func(i int, w *worker) {
-				defer wg.Done()
-				it := items[i]
-				n := len(it.samples)
-				emb := make([]float32, n*fields*dim)
-				dense := make([]float32, n*cfg.Model.Dense)
-				labels := make([]float32, n)
-				for ex, sm := range it.samples {
-					for f := 0; f < fields; f++ {
-						ki := it.keyIdx[sm.Sparse[f]]
-						copy(emb[(ex*fields+f)*dim:(ex*fields+f+1)*dim], it.weights[ki*dim:(ki+1)*dim])
-					}
-					copy(dense[ex*cfg.Model.Dense:(ex+1)*cfg.Model.Dense], sm.Dense[:cfg.Model.Dense])
-					labels[ex] = sm.Label
-				}
-				loss, embGrad, err := w.model.Step(emb, dense, labels)
-				if err != nil {
-					it.err = err
-					return
-				}
-				it.loss = loss
-				it.grads = make([]float32, len(it.keys)*dim)
-				for ex := range it.samples {
-					for f := 0; f < fields; f++ {
-						ki := it.keyIdx[it.samples[ex].Sparse[f]]
-						src := embGrad[(ex*fields+f)*dim : (ex*fields+f+1)*dim]
-						dst := it.grads[ki*dim : (ki+1)*dim]
-						for d := range src {
-							dst[d] += src[d]
-						}
-					}
-				}
-			}(i, w)
-		}
-		wg.Wait()
-		for _, it := range items {
-			if it.err != nil {
-				return out, it.err
-			}
-		}
-
-		// Dense allreduce: average parameters across workers.
-		tr.allreduce()
-		csp.End()
-		if tr.computeNS != nil {
-			tr.computeNS.Observe(cfg.Obs.Now() - computeStart)
-		}
-		var pushStart time.Duration
-		if tr.pushNS != nil {
-			pushStart = cfg.Obs.Now()
-		}
-		usp := cfg.Spans.Start("train.push", "train", 0, batch)
-
-		// Push phase: all workers in parallel.
-		var stepLoss float64
-		for i, w := range tr.workers {
-			wg.Add(1)
-			go func(i int, w *worker) {
-				defer wg.Done()
-				it := items[i]
-				it.err = tr.ps.Push(batch, it.keys, it.grads)
-			}(i, w)
-		}
-		wg.Wait()
-		for _, it := range items {
-			if it.err != nil {
-				return out, it.err
-			}
-			stepLoss += it.loss
-		}
-		stepLoss /= float64(len(tr.workers))
-
-		if err := tr.ps.EndBatch(batch); err != nil {
-			return out, err
-		}
-		usp.End()
-		if tr.pushNS != nil {
-			tr.pushNS.Observe(cfg.Obs.Now() - pushStart)
-		}
-		if cfg.CheckpointEvery > 0 && (s+1)%cfg.CheckpointEvery == 0 {
-			if err := tr.ps.RequestCheckpoint(batch); err != nil {
-				return out, err
-			}
-			if cfg.DenseCheckpointDir != "" {
-				if err := tr.SaveDense(cfg.DenseCheckpointDir, batch, nil); err != nil {
-					return out, err
-				}
-			}
-			out.Checkpoints++
-		}
-		out.Steps = append(out.Steps, StepStats{Batch: batch, Loss: stepLoss})
-		out.FinalLoss = stepLoss
-		bsp.End()
-		if tr.batchNS != nil {
-			tr.batchNS.Observe(cfg.Obs.Now() - batchStart)
-		}
-		if tr.skew != nil {
-			tr.skew.Set(int64((cfg.Meter.Sum() - virtBase) - (cfg.Obs.Now() - wallBase)))
-		}
+		s = int(commit + 1 - cfg.StartBatch)
 	}
 	return out, nil
+}
+
+// runBatch executes one synchronous batch end to end: pull, compute,
+// allreduce, push, seal, and (when due) checkpoint request — gated to
+// completion when recovery is on. Any error leaves the batch incomplete;
+// the caller either aborts or rolls back and replays.
+func (tr *Trainer) runBatch(out *EpochStats, batch int64, wallBase, virtBase time.Duration) error {
+	cfg := tr.cfg
+	fields := cfg.Model.Fields
+	dim := cfg.Model.Dim
+	var batchStart time.Duration
+	if tr.batchNS != nil {
+		batchStart = cfg.Obs.Now()
+	}
+	bsp := cfg.Spans.Start("train.batch", "train", 0, batch)
+	psp := cfg.Spans.Start("train.pull", "train", 0, batch)
+
+	type workItem struct {
+		samples []workload.Sample
+		keys    []uint64
+		keyIdx  map[uint64]int
+		weights []float32
+		loss    float64
+		grads   []float32 // per unique key, summed
+		err     error
+	}
+	items := make([]*workItem, len(tr.workers))
+
+	// Pull phase: all workers in parallel (the paper's burst).
+	var wg sync.WaitGroup
+	for i, w := range tr.workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			it := &workItem{}
+			items[i] = it
+			it.samples = w.data.NextBatch(cfg.BatchSize)
+			it.keys = workload.UniqueKeys(it.samples)
+			it.keyIdx = make(map[uint64]int, len(it.keys))
+			for j, k := range it.keys {
+				it.keyIdx[k] = j
+			}
+			it.weights = make([]float32, len(it.keys)*dim)
+			it.err = tr.ps.Pull(batch, it.keys, it.weights)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, it := range items {
+		if it.err != nil {
+			return it.err
+		}
+	}
+	if err := tr.ps.EndPullPhase(batch); err != nil {
+		return err
+	}
+	psp.EndArg("workers", int64(len(tr.workers)))
+	if tr.pullNS != nil {
+		tr.pullNS.Observe(cfg.Obs.Now() - batchStart)
+	}
+	var computeStart time.Duration
+	if tr.computeNS != nil {
+		computeStart = cfg.Obs.Now()
+	}
+	csp := cfg.Spans.Start("train.compute", "train", 0, batch)
+
+	// Compute phase: dense forward/backward per worker, gradients
+	// aggregated per unique key.
+	for i, w := range tr.workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			it := items[i]
+			n := len(it.samples)
+			emb := make([]float32, n*fields*dim)
+			dense := make([]float32, n*cfg.Model.Dense)
+			labels := make([]float32, n)
+			for ex, sm := range it.samples {
+				for f := 0; f < fields; f++ {
+					ki := it.keyIdx[sm.Sparse[f]]
+					copy(emb[(ex*fields+f)*dim:(ex*fields+f+1)*dim], it.weights[ki*dim:(ki+1)*dim])
+				}
+				copy(dense[ex*cfg.Model.Dense:(ex+1)*cfg.Model.Dense], sm.Dense[:cfg.Model.Dense])
+				labels[ex] = sm.Label
+			}
+			loss, embGrad, err := w.model.Step(emb, dense, labels)
+			if err != nil {
+				it.err = err
+				return
+			}
+			it.loss = loss
+			it.grads = make([]float32, len(it.keys)*dim)
+			for ex := range it.samples {
+				for f := 0; f < fields; f++ {
+					ki := it.keyIdx[it.samples[ex].Sparse[f]]
+					src := embGrad[(ex*fields+f)*dim : (ex*fields+f+1)*dim]
+					dst := it.grads[ki*dim : (ki+1)*dim]
+					for d := range src {
+						dst[d] += src[d]
+					}
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	for _, it := range items {
+		if it.err != nil {
+			return it.err
+		}
+	}
+
+	// Dense allreduce: average parameters across workers.
+	tr.allreduce()
+	csp.End()
+	if tr.computeNS != nil {
+		tr.computeNS.Observe(cfg.Obs.Now() - computeStart)
+	}
+	var pushStart time.Duration
+	if tr.pushNS != nil {
+		pushStart = cfg.Obs.Now()
+	}
+	usp := cfg.Spans.Start("train.push", "train", 0, batch)
+
+	// Push phase: all workers in parallel.
+	var stepLoss float64
+	for i, w := range tr.workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			it := items[i]
+			it.err = tr.ps.Push(batch, it.keys, it.grads)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, it := range items {
+		if it.err != nil {
+			return it.err
+		}
+		stepLoss += it.loss
+	}
+	stepLoss /= float64(len(tr.workers))
+
+	if err := tr.ps.EndBatch(batch); err != nil {
+		return err
+	}
+	usp.End()
+	if tr.pushNS != nil {
+		tr.pushNS.Observe(cfg.Obs.Now() - pushStart)
+	}
+	if cfg.CheckpointEvery > 0 && int(batch-cfg.StartBatch+1)%cfg.CheckpointEvery == 0 {
+		if err := tr.ps.RequestCheckpoint(batch); err != nil {
+			return err
+		}
+		if tr.snaps != nil {
+			// Snapshot BEFORE gating: a failure mid-gate can still leave this
+			// batch as the cluster-wide commit, and the rewind needs the
+			// matching dense state. The dense model does not change between
+			// here and the gate.
+			tr.snapshotDense(batch)
+			if err := tr.gateCheckpoint(batch); err != nil {
+				return err
+			}
+		}
+		if cfg.DenseCheckpointDir != "" {
+			if err := tr.SaveDense(cfg.DenseCheckpointDir, batch, nil); err != nil {
+				return err
+			}
+		}
+		out.Checkpoints++
+	}
+	out.Steps = append(out.Steps, StepStats{Batch: batch, Loss: stepLoss})
+	out.FinalLoss = stepLoss
+	bsp.End()
+	if tr.batchNS != nil {
+		tr.batchNS.Observe(cfg.Obs.Now() - batchStart)
+	}
+	if tr.skew != nil {
+		tr.skew.Set(int64((cfg.Meter.Sum() - virtBase) - (cfg.Obs.Now() - wallBase)))
+	}
+	return nil
+}
+
+// snapshotDense records the current dense parameters (all replicas are
+// identical at a batch boundary) under the given batch ID, keeping only
+// the snapshots a future rollback can still target: the commit is always
+// one of the two newest gated checkpoints, or the predecessor state before
+// any checkpoint committed.
+func (tr *Trainer) snapshotDense(batch int64) {
+	tr.snaps[batch] = tr.workers[0].model.Params()
+	for len(tr.snaps) > 3 {
+		oldest := int64(1<<63 - 1)
+		for b := range tr.snaps {
+			if b < oldest {
+				oldest = b
+			}
+		}
+		delete(tr.snaps, oldest)
+	}
+}
+
+// gateCheckpoint polls the parameter server until the requested checkpoint
+// is durable cluster-wide; each poll also drives checkpoint progress (over
+// RPC through the server's progress hook, locally through
+// AdvanceCheckpoints). Bounded by Config.CommitTimeout.
+func (tr *Trainer) gateCheckpoint(batch int64) error {
+	timeout := tr.cfg.CommitTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		done, err := tr.ps.CompletedCheckpoint()
+		if err != nil {
+			return err
+		}
+		if done >= batch {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("train: checkpoint %d did not commit within %v (at %d)", batch, timeout, done)
+		}
+	}
+}
+
+// rewind runs the worker half of the recovery protocol after a recoverable
+// batch failure: roll every node back to the cluster-wide committed
+// checkpoint, restore the matching dense snapshot on every worker, rebuild
+// each worker's data stream and skip the batches already committed, and
+// truncate the recorded steps. It returns the commit the run resumes
+// after.
+func (tr *Trainer) rewind(rec Recoverer, out *EpochStats) (int64, error) {
+	cfg := tr.cfg
+	commit, err := tr.ps.CompletedCheckpoint()
+	if err != nil {
+		return -1, fmt.Errorf("locating commit: %w", err)
+	}
+	if commit < cfg.StartBatch-1 {
+		return -1, fmt.Errorf("commit %d is before the run's start batch %d", commit, cfg.StartBatch)
+	}
+	snap, ok := tr.snaps[commit]
+	if !ok {
+		return -1, fmt.Errorf("no dense snapshot for commit %d", commit)
+	}
+	if err := rec.Recover(commit); err != nil {
+		return -1, err
+	}
+	consumed := int(commit - cfg.StartBatch + 1)
+	for _, w := range tr.workers {
+		// SetParams only fails on length mismatch, impossible here.
+		_ = w.model.SetParams(snap)
+		w.data = cfg.Data(cfg.DataSeed + int64(w.id))
+		for b := 0; b < consumed; b++ {
+			w.data.NextBatch(cfg.BatchSize)
+		}
+	}
+	for len(out.Steps) > 0 && out.Steps[len(out.Steps)-1].Batch > commit {
+		out.Steps = out.Steps[:len(out.Steps)-1]
+	}
+	if n := len(out.Steps); n > 0 {
+		out.FinalLoss = out.Steps[n-1].Loss
+	} else {
+		out.FinalLoss = 0
+	}
+	return commit, nil
 }
 
 // allreduce averages every worker's dense parameters — the synchronous
