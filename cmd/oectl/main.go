@@ -5,11 +5,21 @@
 //	oectl -nodes ... -dim 64 pull 12 34 56
 //	oectl -nodes ... checkpoint 41
 //	oectl -nodes ... completed
+//	oectl -nodes ... -dim 64 drive 4 256
+//	oectl -nodes ... scrub
 //	oectl -nodes ... ping
+//
+// drive [batches [keys]] runs the synchronous batch protocol
+// (pull/end-pull/push/end-batch, tiny constant gradients) so a live
+// cluster has real persisted state to inspect with stats, checkpoint and
+// scrub — a smoke/load driver, not a trainer.
 //
 // With -obs pointing at a node's -debug-addr, stats additionally scrapes
 // /metrics.json and pretty-prints the node's latency percentiles (pull,
-// push, miss service, RPC RTT), byte counters and checkpoint stalls.
+// push, miss service, RPC RTT), byte counters and checkpoint stalls; scrub
+// additionally prints that node's lifetime integrity counters (records
+// scanned/healed by the background scrubber, corrupt serves, recovery
+// fallbacks).
 package main
 
 import (
@@ -36,7 +46,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "oectl: need a command: ping|stats|pull|checkpoint|completed")
+		fmt.Fprintln(os.Stderr, "oectl: need a command: ping|stats|pull|checkpoint|completed|drive|scrub")
 		os.Exit(2)
 	}
 	addrs := strings.Split(*nodes, ",")
@@ -114,6 +124,66 @@ func main() {
 			log.Fatalf("oectl: %v", err)
 		}
 		fmt.Printf("completed checkpoint: %d\n", v)
+	case "drive":
+		batches, keyN := 3, 64
+		var err error
+		if len(args) > 1 {
+			if batches, err = strconv.Atoi(args[1]); err != nil || batches < 1 {
+				log.Fatalf("oectl: bad batch count %q", args[1])
+			}
+		}
+		if len(args) > 2 {
+			if keyN, err = strconv.Atoi(args[2]); err != nil || keyN < 1 {
+				log.Fatalf("oectl: bad key count %q", args[2])
+			}
+		}
+		cl := dial(*dim, addrs)
+		defer cl.Close()
+		keys := make([]uint64, keyN)
+		for i := range keys {
+			keys[i] = uint64(i + 1)
+		}
+		buf := make([]float32, keyN**dim)
+		for b := int64(0); b < int64(batches); b++ {
+			if err := cl.Pull(b, keys, buf); err != nil {
+				log.Fatalf("oectl: drive batch %d pull: %v", b, err)
+			}
+			if err := cl.EndPullPhase(b); err != nil {
+				log.Fatalf("oectl: drive batch %d: %v", b, err)
+			}
+			for i := range buf {
+				buf[i] = 0.1
+			}
+			if err := cl.Push(b, keys, buf); err != nil {
+				log.Fatalf("oectl: drive batch %d push: %v", b, err)
+			}
+			if err := cl.EndBatch(b); err != nil {
+				log.Fatalf("oectl: drive batch %d: %v", b, err)
+			}
+		}
+		fmt.Printf("drove %d batch(es) of %d key(s) across %d node(s)\n", batches, keyN, len(addrs))
+	case "scrub":
+		cl := dial(*dim, addrs)
+		defer cl.Close()
+		rep, err := cl.Scrub()
+		if err != nil {
+			log.Fatalf("oectl: %v", err)
+		}
+		fmt.Printf("scrubbed %d node(s): scanned=%d corrupt=%d repaired=%d restored=%d fenced=%d quarantined=%d\n",
+			len(addrs), rep.Scanned, rep.Corrupt, rep.Repaired, rep.Restored, rep.Fenced, rep.Quarantined)
+		if rep.Restored+rep.Fenced > 0 {
+			fmt.Println("state regressed on at least one node (restored/fenced entries): its epoch is fenced — workers must re-adopt the epoch and replay, as after a crash")
+		} else if rep.Corrupt > 0 {
+			fmt.Println("all corruption repaired in place; no state loss, epochs unchanged")
+		} else {
+			fmt.Println("all records verified clean")
+		}
+		if *obsURL != "" {
+			fmt.Println()
+			if err := scrapeIntegrity(*obsURL); err != nil {
+				log.Fatalf("oectl: obs scrape: %v", err)
+			}
+		}
 	default:
 		log.Fatalf("oectl: unknown command %q", args[0])
 	}
@@ -121,21 +191,48 @@ func main() {
 
 // scrapeObs fetches <base>/metrics.json and pretty-prints it.
 func scrapeObs(base string) error {
-	url := strings.TrimSuffix(base, "/") + "/metrics.json"
-	resp, err := http.Get(url)
+	snap, err := fetchSnapshot(base)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("node observability (%s):\n", base)
+	return snap.WriteSummary(os.Stdout)
+}
+
+// scrapeIntegrity fetches <base>/metrics.json and prints only the node's
+// lifetime data-integrity counters (the scrub section of oectl scrub -obs).
+func scrapeIntegrity(base string) error {
+	snap, err := fetchSnapshot(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node integrity counters (%s):\n", base)
+	for _, name := range []string{
+		"engine_scrub_scanned", "engine_scrub_corrupt", "engine_scrub_repaired",
+		"engine_scrub_restored", "engine_scrub_fenced",
+		"engine_corrupt_serve", "engine_recover_fallback",
+	} {
+		fmt.Printf("%-26s %d\n", name, snap.Counters[name])
+	}
+	fmt.Printf("%-26s %d\n", "engine_scrub_progress", snap.Gauges["engine_scrub_progress"])
+	return nil
+}
+
+func fetchSnapshot(base string) (obs.Snapshot, error) {
+	url := strings.TrimSuffix(base, "/") + "/metrics.json"
+	resp, err := http.Get(url)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
+		return obs.Snapshot{}, fmt.Errorf("GET %s: %s", url, resp.Status)
 	}
 	var snap obs.Snapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return fmt.Errorf("decode %s: %w", url, err)
+		return obs.Snapshot{}, fmt.Errorf("decode %s: %w", url, err)
 	}
-	fmt.Printf("node observability (%s):\n", base)
-	return snap.WriteSummary(os.Stdout)
+	return snap, nil
 }
 
 func dial(dim int, addrs []string) *cluster.Client {

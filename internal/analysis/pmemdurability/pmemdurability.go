@@ -10,6 +10,11 @@
 //	// oevet:pmem-flush     persists previously written data (CLWB+SFENCE)
 //	// oevet:pmem-publish   publishes a commit word / version header that
 //	//                      makes earlier writes reachable after recovery
+//	// oevet:pmem-checksum  computes the integrity checksum that a persisted
+//	//                      record (or header word) carries
+//	// oevet:pmem-integrity marks a persist path whose bytes MUST carry a
+//	//                      checksum: every flush it issues needs a prior
+//	//                      pmem-checksum call in the same body
 //
 // Within every function body (walked in statement order):
 //
@@ -19,7 +24,11 @@
 //   - returning while a write is pending is reported, unless the function
 //     is itself annotated pmem-write (it hands the flush obligation to its
 //     caller), the return is an error path (`if err != nil { return ... }` —
-//     a failed write has nothing to flush), or a flush is deferred.
+//     a failed write has nothing to flush), or a flush is deferred;
+//   - inside a pmem-integrity function, a pmem-flush call before any
+//     pmem-checksum call is reported — bytes on integrity-critical persist
+//     paths must never become durable without their checksum stamped, or
+//     the media-fault scrubber would trust (or mistrust) garbage.
 //
 // Classes cross package boundaries via facts: when the declaring package is
 // analyzed its annotations are exported, and dependent packages (analyzed
@@ -47,7 +56,10 @@ func run(pass *oeanalysis.Pass) error {
 	info := pass.TypesInfo
 
 	// Local classes from annotations, exported as facts for dependents.
+	// pmem-integrity is a property of the annotated body itself (its own
+	// flushes need a prior checksum), not of call sites, so it stays local.
 	classes := map[*types.Func]string{}
+	integrity := map[*types.Func]bool{}
 	var lits []*ast.FuncLit
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -67,6 +79,10 @@ func run(pass *oeanalysis.Pass) error {
 					classes[obj] = "flush"
 				case "pmem-publish":
 					classes[obj] = "publish"
+				case "pmem-checksum":
+					classes[obj] = "checksum"
+				case "pmem-integrity":
+					integrity[obj] = true
 				}
 			}
 			if c, ok := classes[obj]; ok {
@@ -82,7 +98,13 @@ func run(pass *oeanalysis.Pass) error {
 				continue
 			}
 			obj, _ := info.Defs[fn.Name].(*types.Func)
-			c := &checker{pass: pass, info: info, classes: classes, selfWrite: obj != nil && classes[obj] == "write"}
+			c := &checker{
+				pass:      pass,
+				info:      info,
+				classes:   classes,
+				selfWrite: obj != nil && classes[obj] == "write",
+				integrity: obj != nil && integrity[obj],
+			}
 			c.block(fn.Body, nil)
 			if !lastIsReturn(fn.Body) {
 				c.ret(fn.Body.Rbrace, nil) // falling off the end is a return
@@ -118,7 +140,11 @@ type checker struct {
 	info    *types.Info
 	classes map[*types.Func]string
 
-	selfWrite     bool
+	selfWrite bool
+	// integrity marks a pmem-integrity body: its flushes must follow a
+	// checksum computation.
+	integrity     bool
+	checksummed   bool     // a pmem-checksum call has been seen
 	unflushed     ast.Node // the pending write call, nil when flushed
 	deferredFlush bool
 	lits          []*ast.FuncLit // literals to analyze independently
@@ -152,8 +178,14 @@ func (c *checker) exprs(n ast.Node) {
 		switch c.classOf(call) {
 		case "write":
 			c.unflushed = call
+		case "checksum":
+			c.checksummed = true
 		case "flush":
 			c.unflushed = nil
+			if c.integrity && !c.checksummed {
+				c.pass.Reportf(call.Pos(), "flushes PMem bytes on an integrity-marked persist path before any checksum is computed; stamp the record checksum (oevet:pmem-checksum) before making the bytes durable")
+				c.checksummed = true // one report per unchecksummed span
+			}
 		case "publish":
 			if c.unflushed != nil {
 				pos := c.pass.Fset.Position(c.unflushed.Pos())

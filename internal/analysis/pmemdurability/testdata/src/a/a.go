@@ -72,3 +72,52 @@ func literalCheckedIndependently(d *device, p []byte) func() error {
 		return nil // want `returns while the PMem write at .*a\.go:\d+ may be unflushed`
 	}
 }
+
+// oevet:pmem-checksum
+func (d *device) CRC(p []byte) uint32 { return 0 }
+
+// oevet:pmem-flush
+// oevet:pmem-integrity
+func writeRecordOK(d *device, p []byte) error { // ok: checksum stamped, then flushed
+	_ = d.CRC(p)
+	if err := d.Write(0, p); err != nil {
+		return err
+	}
+	return d.Flush(0, len(p))
+}
+
+// oevet:pmem-integrity
+func flushWithoutChecksum(d *device, p []byte) error {
+	if err := d.Write(0, p); err != nil {
+		return err
+	}
+	return d.Flush(0, len(p)) // want `flushes PMem bytes on an integrity-marked persist path before any checksum is computed`
+}
+
+// oevet:pmem-integrity
+func checksumAfterFlush(d *device, p []byte) error { // stamping after durability is too late
+	if err := d.Flush(0, len(p)); err != nil { // want `flushes PMem bytes on an integrity-marked persist path before any checksum is computed`
+		return err
+	}
+	_ = d.CRC(p)
+	return nil
+}
+
+// oevet:pmem-integrity
+func retryLoopFlushOK(d *device, p []byte) error { // ok: one stamp covers retried flushes
+	_ = d.CRC(p)
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = d.Flush(0, len(p)); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func unmarkedFlushNoChecksumOK(d *device, p []byte) error { // ok: not an integrity path
+	if err := d.Write(0, p); err != nil {
+		return err
+	}
+	return d.Flush(0, len(p))
+}

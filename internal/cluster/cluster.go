@@ -326,6 +326,23 @@ func (c *Client) Recover(commit int64) error {
 // together with Recover.
 func (c *Client) Recoverable(err error) bool { return rpc.IsRecoverable(err) }
 
+// Scrub runs one full integrity pass on every node and sums the reports.
+// Nodes are visited sequentially in index order (deterministic under
+// seeded chaos, like Recover). If any node restored or fenced entries its
+// epoch is now ahead; the caller must run Recover before resuming the
+// batch protocol, exactly as after a crash.
+func (c *Client) Scrub() (psengine.ScrubReport, error) {
+	var total psengine.ScrubReport
+	for i, n := range c.nodes {
+		rep, err := n.Scrub()
+		if err != nil {
+			return total, c.nodeErr(i, err)
+		}
+		total.Add(rep)
+	}
+	return total, nil
+}
+
 // Stats sums the counters across nodes.
 func (c *Client) Stats() (psengine.Stats, error) {
 	var total psengine.Stats

@@ -90,6 +90,25 @@ type Engine struct {
 	// durably in the arena header so recovery can roll back one checkpoint.
 	prevCompleted atomic.Int64
 
+	// flushVerify makes every record flush prove itself against the durable
+	// image (set when a media-fault model is armed on the device and the
+	// config does not opt out): rot, dropped flushes and poison are caught
+	// at the flush site and healed by rewrite/realloc, so the durable image
+	// stays exactly what a fault-free run would hold.
+	flushVerify bool
+	// scrubShare is each shard's background-scrub budget per maintenance
+	// round (cfg.ScrubRate split across shards; 0 disables).
+	scrubShare int
+	// integrityNotify (a func(), set via SetIntegrityNotify) fires after a
+	// background scrub round that restored or fenced entries — state
+	// regressions the node must answer with an epoch fence and coordinated
+	// replay. scrubLoss accumulates those regressions under shard locks;
+	// the maintainer drains it and fires the callback outside every lock.
+	integrityNotify atomic.Value
+	scrubLoss       atomic.Int64
+	// recoverInfo records how the engine was recovered (recover.go).
+	recoverInfo RecoverInfo
+
 	// obs is the engine's metric set (all no-ops when cfg.Obs is nil) and
 	// spans its span tracer. Recording is atomics-only, so it is safe under
 	// any engine lock; timestamps come from obs.Now(), never the time
@@ -143,6 +162,13 @@ func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
 		maintCh: make(chan maintTask, 64),
 		obs:     psengine.NewEngineObs(cfg.Obs),
 		spans:   cfg.Spans,
+	}
+	e.flushVerify = arena.Device().MediaFaultsArmed() && !cfg.FlushVerifyDisabled
+	if cfg.ScrubRate > 0 {
+		e.scrubShare = cfg.ScrubRate / nShards
+		if e.scrubShare == 0 {
+			e.scrubShare = 1
+		}
 	}
 	// shardIndex multiplies by the golden ratio and keeps the top log2(n)
 	// bits. For n == 1 the shift is 64, which Go defines as yielding 0.
@@ -362,7 +388,10 @@ func (e *Engine) readWeights(ent *entry, dst []float32, sampled bool) (fromPMem 
 		missStart = e.obs.Now()
 	}
 	bufp := e.payloadPool.Get().(*[]byte)
-	err = e.arena.ReadPayload(ent.slot, *bufp)
+	// Integrity-checked PMem read: a rotted or poisoned record fails typed
+	// here, BEFORE its bytes can reach a Pull response. DRAM hits above
+	// never pay the verification (the cache is trusted volatile state).
+	err = e.arena.ReadPayloadVerified(ent.slot, ent.key, *bufp)
 	if err == nil {
 		pmem.DecodeFloats(dst, *bufp)
 		e.pmemReads.Add(1)
@@ -370,6 +399,9 @@ func (e *Engine) readWeights(ent *entry, dst []float32, sampled bool) (fromPMem 
 		if sampled {
 			e.obs.MissService.Observe(e.obs.Now() - missStart)
 		}
+	} else if pmem.IsIntegrity(err) {
+		e.obs.CorruptServe.Add(1)
+		err = fmt.Errorf("core: pull of key %d: %w", ent.key, err)
 	}
 	e.payloadPool.Put(bufp)
 	return true, err
@@ -424,7 +456,11 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 func (e *Engine) promoteLocked(ent *entry, countRead bool) error {
 	bufp := e.payloadPool.Get().(*[]byte)
 	defer e.payloadPool.Put(bufp)
-	if err := e.arena.ReadPayload(ent.slot, *bufp); err != nil {
+	if err := e.arena.ReadPayloadVerified(ent.slot, ent.key, *bufp); err != nil {
+		if pmem.IsIntegrity(err) {
+			e.obs.CorruptServe.Add(1)
+			err = fmt.Errorf("core: promote of key %d: %w", ent.key, err)
+		}
 		return err
 	}
 	ent.buf = make([]float32, e.cfg.EntryFloats())

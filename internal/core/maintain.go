@@ -115,6 +115,12 @@ func (e *Engine) maintainLoop() {
 		} else if err := e.finalizeCheckpoints(); err != nil {
 			e.maintErrs.set(err)
 		}
+		// Scrub healing that regressed state (restored or fenced entries)
+		// must reach the node so it can fence its epoch; fire the callback
+		// here, outside every shard lock.
+		if e.scrubLoss.Swap(0) > 0 {
+			e.notifyIntegrityLoss()
+		}
 		e.pending.Done()
 	}
 }
@@ -131,6 +137,9 @@ func (e *Engine) inlineMaintain(batch int64) {
 	}
 	if err := e.finalizeCheckpoints(); err != nil {
 		e.maintErrs.set(err)
+	}
+	if e.scrubLoss.Swap(0) > 0 {
+		e.notifyIntegrityLoss()
 	}
 }
 
@@ -193,6 +202,15 @@ func (s *shard) runMaintenance(batch int64, recs []accessRec) error {
 			if err := s.enforceCapacityLocked(); err != nil {
 				return err
 			}
+		}
+	}
+	// Background integrity scrub: verify a bounded slice of this shard's
+	// persisted records while the exclusive lock is already held. The budget
+	// is per maintenance round (not wall clock), so scrub progress — and any
+	// healing it triggers — is a deterministic function of the batch stream.
+	if e.scrubShare > 0 {
+		if err := s.scrubStepLocked(e.scrubShare); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -265,10 +283,36 @@ func (s *shard) flushLocked(ent *entry) error {
 	}
 	bufp := e.payloadPool.Get().(*[]byte)
 	pmem.EncodeFloats(*bufp, ent.buf)
-	err = e.arena.WriteRecord(slot, ent.key, ent.dataVersion, *bufp)
+	if e.flushVerify {
+		// Verified flush: the record must read back valid from the durable
+		// image (rot and dropped flushes are rewritten by the arena); a slot
+		// whose media is poisoned is quarantined and a fresh slot takes over.
+		for tries := 0; ; tries++ {
+			err = e.arena.WriteRecordVerified(slot, ent.key, ent.dataVersion, *bufp)
+			if err == nil || !errors.Is(err, pmem.ErrPoisoned) || tries >= 4 {
+				break
+			}
+			e.arena.Quarantine(slot)
+			slot, err = e.arena.Alloc()
+			if errors.Is(err, pmem.ErrFull) {
+				e.reclaim()
+				slot, err = e.arena.Alloc()
+			}
+			if err != nil {
+				e.payloadPool.Put(bufp)
+				return fmt.Errorf("%w: flush of key %d: %v", errMaintenance, ent.key, err)
+			}
+		}
+	} else {
+		err = e.arena.WriteRecord(slot, ent.key, ent.dataVersion, *bufp)
+	}
 	e.payloadPool.Put(bufp)
 	if err != nil {
-		e.arena.Free(slot)
+		if errors.Is(err, pmem.ErrPoisoned) {
+			e.arena.Quarantine(slot)
+		} else {
+			e.arena.Free(slot)
+		}
 		return fmt.Errorf("%w: flush of key %d: %v", errMaintenance, ent.key, err)
 	}
 	neededByActive := ent.ckptPending

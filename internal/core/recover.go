@@ -57,18 +57,54 @@ func recoverImpl(cfg psengine.Config, dev *pmem.Device, workers int, target int6
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: recover: %w", err)
 	}
-	ckpt, err := arena.CheckpointedBatch()
-	if err != nil {
-		return nil, 0, fmt.Errorf("core: recover: %w", err)
+	// Both durable checkpoint header words are self-validating (a CRC-packed
+	// encoding, pmem.Arena); a word that fails validation is reported typed
+	// and handled here instead of recovering to a garbage batch ID.
+	ckpt, cerr := arena.CheckpointedBatch()
+	if cerr != nil && !pmem.IsIntegrity(cerr) {
+		return nil, 0, fmt.Errorf("core: recover: %w", cerr)
 	}
-	prev, err := arena.PrevCheckpointedBatch()
-	if err != nil {
-		return nil, 0, fmt.Errorf("core: recover: %w", err)
+	prev, perr := arena.PrevCheckpointedBatch()
+	if perr != nil && !pmem.IsIntegrity(perr) {
+		return nil, 0, fmt.Errorf("core: recover: %w", perr)
 	}
-	if prev >= ckpt {
-		// A crash between the prev and cur header stores can leave
-		// prev == cur; either way only one checkpoint is retained.
+	info := RecoverInfo{CurCorrupt: cerr != nil, PrevCorrupt: perr != nil}
+	rewrite := false // rewrite the durable header words even if target == ckpt
+	switch {
+	case cerr == nil && perr == nil:
+		if prev >= ckpt {
+			// A crash between the prev and cur header stores can leave
+			// prev == cur; either way only one checkpoint is retained.
+			prev = -1
+		}
+	case cerr == nil:
+		// The previous-checkpoint word is corrupt: the current checkpoint is
+		// intact and fully usable, but the older one is gone. Only an explicit
+		// request for it fails; recovery to the current checkpoint proceeds
+		// (and rewrites the bad word below, via the prev == -1 collapse).
+		if haveTarget && target != ckpt {
+			return nil, 0, fmt.Errorf("core: recover: target checkpoint %d not retained (previous checkpoint lost: %w)",
+				target, perr)
+		}
 		prev = -1
+		rewrite = true
+	case perr == nil:
+		// The current-checkpoint word is corrupt: fall back to the retained
+		// previous checkpoint — that is exactly what it is retained for. The
+		// fallback never happens silently for an explicit-target caller, and
+		// never invents a scratch recovery when no previous checkpoint exists.
+		if prev < 0 {
+			return nil, 0, fmt.Errorf("core: recover: no usable checkpoint (no previous retained: %w)", cerr)
+		}
+		if haveTarget && target != prev {
+			return nil, 0, fmt.Errorf("core: recover: target checkpoint %d not retained (current checkpoint lost: %w)",
+				target, cerr)
+		}
+		info.FellBack = true
+		ckpt, prev = prev, -1
+		rewrite = true
+	default:
+		return nil, 0, fmt.Errorf("core: recover: no usable checkpoint (both header words corrupt: %w)", cerr)
 	}
 	if !haveTarget {
 		target = ckpt
@@ -76,6 +112,7 @@ func recoverImpl(cfg psengine.Config, dev *pmem.Device, workers int, target int6
 		return nil, 0, fmt.Errorf("core: recover: target checkpoint %d not retained (have %d, prev %d)",
 			target, ckpt, prev)
 	}
+	info.Target = target
 	// horizon is the older checkpoint that must STAY recoverable after this
 	// recovery: rolling back to prev (or scratch) discards it.
 	horizon := int64(-1)
@@ -87,8 +124,12 @@ func recoverImpl(cfg psengine.Config, dev *pmem.Device, workers int, target int6
 	if err != nil {
 		return nil, 0, err
 	}
+	eng.recoverInfo = info
+	if info.FellBack {
+		eng.obs.RecoverFallback.Add(1)
+	}
 	finish := func() (*Engine, int64, error) {
-		if target != ckpt {
+		if target != ckpt || rewrite {
 			// Durably adopt the rollback, cur first: a crash between the
 			// stores leaves prev == cur, which re-collapses to "one
 			// retained" above.
@@ -110,7 +151,7 @@ func recoverImpl(cfg psengine.Config, dev *pmem.Device, workers int, target int6
 		// Recovering to scratch: nothing to index, every slot is free.
 		arena.FinishRecovery()
 		eng.lastEnded.Store(-1)
-		if target != ckpt {
+		if target != ckpt || rewrite {
 			return finish()
 		}
 		return eng, -1, nil
@@ -238,3 +279,20 @@ func recoverImpl(cfg psengine.Config, dev *pmem.Device, workers int, target int6
 // entryIndexBytes is the DRAM footprint charged per rebuilt index entry
 // (hash bucket slot plus entry header).
 const entryIndexBytes = 64
+
+// RecoverInfo describes how an engine was rebuilt: which checkpoint it
+// landed on and whether corrupt durable header words forced a fallback.
+// FellBack means the current-checkpoint word was corrupt and recovery
+// adopted the retained previous checkpoint instead — the caller (the PS
+// node) must surface that as a rollback, exactly like an explicit
+// RecoverTo, so the trainer replays the lost batches.
+type RecoverInfo struct {
+	Target      int64 // checkpoint the engine recovered to (-1: scratch)
+	FellBack    bool  // cur word corrupt; recovered to prev instead
+	CurCorrupt  bool  // the durable current-checkpoint word failed validation
+	PrevCorrupt bool  // the durable previous-checkpoint word failed validation
+}
+
+// RecoverInfo reports how this engine was recovered. Zero-valued for
+// engines built by New rather than Recover/RecoverTo.
+func (e *Engine) RecoverInfo() RecoverInfo { return e.recoverInfo }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"slices"
+
+	"openembedding/internal/pmem"
+	"openembedding/internal/psengine"
+)
+
+// This file is the self-healing integrity scrubber (DESIGN.md §11). The
+// scrubber walks persisted records in deterministic (sorted-key) order,
+// re-verifies each checksum, and heals what the media lost:
+//
+//   - repaired: the DRAM cache still holds the entry, so the record is
+//     rewritten in place — fully transparent.
+//   - restored: no DRAM copy, but a retained record at or below the
+//     completed checkpoint survives; the entry is rolled back onto it.
+//   - fenced: nothing recoverable — the key is dropped and will be reborn
+//     with its deterministic initializer on first touch.
+//
+// Restored and fenced entries regress node state, so the engine notifies
+// the node (SetIntegrityNotify), which fences its epoch and lets the
+// trainer run coordinated rollback+replay — the same machinery a crash
+// uses, which is what keeps training exact.
+//
+// Background scrubbing rides the existing maintainer pool with a per-round
+// entry budget (Config.ScrubRate) instead of a wall-clock rate: engine
+// behavior must stay a pure function of the request stream, and the budget
+// keeps the request hot path untouched either way.
+
+// SetIntegrityNotify registers f to run after a background scrub round
+// that restored or fenced entries (state regressions needing an epoch
+// fence and replay). Safe to call at any time; nil clears nothing — pass
+// a no-op instead.
+func (e *Engine) SetIntegrityNotify(f func()) { e.integrityNotify.Store(f) }
+
+func (e *Engine) notifyIntegrityLoss() {
+	if f, ok := e.integrityNotify.Load().(func()); ok && f != nil {
+		f()
+	}
+}
+
+// Scrub runs one full integrity pass over every persisted record and
+// returns what it found and healed. It takes each shard's exclusive lock
+// in turn (a repair path, not a hot path). If the report's Restored or
+// Fenced counts are non-zero the caller must treat node state as rolled
+// back: fence the epoch and replay, exactly as after a crash.
+func (e *Engine) Scrub() (psengine.ScrubReport, error) {
+	var rep psengine.ScrubReport
+	if e.closed.Load() {
+		return rep, psengine.ErrClosed
+	}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, k := range s.sortedKeysLocked() {
+			ent := s.index[k]
+			if ent == nil || ent.slot == noSlot {
+				continue
+			}
+			if err := s.scrubEntryLocked(ent, &rep); err != nil {
+				s.mu.Unlock()
+				e.applyScrubObs(rep)
+				return rep, err
+			}
+		}
+		s.mu.Unlock()
+	}
+	e.applyScrubObs(rep)
+	return rep, nil
+}
+
+// scrubStepLocked verifies up to budget entries of this shard, resuming
+// at the shard's cursor and wrapping — the background scrub step appended
+// to each maintenance round. Caller holds the shard's exclusive lock.
+//
+// oevet:holds core.shard.mu 10
+func (s *shard) scrubStepLocked(budget int) error {
+	e := s.eng
+	if len(s.index) == 0 {
+		return nil
+	}
+	keys := s.sortedKeysLocked()
+	idx, found := slices.BinarySearch(keys, s.scrubCursor)
+	if found {
+		idx++
+	}
+	var rep psengine.ScrubReport
+	var err error
+	for n := 0; n < budget && n < len(keys); n++ {
+		if idx >= len(keys) {
+			idx = 0
+		}
+		k := keys[idx]
+		idx++
+		s.scrubCursor = k
+		ent := s.index[k]
+		if ent == nil || ent.slot == noSlot {
+			continue
+		}
+		if err = s.scrubEntryLocked(ent, &rep); err != nil {
+			break
+		}
+	}
+	e.applyScrubObs(rep)
+	if loss := rep.Restored + rep.Fenced; loss > 0 {
+		e.scrubLoss.Add(loss)
+	}
+	return err
+}
+
+// scrubEntryLocked verifies one entry's persisted record and heals it if
+// the media lost it. Caller holds the entry's shard lock exclusively.
+//
+// oevet:holds core.shard.mu 10
+func (s *shard) scrubEntryLocked(ent *entry, rep *psengine.ScrubReport) error {
+	e := s.eng
+	rep.Scanned++
+	err := e.arena.CheckRecord(ent.slot, ent.key)
+	if err == nil {
+		return nil
+	}
+	if !pmem.IsIntegrity(err) {
+		return err
+	}
+	rep.Corrupt++
+	// The bad record leaves circulation: a poisoned slot is quarantined
+	// (its media range refuses reads until rewritten), a rotted slot's
+	// media is fine and returns to the free list.
+	bad := ent.slot
+	if errors.Is(err, pmem.ErrPoisoned) {
+		e.arena.Quarantine(bad)
+		rep.Quarantined++
+	} else {
+		e.arena.Free(bad)
+	}
+	ent.slot = noSlot
+	if ent.inDRAM() {
+		// The DRAM copy is intact: re-persist the entry's current state.
+		// flushLocked also settles any pending-checkpoint accounting.
+		if err := s.flushLocked(ent); err != nil {
+			return err
+		}
+		rep.Repaired++
+		return nil
+	}
+	// No DRAM copy. The entry must not owe the active checkpoint a flush
+	// anymore — whatever happens below, that data is gone.
+	if ent.ckptPending {
+		ent.ckptPending = false
+		e.noteFlushed(true)
+	}
+	// The newest surviving record at or below the completed checkpoint is
+	// the authoritative checkpoint state (the same newest-wins rule the
+	// recovery scan applies); adopt it if the space manager still holds it.
+	ckpt := e.completedCkpt.Load()
+	if rec, ok := e.arena.FindLatest(ent.key, ckpt); ok {
+		if version, adopted := e.arena.AdoptRetired(rec.Slot); adopted {
+			ent.slot = rec.Slot
+			ent.persistedVersion = version
+			ent.dataVersion = version
+			ent.dirty = false
+			rep.Restored++
+			return nil
+		}
+	}
+	// Fence: no recoverable record for this key. Drop it — after replay it
+	// is reborn from its deterministic initializer on first touch.
+	delete(s.index, ent.key)
+	if ent.node.InList() {
+		s.lru.Remove(&ent.node)
+	}
+	e.entries.Add(-1)
+	rep.Fenced++
+	return nil
+}
+
+// sortedKeysLocked snapshots this shard's keys in ascending order (the
+// deterministic scrub walk order). Caller holds the shard lock.
+func (s *shard) sortedKeysLocked() []uint64 {
+	keys := make([]uint64, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// applyScrubObs folds one scrub report into the engine metric set.
+func (e *Engine) applyScrubObs(rep psengine.ScrubReport) {
+	if rep.Scanned == 0 {
+		return
+	}
+	e.obs.ScrubScanned.Add(rep.Scanned)
+	e.obs.ScrubCorrupt.Add(rep.Corrupt)
+	e.obs.ScrubRepaired.Add(rep.Repaired)
+	e.obs.ScrubRestored.Add(rep.Restored)
+	e.obs.ScrubFenced.Add(rep.Fenced)
+	e.obs.ScrubProgress.Add(rep.Scanned)
+}

@@ -56,6 +56,11 @@ type shard struct {
 	// capacity is this shard's slice of the DRAM cache budget.
 	capacity int
 
+	// scrubCursor is the last key the background scrubber verified in this
+	// shard; the next round resumes just past it (wrapping), so a full pass
+	// completes every ceil(entries/budget) rounds. Guarded by mu.
+	scrubCursor uint64
+
 	// evictObs counts this shard's LRU evictions for the obs registry
 	// (nil, and therefore free, when obs is disabled).
 	evictObs *obs.Counter

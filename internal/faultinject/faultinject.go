@@ -37,6 +37,13 @@ const (
 	PointConnRead
 	// PointConnWrite fires on a wrapped connection's Write.
 	PointConnWrite
+	// PointPMemFlush fires on every simulated PMem flush (CLWB+SFENCE
+	// analog): the media-fault point for bit-rot in flushed lines,
+	// silently-dropped flushes and line poisoning.
+	PointPMemFlush
+	// PointPMemRead fires on simulated PMem reads (reserved for read-side
+	// media faults; poisoned-line reads fail without consulting a rule).
+	PointPMemRead
 	numPoints
 )
 
@@ -48,6 +55,10 @@ func (p Point) String() string {
 		return "conn-read"
 	case PointConnWrite:
 		return "conn-write"
+	case PointPMemFlush:
+		return "pmem-flush"
+	case PointPMemRead:
+		return "pmem-read"
 	default:
 		return fmt.Sprintf("point-%d", uint8(p))
 	}
@@ -74,6 +85,14 @@ const (
 	// KindCrash marks a whole-node crash point (used by CrashSchedule and
 	// counted like the wire kinds; the harness performs the crash).
 	KindCrash
+	// KindBitRot flips one deterministic bit (chosen by Fault.Arg) inside
+	// the flushed range: the media silently corrupts a line that was
+	// persisted correctly.
+	KindBitRot
+	// KindPoison marks the flushed range as uncorrectable: subsequent reads
+	// covering any part of it fail with a typed poison error until the
+	// range is fully rewritten (DIMM line poisoning).
+	KindPoison
 	numKinds
 )
 
@@ -91,6 +110,10 @@ func (k Kind) String() string {
 		return "drop"
 	case KindCrash:
 		return "crash"
+	case KindBitRot:
+		return "bitrot"
+	case KindPoison:
+		return "poison"
 	default:
 		return fmt.Sprintf("kind-%d", uint8(k))
 	}
@@ -124,10 +147,15 @@ type Rule struct {
 	Delay time.Duration
 }
 
-// Fault is one injection decision.
+// Fault is one injection decision. Arg is a deterministic hash of the
+// decision coordinates (seed, point, label, occurrence) that fault
+// implementations use for any further choice the fault needs — e.g. which
+// bit of a flushed line rots — so the whole fault, not just its firing, is
+// a pure function of the seed.
 type Fault struct {
 	Kind  Kind
 	Delay time.Duration
+	Arg   uint64
 }
 
 type streamKey struct {
@@ -209,7 +237,8 @@ func (in *Injector) On(point Point, label string) Fault {
 			continue
 		}
 		in.fired[ri]++
-		f = Fault{Kind: r.Kind, Delay: r.Delay}
+		arg := splitmix64(in.seed ^ splitmix64(uint64(point)<<32^hashLabel(label)^splitmix64(n)))
+		f = Fault{Kind: r.Kind, Delay: r.Delay, Arg: arg}
 		break
 	}
 	in.mu.Unlock()

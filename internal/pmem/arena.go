@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"math"
 	"sync"
 )
 
@@ -29,11 +28,12 @@ type Arena struct {
 	// never the reverse.
 	//
 	// oevet:lockrank pmem.arena.mu 30
-	mu       sync.Mutex
-	free     []uint32        // reusable slot indices
-	bump     uint32          // next never-used slot
-	retired  []retiredSlot   // superseded slots awaiting a covering checkpoint
-	occupied map[uint32]bool // debug/stat tracking of live slots
+	mu          sync.Mutex
+	free        []uint32        // reusable slot indices
+	bump        uint32          // next never-used slot
+	retired     []retiredSlot   // superseded slots awaiting a covering checkpoint
+	occupied    map[uint32]bool // debug/stat tracking of live slots
+	quarantined map[uint32]bool // slots pulled from circulation (poisoned media)
 }
 
 type retiredSlot struct {
@@ -43,7 +43,7 @@ type retiredSlot struct {
 }
 
 const (
-	arenaMagic     = uint64(0x4f45415245004131) // "OEAREA.A1"
+	arenaMagic     = uint64(0x4f45415245004132) // "OEAREA.A2" (A2: CRC-packed checkpoint words)
 	arenaHeaderLen = 64
 	slotHeaderLen  = 24 // key(8) + version(8) + payloadLen(4) + crc(4)
 
@@ -82,13 +82,14 @@ func NewArena(dev *Device, payloadBytes, slots int) (*Arena, error) {
 		slotSize:     alignUp(slotHeaderLen+payloadBytes, 8),
 		slots:        slots,
 		occupied:     make(map[uint32]bool),
+		quarantined:  make(map[uint32]bool),
 	}
 	hdr := make([]byte, arenaHeaderLen)
 	binary.LittleEndian.PutUint64(hdr[offMagic:], arenaMagic)
 	binary.LittleEndian.PutUint32(hdr[offPayload:], uint32(payloadBytes))
 	binary.LittleEndian.PutUint32(hdr[offSlots:], uint32(slots))
-	binary.LittleEndian.PutUint64(hdr[offCkptID:], uint64(math.MaxUint64))     // -1
-	binary.LittleEndian.PutUint64(hdr[offPrevCkptID:], uint64(math.MaxUint64)) // -1
+	binary.LittleEndian.PutUint64(hdr[offCkptID:], packCkptWord(-1))
+	binary.LittleEndian.PutUint64(hdr[offPrevCkptID:], packCkptWord(-1))
 	if err := dev.Persist(0, hdr); err != nil {
 		return nil, err
 	}
@@ -117,6 +118,7 @@ func OpenArena(dev *Device) (*Arena, error) {
 		slotSize:     alignUp(slotHeaderLen+payload, 8),
 		slots:        slots,
 		occupied:     make(map[uint32]bool),
+		quarantined:  make(map[uint32]bool),
 	}, nil
 }
 
@@ -239,15 +241,22 @@ func (a *Arena) MarkOccupied(slot uint32) {
 }
 
 // FinishRecovery rebuilds the free list: every slot below the bump pointer
-// that was not marked occupied becomes free.
+// that was not marked occupied becomes free. Quarantined slots and slots
+// sitting on poisoned media stay out of circulation (poison is a media
+// property, so it survives crashes and is rediscovered here).
 func (a *Arena) FinishRecovery() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.free = a.free[:0]
 	for s := uint32(0); s < a.bump; s++ {
-		if !a.occupied[s] {
-			a.free = append(a.free, s)
+		if a.occupied[s] || a.quarantined[s] {
+			continue
 		}
+		if a.dev.poisonCheck(a.slotOffset(s), a.slotSize) != nil {
+			a.quarantined[s] = true
+			continue
+		}
+		a.free = append(a.free, s)
 	}
 }
 
@@ -256,6 +265,7 @@ func (a *Arena) FinishRecovery() {
 // its checksum validates, so a torn write is discarded rather than observed.
 //
 // oevet:pmem-flush
+// oevet:pmem-integrity
 func (a *Arena) WriteRecord(slot uint32, key uint64, version int64, payload []byte) error {
 	if len(payload) != a.payloadBytes {
 		return fmt.Errorf("pmem: payload size %d != record payload %d", len(payload), a.payloadBytes)
@@ -271,6 +281,8 @@ func (a *Arena) WriteRecord(slot uint32, key uint64, version int64, payload []by
 
 // recordCRC covers key, version, payloadLen and payload (the crc field
 // itself is skipped).
+//
+// oevet:pmem-checksum
 func (a *Arena) recordCRC(buf []byte) uint32 {
 	h := crc32.New(crcTable)
 	h.Write(buf[0:20])
@@ -318,11 +330,11 @@ func (a *Arena) Version(slot uint32) (int64, error) {
 func (a *Arena) decode(slot uint32, buf []byte) (Record, error) {
 	plen := binary.LittleEndian.Uint32(buf[16:])
 	if int(plen) != a.payloadBytes {
-		return Record{}, fmt.Errorf("%w: slot %d payload len %d", ErrCorrupt, slot, plen)
+		return Record{}, &CorruptError{Key: binary.LittleEndian.Uint64(buf[0:]), Slot: slot, Off: int64(a.slotOffset(slot))}
 	}
 	stored := binary.LittleEndian.Uint32(buf[20:])
 	if stored != a.recordCRC(buf) {
-		return Record{}, fmt.Errorf("%w: slot %d checksum mismatch", ErrCorrupt, slot)
+		return Record{}, &CorruptError{Key: binary.LittleEndian.Uint64(buf[0:]), Slot: slot, Off: int64(a.slotOffset(slot))}
 	}
 	return Record{
 		Slot:    slot,
@@ -352,17 +364,75 @@ func (a *Arena) ScanRange(lo, hi uint32, fn func(Record) error) error {
 	a.dev.Timed().ChargeStreamRead(int64(hi-lo) * int64(a.slotSize))
 	for s := lo; s < hi; s++ {
 		off := a.slotOffset(s)
+		if a.dev.poisonCheck(off, slotHeaderLen+a.payloadBytes) != nil {
+			continue // uncorrectable media: the record is gone, not garbage
+		}
 		// Raw view without per-slot charge: the stream charge above covers it.
 		buf := a.dev.image[off : off+slotHeaderLen+a.payloadBytes]
 		rec, err := a.decode(s, buf)
 		if err != nil {
-			continue // invalid slot: free space or torn write
+			continue // invalid slot: free space, torn write, or bit-rot
 		}
 		if err := fn(rec); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// packCkptWord encodes a checkpoint ID as a self-validating 8-byte word:
+// the low half is id+1 (so -1, "nothing checkpointed", packs to 0) and the
+// high half is the CRC32C of that low half. The word is still published
+// with a single aligned 8-byte store, so power-fail atomicity is preserved
+// while media corruption of the header becomes detectable.
+//
+// oevet:pmem-checksum
+func packCkptWord(id int64) uint64 {
+	var le [4]byte
+	idp := uint32(id + 1)
+	binary.LittleEndian.PutUint32(le[:], idp)
+	return uint64(idp) | uint64(crc32.Checksum(le[:], crcTable))<<32
+}
+
+// unpackCkptWord validates and decodes a packed checkpoint word.
+func unpackCkptWord(word uint64, what string) (int64, error) {
+	var le [4]byte
+	idp := uint32(word)
+	binary.LittleEndian.PutUint32(le[:], idp)
+	if uint32(word>>32) != crc32.Checksum(le[:], crcTable) {
+		return 0, fmt.Errorf("%w: %s checkpoint header word %#x fails validation", ErrCorrupt, what, word)
+	}
+	return int64(idp) - 1, nil
+}
+
+// setCkptWord stamps and publishes one checkpoint header word. When a
+// media-fault model is armed the publish is verified against the durable
+// image and retried, so a rotted or dropped header flush cannot silently
+// orphan both retained checkpoints.
+//
+// oevet:pmem-integrity
+func (a *Arena) setCkptWord(off int, id int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], packCkptWord(id))
+	if !a.dev.MediaFaultsArmed() {
+		return a.dev.Persist(off, buf[:])
+	}
+	var lastErr error
+	var rb [8]byte
+	for attempt := 0; attempt < 4; attempt++ {
+		if err := a.dev.Persist(off, buf[:]); err != nil {
+			return err
+		}
+		if err := a.dev.ReadDurable(off, rb[:]); err != nil {
+			lastErr = err // poisoned header line: the retry's flush rewrites it
+			continue
+		}
+		if rb == buf {
+			return nil
+		}
+		lastErr = fmt.Errorf("%w: checkpoint header word at %d did not persist", ErrCorrupt, off)
+	}
+	return fmt.Errorf("pmem: checkpoint header publish: %w", lastErr)
 }
 
 // SetCheckpointedBatch atomically persists the ID of the latest completed
@@ -372,19 +442,19 @@ func (a *Arena) ScanRange(lo, hi uint32, fn func(Record) error) error {
 //
 // oevet:pmem-publish
 func (a *Arena) SetCheckpointedBatch(id int64) error {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(id))
-	return a.dev.Persist(offCkptID, buf[:])
+	return a.setCkptWord(offCkptID, id)
 }
 
 // CheckpointedBatch returns the persisted completed-checkpoint ID, or -1 if
-// no checkpoint has ever completed.
+// no checkpoint has ever completed. A header word that fails its CRC (or
+// sits on poisoned media) returns a typed error so recovery can fall back
+// to the retained previous checkpoint instead of trusting garbage.
 func (a *Arena) CheckpointedBatch() (int64, error) {
 	buf, err := a.dev.View(offCkptID, 8)
 	if err != nil {
 		return 0, err
 	}
-	return int64(binary.LittleEndian.Uint64(buf)), nil
+	return unpackCkptWord(binary.LittleEndian.Uint64(buf), "current")
 }
 
 // SetPrevCheckpointedBatch atomically persists the ID of the checkpoint
@@ -395,17 +465,16 @@ func (a *Arena) CheckpointedBatch() (int64, error) {
 //
 // oevet:pmem-publish
 func (a *Arena) SetPrevCheckpointedBatch(id int64) error {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(id))
-	return a.dev.Persist(offPrevCkptID, buf[:])
+	return a.setCkptWord(offPrevCkptID, id)
 }
 
 // PrevCheckpointedBatch returns the persisted previous-checkpoint ID, or -1
-// if at most one checkpoint is retained.
+// if at most one checkpoint is retained. Corrupt header words fail typed,
+// like CheckpointedBatch.
 func (a *Arena) PrevCheckpointedBatch() (int64, error) {
 	buf, err := a.dev.View(offPrevCkptID, 8)
 	if err != nil {
 		return 0, err
 	}
-	return int64(binary.LittleEndian.Uint64(buf)), nil
+	return unpackCkptWord(binary.LittleEndian.Uint64(buf), "previous")
 }

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"openembedding/internal/device"
+	"openembedding/internal/faultinject"
 )
 
 // Common errors returned by the pmem package.
@@ -54,6 +55,11 @@ type Device struct {
 	flushOps     atomic.Int64
 
 	crashMu sync.RWMutex // held exclusively during Crash/Save/restore
+
+	// media is the optional seeded media-fault model (bit-rot, dropped
+	// flushes, poisoned ranges); nil on the fault-free path. Set during
+	// setup via SetMediaFaults, before concurrent use.
+	media *mediaState
 }
 
 // NewDevice creates a device of the given capacity in bytes. The meter may
@@ -83,8 +89,12 @@ func (d *Device) check(off, n int) error {
 }
 
 // Read copies n=len(buf) bytes at off into buf and charges one read access.
+// Reads overlapping a poisoned media range fail with a typed PoisonError.
 func (d *Device) Read(off int, buf []byte) error {
 	if err := d.check(off, len(buf)); err != nil {
+		return err
+	}
+	if err := d.poisonCheck(off, len(buf)); err != nil {
 		return err
 	}
 	d.crashMu.RLock()
@@ -99,6 +109,9 @@ func (d *Device) Read(off int, buf []byte) error {
 // access of n bytes (byte-addressable load).
 func (d *Device) View(off, n int) ([]byte, error) {
 	if err := d.check(off, n); err != nil {
+		return nil, err
+	}
+	if err := d.poisonCheck(off, n); err != nil {
 		return nil, err
 	}
 	d.timed.ChargeRead(n)
@@ -123,16 +136,37 @@ func (d *Device) Write(off int, data []byte) error {
 }
 
 // Flush persists the range [off, off+n): the CLWB+SFENCE analog. After Flush
-// returns, the range survives Crash.
+// returns, the range survives Crash — unless the armed media-fault model
+// fires: a dropped flush silently never reaches the durable image, bit-rot
+// flips one deterministic bit after the copy, and poison marks the range
+// uncorrectable. Software cannot observe the fault from Flush itself (it
+// still returns nil), exactly like real hardware; detection is the
+// checksum/read-back layer's job.
 //
 // oevet:pmem-flush
 func (d *Device) Flush(off, n int) error {
 	if err := d.check(off, n); err != nil {
 		return err
 	}
-	d.crashMu.RLock()
-	copy(d.durable[off:off+n], d.image[off:off+n])
-	d.crashMu.RUnlock()
+	var f faultinject.Fault
+	if m := d.media; m != nil {
+		f = m.inj.On(faultinject.PointPMemFlush, m.label)
+	}
+	if f.Kind != faultinject.KindDrop {
+		d.crashMu.RLock()
+		copy(d.durable[off:off+n], d.image[off:off+n])
+		d.crashMu.RUnlock()
+	}
+	switch f.Kind {
+	case faultinject.KindBitRot:
+		d.rot(off, n, f.Arg)
+	case faultinject.KindPoison:
+		d.media.poison(off, n)
+	case faultinject.KindNone:
+		if m := d.media; m != nil && m.hasPoison.Load() {
+			m.clearPoison(off, n)
+		}
+	}
 	d.bytesFlushed.Add(int64(n))
 	d.flushOps.Add(1)
 	d.timed.ChargeWrite(n)

@@ -1,0 +1,164 @@
+package pmem
+
+import (
+	"fmt"
+)
+
+// CorruptError reports a record (or header word) that failed its CRC32C.
+// It unwraps to ErrCorrupt; Key is best-effort (decoded from the corrupt
+// bytes, so it may itself be damaged).
+type CorruptError struct {
+	Key  uint64
+	Slot uint32
+	Off  int64
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("pmem: corrupt record: key %d slot %d off %d", e.Key, e.Slot, e.Off)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// IntegrityError marks this as a data-integrity failure (see IsIntegrity).
+func (e *CorruptError) IntegrityError() bool { return true }
+
+// SlotOffset returns the device offset of slot's record. Exposed for
+// integrity tooling and tests that inject corruption at a known site.
+func (a *Arena) SlotOffset(slot uint32) int { return a.slotOffset(slot) }
+
+// ReadPayloadVerified copies the payload of the record in slot into dst
+// after validating the record CRC32C and that the record belongs to key.
+// It is the integrity-checked serve path: it charges exactly the same
+// virtual time as the unverified ReadPayload (one payload-sized PMem read —
+// the CRC is computed by the CPU over bytes the load already fetched), so
+// enabling verification does not move the simulated-performance results.
+func (a *Arena) ReadPayloadVerified(slot uint32, key uint64, dst []byte) error {
+	off := a.slotOffset(slot)
+	n := slotHeaderLen + a.payloadBytes
+	if err := a.dev.check(off, n); err != nil {
+		return err
+	}
+	if err := a.dev.poisonCheck(off, n); err != nil {
+		return err
+	}
+	a.dev.crashMu.RLock()
+	rec, err := a.decode(slot, a.dev.image[off:off+n])
+	if err == nil {
+		if rec.Key != key {
+			err = &CorruptError{Key: key, Slot: slot, Off: int64(off)}
+		} else {
+			copy(dst[:a.payloadBytes], rec.Payload)
+		}
+	}
+	a.dev.crashMu.RUnlock()
+	a.dev.timed.ChargeRead(a.payloadBytes)
+	return err
+}
+
+// CheckRecord validates the record in slot against key without copying the
+// payload out — the scrubber's probe. It charges a full record read (the
+// scrub budget is what keeps this off the hot path).
+func (a *Arena) CheckRecord(slot uint32, key uint64) error {
+	off := a.slotOffset(slot)
+	n := slotHeaderLen + a.payloadBytes
+	if err := a.dev.check(off, n); err != nil {
+		return err
+	}
+	if err := a.dev.poisonCheck(off, n); err != nil {
+		return err
+	}
+	a.dev.crashMu.RLock()
+	rec, err := a.decode(slot, a.dev.image[off:off+n])
+	if err == nil && rec.Key != key {
+		err = &CorruptError{Key: key, Slot: slot, Off: int64(off)}
+	}
+	a.dev.crashMu.RUnlock()
+	a.dev.timed.ChargeRead(n)
+	return err
+}
+
+// WriteRecordVerified is WriteRecord plus a durable read-back proof: after
+// the flush, the durable image must decode to exactly (key, version) with a
+// valid CRC. A rotted or silently-dropped flush is detected and re-flushed;
+// a poisoned line is healed by the rewrite when possible. Bounded retries —
+// if the media refuses to hold the record the last typed error is returned
+// so the caller can quarantine the slot and allocate another.
+func (a *Arena) WriteRecordVerified(slot uint32, key uint64, version int64, payload []byte) error {
+	var lastErr error
+	rb := make([]byte, slotHeaderLen+a.payloadBytes)
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := a.WriteRecord(slot, key, version, payload); err != nil {
+			return err
+		}
+		if err := a.dev.ReadDurable(a.slotOffset(slot), rb); err != nil {
+			lastErr = err
+			continue
+		}
+		rec, err := a.decode(slot, rb)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if rec.Key != key || rec.Version != version {
+			lastErr = &CorruptError{Key: key, Slot: slot, Off: int64(a.slotOffset(slot))}
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("pmem: verified write of slot %d: %w", slot, lastErr)
+}
+
+// FindLatest scans the arena for the newest valid record of key with
+// version at most maxVersion — the scrubber's restore probe against the
+// retained checkpoint. The returned payload is a copy. Corrupt and
+// poisoned slots are skipped. Charges a sequential stream read of the
+// whole arena (restore is a repair path, not a hot path).
+func (a *Arena) FindLatest(key uint64, maxVersion int64) (Record, bool) {
+	var out Record
+	found := false
+	_ = a.Scan(func(r Record) error {
+		if r.Key != key || r.Version > maxVersion {
+			return nil
+		}
+		if !found || r.Version > out.Version {
+			out = Record{Slot: r.Slot, Key: r.Key, Version: r.Version, Payload: append([]byte(nil), r.Payload...)}
+			found = true
+		}
+		return nil
+	})
+	return out, found
+}
+
+// AdoptRetired removes slot from the retired list so its record becomes
+// live again — the scrubber adopting an older retained record after the
+// newest one was lost to the media. Returns the record's own version and
+// whether the slot was found retired.
+func (a *Arena) AdoptRetired(slot uint32) (int64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, r := range a.retired {
+		if r.slot == slot {
+			a.retired = append(a.retired[:i], a.retired[i+1:]...)
+			return r.oldVersion, true
+		}
+	}
+	return 0, false
+}
+
+// Quarantine pulls slot out of circulation permanently: it is no longer
+// occupied, never enters the free list, and recovery will not hand it out
+// either. Used for slots whose media range is poisoned or refuses to hold
+// data.
+func (a *Arena) Quarantine(slot uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.occupied, slot)
+	a.quarantined[slot] = true
+}
+
+// QuarantinedCount reports how many slots have been quarantined.
+func (a *Arena) QuarantinedCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.quarantined)
+}

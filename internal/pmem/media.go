@@ -1,0 +1,144 @@
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"openembedding/internal/faultinject"
+)
+
+// ErrPoisoned indicates a read that touched an uncorrectable (poisoned)
+// media range. Real Optane DIMMs raise a machine check for such lines; the
+// simulation surfaces a typed error instead of garbage.
+var ErrPoisoned = errors.New("pmem: poisoned media range")
+
+// PoisonError reports the poisoned range a read overlapped.
+type PoisonError struct {
+	Off int // start of the poisoned range
+	Len int
+}
+
+func (e *PoisonError) Error() string {
+	return fmt.Sprintf("pmem: poisoned media range [%d,%d)", e.Off, e.Off+e.Len)
+}
+
+func (e *PoisonError) Unwrap() error { return ErrPoisoned }
+
+// IntegrityError marks this as a data-integrity failure (see IsIntegrity).
+func (e *PoisonError) IntegrityError() bool { return true }
+
+// IsIntegrity reports whether err is a data-integrity failure — a checksum
+// mismatch (ErrCorrupt) or a poisoned-media read (ErrPoisoned) — as opposed
+// to a usage or capacity error.
+func IsIntegrity(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrPoisoned)
+}
+
+// mediaState is the seeded media-fault model attached to a Device:
+// bit-rot in flushed lines, silently-dropped flushes and poisoned
+// (uncorrectable-read) ranges, every decision a pure function of the
+// injector seed and the per-device flush occurrence stream.
+type mediaState struct {
+	inj   *faultinject.Injector
+	label string
+
+	mu        sync.Mutex
+	poisoned  []poisonRange
+	hasPoison atomic.Bool
+}
+
+type poisonRange struct{ off, end int }
+
+// SetMediaFaults arms the seeded media-fault model: every Flush consults
+// inj at PointPMemFlush under the given stream label. Arm the model after
+// formatting the arena (so the format itself is not a fault target) and
+// before serving; the fault stream is deterministic as long as flushes on
+// this device are issued in a deterministic order.
+func (d *Device) SetMediaFaults(inj *faultinject.Injector, label string) {
+	if inj == nil {
+		d.media = nil
+		return
+	}
+	d.media = &mediaState{inj: inj, label: label}
+}
+
+// MediaFaultsArmed reports whether a media-fault model is attached. Engines
+// use it to decide whether flushes need read-back verification.
+func (d *Device) MediaFaultsArmed() bool { return d.media != nil }
+
+// poisonCheck returns a typed error when [off, off+n) overlaps a poisoned
+// range. The nil/fast path is a single pointer test plus one atomic load.
+func (d *Device) poisonCheck(off, n int) error {
+	m := d.media
+	if m == nil || !m.hasPoison.Load() {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range m.poisoned {
+		if off < r.end && off+n > r.off {
+			return &PoisonError{Off: r.off, Len: r.end - r.off}
+		}
+	}
+	return nil
+}
+
+// poison marks [off, off+n) uncorrectable.
+func (m *mediaState) poison(off, n int) {
+	m.mu.Lock()
+	m.poisoned = append(m.poisoned, poisonRange{off: off, end: off + n})
+	m.hasPoison.Store(true)
+	m.mu.Unlock()
+}
+
+// clearPoison removes poisoned ranges fully covered by a successful
+// rewrite of [off, off+n): rewriting a line heals it.
+func (m *mediaState) clearPoison(off, n int) {
+	m.mu.Lock()
+	kept := m.poisoned[:0]
+	for _, r := range m.poisoned {
+		if r.off >= off && r.end <= off+n {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	m.poisoned = kept
+	if len(kept) == 0 {
+		m.hasPoison.Store(false)
+	}
+	m.mu.Unlock()
+}
+
+// rot flips one Arg-chosen bit of [off, off+n) in both the volatile and the
+// durable image: the line was flushed correctly and then silently decayed,
+// so loads and recovery both observe the flipped bit.
+func (d *Device) rot(off, n int, arg uint64) {
+	if n <= 0 {
+		return
+	}
+	byteOff := off + int(arg%uint64(n))
+	bit := byte(1) << ((arg >> 32) % 8)
+	d.crashMu.RLock()
+	d.image[byteOff] ^= bit
+	d.durable[byteOff] ^= bit
+	d.crashMu.RUnlock()
+}
+
+// ReadDurable copies n=len(buf) bytes of the DURABLE image at off into buf:
+// the read-back a verified flush performs to prove the line actually
+// reached the media. It is a simulation-level verification primitive and
+// charges no virtual time; poisoned ranges fail typed like ordinary reads.
+func (d *Device) ReadDurable(off int, buf []byte) error {
+	if err := d.check(off, len(buf)); err != nil {
+		return err
+	}
+	if err := d.poisonCheck(off, len(buf)); err != nil {
+		return err
+	}
+	d.crashMu.RLock()
+	copy(buf, d.durable[off:off+len(buf)])
+	d.crashMu.RUnlock()
+	return nil
+}

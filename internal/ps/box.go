@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"fmt"
 	"sync"
 
 	"openembedding/internal/psengine"
@@ -58,4 +59,14 @@ func (b *engineBox) AdvanceCheckpoints() error {
 		return adv.AdvanceCheckpoints()
 	}
 	return nil
+}
+
+// Scrub forwards the optional integrity-scrub hook to the boxed engine.
+func (b *engineBox) Scrub() (psengine.ScrubReport, error) {
+	if s, ok := b.get().(interface {
+		Scrub() (psengine.ScrubReport, error)
+	}); ok {
+		return s.Scrub()
+	}
+	return psengine.ScrubReport{}, fmt.Errorf("ps: engine %q does not support scrubbing", b.Name())
 }

@@ -52,6 +52,14 @@ type NodeConfig struct {
 	// connections; it must be deterministic across runs (a node index, not
 	// an address). Defaults to "server".
 	Label string
+	// MediaLabel, when non-empty (and Inject is set), arms the PMem media-
+	// fault model on the node's device with this injector stream label:
+	// flushes can then rot a bit, be silently dropped, or poison the flushed
+	// range, per the injector's rules. Empty leaves media faults off. The
+	// label must be deterministic across runs (a node index, not an
+	// address). Only meaningful for PMem-backed engines; the model is armed
+	// after the arena is formatted and stays armed across Crash/Restart.
+	MediaLabel string
 	// Obs enables node observability: the registry is handed to the engine
 	// (engine_* metrics) and the RPC server (rpc_server_* metrics), and
 	// ObsHandler serves it over HTTP. Nil disables all of it.
@@ -80,6 +88,10 @@ type Node struct {
 	// node started from an existing PMem image (-1 otherwise); Restart
 	// updates it to the checkpoint the restarted engine recovered to.
 	RecoveredBatch int64
+
+	// lastRecover is the most recent recovery's outcome (zero until the
+	// node has recovered at least once). Guarded by mu.
+	lastRecover core.RecoverInfo
 }
 
 // StartNode builds the engine (recovering from an existing PMem image when
@@ -120,21 +132,31 @@ func StartNode(addr string, cfg NodeConfig) (*Node, error) {
 		}
 		n.dev = dev
 		if existing {
+			// Media faults armed before recovery: the rebuild scan verifies
+			// checksums and must see the fault model a live node would.
+			n.armMediaFaults()
 			eng, ckpt, err := core.Recover(store, dev)
 			if err != nil {
 				return nil, fmt.Errorf("ps: recover: %w", err)
 			}
+			n.adoptEngine(eng)
 			engine = eng
 			n.RecoveredBatch = ckpt
+			n.lastRecover = eng.RecoverInfo()
 		} else {
 			arena, err := pmem.NewArena(dev, payload, slots)
 			if err != nil {
 				return nil, err
 			}
+			// Armed after the arena format (formatting is setup, not a fault
+			// target) but before the engine exists, so the engine sees the
+			// model and turns on flush verification.
+			n.armMediaFaults()
 			eng, err := core.New(store, arena)
 			if err != nil {
 				return nil, err
 			}
+			n.adoptEngine(eng)
 			engine = eng
 		}
 	case "dram-ps":
@@ -197,8 +219,70 @@ func (n *Node) serverOptions() rpc.ServerOptions {
 	}
 	if n.cfg.Engine == "pmem-oe" {
 		opts.Rollback = n.rollbackTo
+		opts.Scrub = n.scrubRPC
 	}
 	return opts
+}
+
+// armMediaFaults arms the PMem media-fault model on the node's device when
+// configured (no-op otherwise).
+func (n *Node) armMediaFaults() {
+	if n.dev != nil && n.cfg.Inject != nil && n.cfg.MediaLabel != "" {
+		n.dev.SetMediaFaults(n.cfg.Inject, n.cfg.MediaLabel)
+	}
+}
+
+// adoptEngine wires node-level integrity plumbing into a fresh core engine:
+// a background scrub round that loses state (restores or fences entries)
+// must fence the node's epoch so every client re-synchronizes through the
+// recovery protocol before touching the regressed state.
+func (n *Node) adoptEngine(eng *core.Engine) {
+	eng.SetIntegrityNotify(n.integrityFence)
+}
+
+// integrityFence bumps the node's epoch after scrub-driven state loss. It
+// runs on a maintainer goroutine, so it must never block on mu: a
+// concurrent Crash/Close holds mu while draining the maintainer pool, and
+// waiting here would deadlock. TryLock is sound because every contender of
+// mu (crash, restart, rollback) bumps the epoch itself.
+func (n *Node) integrityFence() {
+	if !n.mu.TryLock() {
+		return
+	}
+	defer n.mu.Unlock()
+	if n.crashed || n.srv == nil {
+		return
+	}
+	n.epoch++
+	n.srv.SetEpoch(n.epoch)
+}
+
+// scrubRPC serves MsgScrub: one full integrity pass over the node's
+// records. State-losing heals (restored or fenced entries) fence the epoch
+// exactly like the background path.
+func (n *Node) scrubRPC() (psengine.ScrubReport, error) {
+	rep, err := n.box.Scrub()
+	if err != nil {
+		return rep, err
+	}
+	if rep.Restored+rep.Fenced > 0 {
+		n.mu.Lock()
+		if !n.crashed && n.srv != nil {
+			n.epoch++
+			n.srv.SetEpoch(n.epoch)
+		}
+		n.mu.Unlock()
+	}
+	return rep, nil
+}
+
+// LastRecoverInfo reports the most recent recovery's outcome (zero value
+// until the node has recovered at least once): which checkpoint it landed
+// on and whether corrupt durable header words forced a cur→prev fallback.
+func (n *Node) LastRecoverInfo() core.RecoverInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastRecover
 }
 
 // ObsHandler returns the node's observability HTTP handler (/metrics,
@@ -274,6 +358,8 @@ func (n *Node) Restart() (int64, error) {
 	if err != nil {
 		return -1, fmt.Errorf("ps: restart: %w", err)
 	}
+	n.adoptEngine(eng)
+	n.lastRecover = eng.RecoverInfo()
 	n.box.set(eng)
 	n.epoch++
 	srv, err := rpc.ServeOpts(n.addr, n.box, n.serverOptions())
@@ -306,6 +392,8 @@ func (n *Node) rollbackTo(target int64) error {
 	if err != nil {
 		return fmt.Errorf("ps: rollback to %d: %w", target, err)
 	}
+	n.adoptEngine(eng)
+	n.lastRecover = eng.RecoverInfo()
 	n.box.set(eng)
 	n.epoch++
 	n.srv.SetEpoch(n.epoch)

@@ -19,6 +19,19 @@ import (
 //	engine_ckpt_stall_ns    checkpoint work a batch boundary waited out
 //	engine_ckpt_flush_bytes bytes persisted for checkpoints/evictions
 //	engine_evictions_shard<i> per-shard LRU evictions (via ShardEvictions)
+//	engine_corrupt_serve    integrity failures detected on the serve path
+//	                        (the pull fails typed instead of returning
+//	                        garbage)
+//	engine_recover_fallback recoveries that fell back cur→prev because the
+//	                        current checkpoint header/records were corrupt
+//	engine_scrub_scanned    records checksum-verified by the scrubber
+//	engine_scrub_corrupt    records that failed scrub verification
+//	engine_scrub_repaired   corrupt records healed in place from DRAM
+//	engine_scrub_restored   corrupt records replaced by a retained
+//	                        checkpointed record (requires replay)
+//	engine_scrub_fenced     keys dropped for deterministic re-init
+//	engine_scrub_progress   gauge: cumulative records verified (advances as
+//	                        background rounds walk the key space)
 //
 // All handles are resolved once here; recording is atomics-only and every
 // field is nil when the registry is nil, so instrumentation points need no
@@ -33,6 +46,15 @@ type EngineObs struct {
 	CkptStall   *obs.Histogram
 	MaintQueue  *obs.Gauge
 	FlushBytes  *obs.Counter
+
+	CorruptServe    *obs.Counter
+	RecoverFallback *obs.Counter
+	ScrubScanned    *obs.Counter
+	ScrubCorrupt    *obs.Counter
+	ScrubRepaired   *obs.Counter
+	ScrubRestored   *obs.Counter
+	ScrubFenced     *obs.Counter
+	ScrubProgress   *obs.Gauge
 }
 
 // NewEngineObs resolves the canonical engine metrics from reg. It always
@@ -50,6 +72,14 @@ func NewEngineObs(reg *obs.Registry) *EngineObs {
 	m.CkptStall = reg.Histogram("engine_ckpt_stall_ns")
 	m.MaintQueue = reg.Gauge("engine_maint_queue_depth")
 	m.FlushBytes = reg.Counter("engine_ckpt_flush_bytes")
+	m.CorruptServe = reg.Counter("engine_corrupt_serve")
+	m.RecoverFallback = reg.Counter("engine_recover_fallback")
+	m.ScrubScanned = reg.Counter("engine_scrub_scanned")
+	m.ScrubCorrupt = reg.Counter("engine_scrub_corrupt")
+	m.ScrubRepaired = reg.Counter("engine_scrub_repaired")
+	m.ScrubRestored = reg.Counter("engine_scrub_restored")
+	m.ScrubFenced = reg.Counter("engine_scrub_fenced")
+	m.ScrubProgress = reg.Gauge("engine_scrub_progress")
 	return m
 }
 

@@ -121,6 +121,52 @@ type Config struct {
 	// fault-tolerant cluster needs: coordinated replay may roll a node back
 	// to a checkpoint its peers have already superseded (DESIGN.md §10).
 	RetainCheckpoints int
+	// ScrubRate is the background integrity-scrub budget for PMem-backed
+	// engines: at most this many persisted records are checksum-verified
+	// per maintenance round (the scrub rides the maintainer pool, so the
+	// request hot path is untouched). 0 disables background scrubbing.
+	// The budget is per round rather than per wall-clock second because
+	// engine behavior must stay a pure function of the request stream
+	// (DESIGN.md §11); a full pass can always be forced via Scrub.
+	ScrubRate int
+	// FlushVerifyDisabled turns off the durable read-back verification that
+	// PMem-backed engines perform after each record flush when a media-fault
+	// model is armed. With verification off, injected media faults land on
+	// the image and must be caught later by the scrubber or recovery —
+	// the configuration the scrub soak uses to exercise detection+repair.
+	FlushVerifyDisabled bool
+}
+
+// ScrubReport summarizes one integrity-scrub pass over a PMem-backed
+// engine (or, aggregated, over a cluster).
+type ScrubReport struct {
+	// Scanned counts persisted records whose checksum was verified.
+	Scanned int64
+	// Corrupt counts records that failed verification (bit-rot, lost
+	// flushes, poisoned media).
+	Corrupt int64
+	// Repaired counts corrupt records rewritten in place from the intact
+	// DRAM-cached copy — fully transparent healing.
+	Repaired int64
+	// Restored counts corrupt records replaced by an older retained record
+	// at or below the completed checkpoint; the node must be rolled back
+	// and replayed (its epoch is fenced) for training to stay exact.
+	Restored int64
+	// Fenced counts keys with no recoverable record at all: the key is
+	// dropped and reborn deterministically on first touch after replay.
+	Fenced int64
+	// Quarantined counts arena slots permanently pulled from circulation.
+	Quarantined int64
+}
+
+// Add accumulates o into r.
+func (r *ScrubReport) Add(o ScrubReport) {
+	r.Scanned += o.Scanned
+	r.Corrupt += o.Corrupt
+	r.Repaired += o.Repaired
+	r.Restored += o.Restored
+	r.Fenced += o.Fenced
+	r.Quarantined += o.Quarantined
 }
 
 // WithDefaults returns a copy of c with zero fields defaulted.

@@ -488,6 +488,10 @@ func (c *Client) doLocked(body []byte) (*Reader, error) {
 				c.se = ee.ServerEpoch
 				return nil, &EpochError{Addr: c.addr, ClientEpoch: c.ep, ServerEpoch: ee.ServerEpoch}
 			}
+			var ce *RemoteCorruptError
+			if errors.As(err, &ce) {
+				return nil, &RemoteCorruptError{Addr: c.addr, Msg: ce.Msg}
+			}
 			return nil, err
 		}
 		return r, nil
@@ -533,6 +537,8 @@ func msgName(t byte) string {
 		return "hello"
 	case MsgRollback:
 		return "rollback"
+	case MsgScrub:
+		return "scrub"
 	default:
 		return fmt.Sprintf("msg-0x%02x", t)
 	}
@@ -612,6 +618,18 @@ func (c *Client) CompletedCheckpoint() (int64, error) {
 func (c *Client) Rollback(target int64) error {
 	_, err := c.do(NewBuffer(MsgRollback, target).Bytes())
 	return err
+}
+
+// Scrub asks the node to run one full integrity pass over its persisted
+// records and returns the report (exempt from epoch fencing — it is a
+// repair operation). Idempotent in effect: a re-run re-verifies already
+// healed records.
+func (c *Client) Scrub() (psengine.ScrubReport, error) {
+	r, err := c.do(NewBuffer(MsgScrub, 0).Bytes())
+	if err != nil {
+		return psengine.ScrubReport{}, err
+	}
+	return DecodeScrubReport(r)
 }
 
 // Stats fetches the node's counters.

@@ -52,6 +52,31 @@ func (e *EpochError) Error() string {
 // Is reports true for ErrEpochFenced targets.
 func (e *EpochError) Is(target error) bool { return target == ErrEpochFenced }
 
+// ErrRemoteCorrupt matches (via errors.Is) requests the server rejected
+// because it detected PMem corruption — a record checksum mismatch or a
+// poisoned media range — while serving them. The data never reached the
+// response. Not retried transparently: transient healing is the node
+// scrubber's job, and unrecoverable loss surfaces through the epoch
+// fence + rollback protocol.
+var ErrRemoteCorrupt = errors.New("rpc: remote data corruption detected")
+
+// RemoteCorruptError is the typed error for a MsgErrCorrupt response.
+type RemoteCorruptError struct {
+	Addr string // server address (empty when decoded without context)
+	Msg  string // the remote integrity error text
+}
+
+// Error implements error.
+func (e *RemoteCorruptError) Error() string {
+	if e.Addr == "" {
+		return fmt.Sprintf("rpc: remote corruption: %s", e.Msg)
+	}
+	return fmt.Sprintf("rpc: remote corruption at %s: %s", e.Addr, e.Msg)
+}
+
+// Is reports true for ErrRemoteCorrupt targets.
+func (e *RemoteCorruptError) Is(target error) bool { return target == ErrRemoteCorrupt }
+
 // ErrClientClosed is returned by operations on a Client after Close.
 var ErrClientClosed = errors.New("rpc: client closed")
 

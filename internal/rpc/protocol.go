@@ -42,6 +42,11 @@ const (
 	// §10). Exempt from epoch fencing, since it is how a fenced cluster
 	// re-synchronizes.
 	MsgRollback
+	// MsgScrub asks the node to run one full integrity pass over its
+	// persisted records (DESIGN.md §11). The response is MsgData carrying
+	// the scrub report's six counters. Exempt from epoch fencing: scrubbing
+	// is an admin/repair operation, like Rollback and Stats.
+	MsgScrub
 
 	MsgOK   byte = 0x80
 	MsgErr  byte = 0x81
@@ -49,6 +54,12 @@ const (
 	// MsgErrEpoch rejects a request from a connection bound to a stale
 	// epoch; the payload carries the server's current epoch.
 	MsgErrEpoch byte = 0x84
+	// MsgErrCorrupt reports a request that failed because the node detected
+	// PMem corruption (a checksum or media poison fault) while serving it.
+	// Distinct from MsgErr so clients can tell data-integrity failures from
+	// ordinary application errors; NOT transparently retried — healing is
+	// the scrubber's and the recovery protocol's job.
+	MsgErrCorrupt byte = 0x85
 )
 
 // Mutating message bodies (Push, EndPullPhase, EndBatch, Checkpoint) carry,
@@ -256,6 +267,13 @@ func EpochErrBody(serverEpoch int64) []byte {
 	return b.Bytes()
 }
 
+// CorruptErrBody encodes a data-integrity error response.
+func CorruptErrBody(err error) []byte {
+	b := &Buffer{b: []byte{MsgErrCorrupt}}
+	b.PutString(err.Error())
+	return b.Bytes()
+}
+
 // DecodeResponse inspects a response body: nil error for MsgOK/MsgData
 // (returning the remaining reader), the remote error for MsgErr, or a typed
 // *EpochError for MsgErrEpoch.
@@ -280,6 +298,12 @@ func DecodeResponse(body []byte) (*Reader, error) {
 			return nil, err
 		}
 		return nil, &EpochError{ServerEpoch: se, ClientEpoch: -1}
+	case MsgErrCorrupt:
+		msg, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		return nil, &RemoteCorruptError{Msg: msg}
 	default:
 		return nil, fmt.Errorf("rpc: unexpected response type 0x%02x", t)
 	}

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -29,6 +30,9 @@ type ServerOptions struct {
 	// Rollback, when set, serves MsgRollback by rolling the node's engine
 	// back to the requested checkpoint. Nil rejects rollback requests.
 	Rollback func(target int64) error
+	// Scrub, when set, serves MsgScrub by running one full integrity pass
+	// over the node's persisted records. Nil rejects scrub requests.
+	Scrub func() (psengine.ScrubReport, error)
 	// Obs, when set, receives server metrics: rpc_server_pull_ns /
 	// rpc_server_push_ns / rpc_server_other_ns request-service histograms,
 	// rpc_server_bytes_in/out, rpc_server_requests, the rpc_server_conns
@@ -72,6 +76,7 @@ type Server struct {
 	inject   *faultinject.Injector
 	label    string
 	rollback func(target int64) error
+	scrub    func() (psengine.ScrubReport, error)
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -112,6 +117,7 @@ func ServeOpts(addr string, engine psengine.Engine, opts ServerOptions) (*Server
 		inject:   opts.Inject,
 		label:    opts.Label,
 		rollback: opts.Rollback,
+		scrub:    opts.Scrub,
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.epoch.Store(opts.Epoch)
@@ -358,7 +364,7 @@ func (s *Server) handle(body []byte) []byte {
 		}
 		dst := make([]float32, len(keys)*s.engine.Dim())
 		if err := s.engine.Pull(batch, keys, dst); err != nil {
-			return ErrBody(err)
+			return errResp(err)
 		}
 		out := &Buffer{b: []byte{MsgData}}
 		out.PutFloats(dst)
@@ -373,7 +379,7 @@ func (s *Server) handle(body []byte) []byte {
 			return ErrBody(err)
 		}
 		if err := s.engine.Push(batch, keys, grads); err != nil {
-			return ErrBody(err)
+			return errResp(err)
 		}
 		return OKBody()
 	case MsgEndPullPhase:
@@ -381,7 +387,7 @@ func (s *Server) handle(body []byte) []byte {
 		return OKBody()
 	case MsgEndBatch:
 		if err := s.engine.EndBatch(batch); err != nil {
-			return ErrBody(err)
+			return errResp(err)
 		}
 		return OKBody()
 	case MsgCheckpoint:
@@ -395,7 +401,7 @@ func (s *Server) handle(body []byte) []byte {
 		// commit is never stuck behind "no more batches are coming".
 		if adv, ok := s.engine.(advancer); ok {
 			if err := adv.AdvanceCheckpoints(); err != nil {
-				return ErrBody(err)
+				return errResp(err)
 			}
 		}
 		out := &Buffer{b: []byte{MsgData}}
@@ -406,9 +412,23 @@ func (s *Server) handle(body []byte) []byte {
 			return ErrBody(fmt.Errorf("rollback unsupported by this node"))
 		}
 		if err := s.rollback(batch); err != nil {
-			return ErrBody(err)
+			return errResp(err)
 		}
 		return OKBody()
+	case MsgScrub:
+		if s.scrub == nil {
+			return ErrBody(fmt.Errorf("scrub unsupported by this node"))
+		}
+		rep, err := s.scrub()
+		if err != nil {
+			return errResp(err)
+		}
+		out := &Buffer{b: []byte{MsgData}}
+		for _, v := range []int64{rep.Scanned, rep.Corrupt, rep.Repaired,
+			rep.Restored, rep.Fenced, rep.Quarantined} {
+			out.PutI64(v)
+		}
+		return out.Bytes()
 	case MsgStats:
 		st := s.engine.Stats()
 		out := &Buffer{b: []byte{MsgData}}
@@ -440,6 +460,32 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
+}
+
+// errResp encodes an engine failure, distinguishing typed data-integrity
+// errors (anything whose chain exposes IntegrityError() bool — the pmem
+// package's corrupt/poisoned errors, without importing it here) so clients
+// see MsgErrCorrupt instead of a generic MsgErr.
+func errResp(err error) []byte {
+	var ie interface{ IntegrityError() bool }
+	if errors.As(err, &ie) && ie.IntegrityError() {
+		return CorruptErrBody(err)
+	}
+	return ErrBody(err)
+}
+
+// DecodeScrubReport parses a MsgScrub response payload.
+func DecodeScrubReport(r *Reader) (psengine.ScrubReport, error) {
+	var rep psengine.ScrubReport
+	for _, f := range []*int64{&rep.Scanned, &rep.Corrupt, &rep.Repaired,
+		&rep.Restored, &rep.Fenced, &rep.Quarantined} {
+		v, err := r.I64()
+		if err != nil {
+			return rep, err
+		}
+		*f = v
+	}
+	return rep, nil
 }
 
 // DecodeStats parses a MsgStats response payload.

@@ -22,12 +22,13 @@ import (
 
 // The chaos soak drives real DeepFM training through a 3-node PMem-OE
 // cluster while a deterministic, seeded fault injector resets/tears/delays
-// connections and a crash schedule kills every node at least twice —
-// live, mid-run, with crash-recovery from the PMem image. The recovery
-// stack (transparent rpc retry + Push dedup, epoch fencing, coordinated
-// rollback, batch replay) must make all of it invisible: the final model
-// state is bit-identical to a fault-free run, and the whole run replays
-// exactly from its printed seed.
+// connections, rots and drops PMem flushes at the media, and a crash
+// schedule kills every node at least twice — live, mid-run, with
+// crash-recovery from the PMem image. The recovery stack (transparent rpc
+// retry + Push dedup, epoch fencing, coordinated rollback, batch replay,
+// verified flushes healing media faults at the write site) must make all
+// of it invisible: the final model state is bit-identical to a fault-free
+// run, and the whole run replays exactly from its printed seed.
 
 const (
 	chaosNodes     = 3
@@ -97,6 +98,16 @@ func runChaosCluster(t *testing.T, seed uint64, chaos bool) chaosResult {
 			faultinject.Rule{Point: faultinject.PointConnWrite, Kind: faultinject.KindTorn, Prob: 0.01},
 			faultinject.Rule{Point: faultinject.PointConnWrite, Kind: faultinject.KindDelay, Prob: 0.03, Delay: 200 * time.Microsecond},
 			faultinject.Rule{Point: faultinject.PointDial, Kind: faultinject.KindReset, Prob: 0.02},
+			// Media faults ride along on every record/header flush: a bit
+			// rots or the flush is silently dropped. Arming the model turns
+			// on flush verification, which proves each flush against the
+			// durable image and rewrites it, so even flushes that rot right
+			// before a scheduled crash recover to exactly the fault-free
+			// state. Each node gets its own media label, so its flush stream
+			// numbering (and thus its fault schedule) is independent of its
+			// peers and exact across replays.
+			faultinject.Rule{Point: faultinject.PointPMemFlush, Kind: faultinject.KindBitRot, Prob: 0.005},
+			faultinject.Rule{Point: faultinject.PointPMemFlush, Kind: faultinject.KindDrop, Prob: 0.002},
 		)
 	}
 	reg := obs.NewRegistry()
@@ -116,9 +127,10 @@ func runChaosCluster(t *testing.T, seed uint64, chaos bool) chaosResult {
 				Shards:            1, // single shard: deterministic checkpoint progress
 				RetainCheckpoints: 2,
 			},
-			Inject: inj,
-			Label:  fmt.Sprintf("srv%d", i),
-			Obs:    reg,
+			Inject:     inj,
+			Label:      fmt.Sprintf("srv%d", i),
+			MediaLabel: fmt.Sprintf("m%d", i),
+			Obs:        reg,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -269,6 +281,9 @@ func TestChaosSoakBitIdenticalToFaultFree(t *testing.T) {
 	}
 	if chaos.replays < 1 {
 		t.Errorf("cluster_replays = %d, want >= 1", chaos.replays)
+	}
+	if media := chaos.counts[faultinject.KindBitRot] + chaos.counts[faultinject.KindDrop]; media < 1 {
+		t.Errorf("media faults = %d (counts %v), want >= 1 rotted or dropped flush", media, chaos.counts)
 	}
 	if ref.replays != 0 {
 		t.Errorf("fault-free run replayed %d times", ref.replays)

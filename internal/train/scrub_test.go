@@ -1,0 +1,198 @@
+package train
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"openembedding/internal/cluster"
+	"openembedding/internal/faultinject"
+	"openembedding/internal/obs"
+	"openembedding/internal/optim"
+	"openembedding/internal/ps"
+	"openembedding/internal/psengine"
+	"openembedding/internal/rpc"
+	"openembedding/internal/simclock"
+	"openembedding/internal/workload"
+)
+
+// The scrub soak is the media-integrity counterpart of the chaos soak:
+// instead of healing faults at the write site (flush verification), it lets
+// seeded bit-rot land silently in the stored records and requires the
+// background scrubber to find and repair every hit. The cache is sized to
+// hold every entry, so each corrupt record still has an intact DRAM copy
+// and every heal is a transparent in-place repair — no state regression, no
+// epoch movement — and the final model state must be bit-identical to a
+// fault-free run.
+
+// runScrubCluster runs the full training job against a fresh 3-node
+// pmem-oe cluster with flush verification OFF and the background scrubber
+// ON; with rot enabled it arms seeded bit-rot on the PMem flush stream.
+// After training (rot runs only) it drives explicit scrubs until the
+// cluster verifies clean and requires every heal to have been a
+// transparent repair.
+func runScrubCluster(t *testing.T, seed uint64, rot bool) (chaosResult, psengine.ScrubReport) {
+	t.Helper()
+	var inj *faultinject.Injector
+	if rot {
+		inj = faultinject.New(seed,
+			faultinject.Rule{Point: faultinject.PointPMemFlush, Kind: faultinject.KindBitRot, Prob: 0.01})
+	}
+	reg := obs.NewRegistry()
+	inj.SetObs(reg)
+
+	var psNodes []*ps.Node
+	var addrs []string
+	for i := 0; i < chaosNodes; i++ {
+		n, err := ps.StartNode("127.0.0.1:0", ps.NodeConfig{
+			Engine: "pmem-oe",
+			Store: psengine.Config{
+				Dim:       chaosDim,
+				Optimizer: optim.NewAdaGrad(0.05),
+				Capacity:  1 << 14,
+				// Every entry stays DRAM-resident: each corrupt record has an
+				// intact cached copy, so every scrub heal is a lossless
+				// in-place repair.
+				CacheEntries:      1 << 14,
+				Meter:             simclock.NewMeter(),
+				Shards:            1,
+				RetainCheckpoints: 2,
+				ScrubRate:         256,
+				// Faults land in the stored records (no write-site healing):
+				// the scrubber, not flush verification, is under test.
+				FlushVerifyDisabled: true,
+			},
+			Inject:     inj,
+			Label:      fmt.Sprintf("srv%d", i),
+			MediaLabel: fmt.Sprintf("m%d", i),
+			Obs:        reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		psNodes = append(psNodes, n)
+		addrs = append(addrs, n.Addr())
+	}
+
+	cl, err := cluster.DialOpts(chaosDim, addrs, cluster.Options{
+		RPC: rpc.Options{
+			ReadTimeout:  2 * time.Second,
+			WriteTimeout: 2 * time.Second,
+		},
+		Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	cfg := chaosTrainConfig(seed)
+	tr, err := New(cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Run(chaosSteps)
+	if err != nil {
+		t.Fatalf("run (seed %d, rot %v): %v", seed, rot, err)
+	}
+
+	var healed psengine.ScrubReport
+	if rot {
+		// One explicit full pass sweeps whatever the background budget has
+		// not reached yet; a second pass proves the first healed everything.
+		rep, err := cl.Scrub()
+		if err != nil {
+			t.Fatalf("scrub: %v", err)
+		}
+		if rep.Restored != 0 || rep.Fenced != 0 || rep.Quarantined != 0 {
+			t.Fatalf("scrub lost state with every entry DRAM-resident: %+v", rep)
+		}
+		if rep.Corrupt != rep.Repaired {
+			t.Fatalf("scrub left corruption unrepaired: %+v", rep)
+		}
+		healed = rep
+		again, err := cl.Scrub()
+		if err != nil {
+			t.Fatalf("re-scrub: %v", err)
+		}
+		if again.Corrupt != 0 {
+			t.Fatalf("second scrub still finds corruption: %+v", again)
+		}
+		for i, n := range psNodes {
+			if ep := n.Epoch(); ep != 0 {
+				t.Fatalf("node %d epoch = %d after transparent repairs, want 0", i, ep)
+			}
+		}
+	}
+
+	// Readout: every key the run trained, in sorted (deterministic) order.
+	keySet := map[uint64]bool{}
+	stream := cfg.Data(cfg.DataSeed)
+	for s := 0; s < chaosSteps; s++ {
+		for _, k := range workload.UniqueKeys(stream.NextBatch(cfg.BatchSize)) {
+			keySet[k] = true
+		}
+	}
+	keys := make([]uint64, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	dst := make([]float32, len(keys)*chaosDim)
+	if err := cl.Pull(chaosSteps, keys, dst); err != nil {
+		t.Fatalf("final readout pull: %v", err)
+	}
+	emb := make(map[uint64][]float32, len(keys))
+	for i, k := range keys {
+		emb[k] = dst[i*chaosDim : (i+1)*chaosDim]
+	}
+
+	res := chaosResult{
+		dense:   tr.Model().Params(),
+		emb:     emb,
+		steps:   out.Steps,
+		counts:  inj.Counts(),
+		replays: reg.Snapshot().Counters["cluster_replays"],
+	}
+	for _, n := range psNodes {
+		res.epochs = append(res.epochs, n.Epoch())
+	}
+	if rot {
+		// The background scrubber must actually have been running during
+		// training, not just the explicit passes above: the per-round budget
+		// alone scans far more records than two full passes.
+		snap := reg.Snapshot()
+		passes := 2 * healed.Scanned
+		if scanned := snap.Counters["engine_scrub_scanned"]; scanned <= passes {
+			t.Fatalf("engine_scrub_scanned = %d, want > %d (background scrub never ran)", scanned, passes)
+		}
+	}
+	return res, healed
+}
+
+// TestScrubSoak: with seeded silent bit-rot landing in stored records all
+// through training (flush verification off), the background scrubber plus
+// one explicit sweep must repair every hit in place — zero restored, fenced
+// or quarantined entries, zero epoch movement — and the final model state
+// must be bit-identical to a fault-free run. Seeded via OE_CHAOS_SEED like
+// the chaos soak.
+func TestScrubSoak(t *testing.T) {
+	seed := chaosSeed(t)
+	t.Logf("scrub-soak seed = %d (set OE_CHAOS_SEED to override)", seed)
+
+	ref, _ := runScrubCluster(t, seed, false)
+	rotted, healed := runScrubCluster(t, seed, true)
+
+	if rotted.counts[faultinject.KindBitRot] < 1 {
+		t.Errorf("bit-rot faults = %d, want >= 1 (rules never fired; raise Prob or steps)",
+			rotted.counts[faultinject.KindBitRot])
+	}
+	if ref.replays != 0 || rotted.replays != 0 {
+		t.Errorf("replays = %d/%d, want 0/0 (repairs must be transparent)", ref.replays, rotted.replays)
+	}
+	compareChaosStates(t, "scrub-vs-fault-free", ref, rotted)
+	t.Logf("survived: faults=%v healed=%+v — final state bit-identical to fault-free run",
+		rotted.counts, healed)
+}
