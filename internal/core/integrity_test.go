@@ -9,12 +9,30 @@ import (
 	"openembedding/internal/psengine"
 )
 
-// corruptSlot flips one payload byte of slot's record in the volatile image
+// corruptSlot flips one payload bit of slot's record in the volatile image
 // only (no flush): the durable copy keeps the original bytes, modelling
-// bit-rot discovered by a load rather than by recovery.
+// bit-rot discovered by a load rather than by recovery. A single flipped
+// bit is within CRC32C correction range, so the scrubber heals it in place.
 func corruptSlot(t *testing.T, a *pmem.Arena, slot uint32) {
 	t.Helper()
-	off := a.SlotOffset(slot) + 24 // first payload byte (24-byte slot header)
+	flipPayloadBit(t, a, slot, 0)
+}
+
+// smashSlot flips one bit in each of three payload bytes — damage beyond
+// single-bit correction (and, record lengths being far inside CRC32C's
+// minimum-distance-4 bound, damage that can never masquerade as a
+// correctable single-bit error), forcing the scrubber onto its lossier
+// heals.
+func smashSlot(t *testing.T, a *pmem.Arena, slot uint32) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		flipPayloadBit(t, a, slot, i)
+	}
+}
+
+func flipPayloadBit(t *testing.T, a *pmem.Arena, slot uint32, byteIdx int) {
+	t.Helper()
+	off := a.SlotOffset(slot) + 24 + byteIdx // payload starts after the 24-byte slot header
 	var b [1]byte
 	dev := a.Device()
 	if err := dev.Read(off, b[:]); err != nil {
@@ -73,8 +91,10 @@ func TestPullDetectsCorruptionBeforeServing(t *testing.T) {
 	}
 }
 
-// TestScrubRepairsFromDRAMCopy: a corrupt record whose entry is still
-// DRAM-cached is healed transparently by re-persisting the cached state.
+// TestScrubRepairsFromDRAMCopy: an uncorrectably corrupt record whose
+// entry is still DRAM-cached and clean is healed transparently by
+// re-persisting the cached state — the rewrite lands at the same version,
+// so checkpoint coverage is preserved and no fence is needed.
 func TestScrubRepairsFromDRAMCopy(t *testing.T) {
 	e := newTestEngine(t, testConfig(4, 100, 50))
 	keys := []uint64{1, 2, 3}
@@ -86,7 +106,7 @@ func TestScrubRepairsFromDRAMCopy(t *testing.T) {
 	if !present || !inDRAM || slot == noSlot {
 		t.Fatalf("precondition: key 2 must be cached and persisted (slot %d, inDRAM %v)", slot, inDRAM)
 	}
-	corruptSlot(t, e.Arena(), slot)
+	smashSlot(t, e.Arena(), slot)
 
 	rep, err := e.Scrub()
 	if err != nil {
@@ -126,7 +146,7 @@ func TestScrubRestoresFromRetainedCheckpoint(t *testing.T) {
 	if !present || inDRAM || slot == noSlot {
 		t.Fatalf("precondition: key %d must be evicted and persisted (slot %d, inDRAM %v)", k, slot, inDRAM)
 	}
-	corruptSlot(t, e.Arena(), slot)
+	smashSlot(t, e.Arena(), slot)
 
 	rep, err := e.Scrub()
 	if err != nil {
@@ -162,7 +182,7 @@ func TestScrubFencesUnrecoverableKey(t *testing.T) {
 	commitCheckpoint(t, e, 1)
 
 	k, slot := persistedEvicted(t, e, keys)
-	corruptSlot(t, e.Arena(), slot)
+	smashSlot(t, e.Arena(), slot)
 
 	rep, err := e.Scrub()
 	if err != nil {
@@ -212,7 +232,7 @@ func TestBackgroundScrubNotifiesOnLoss(t *testing.T) {
 	commitCheckpoint(t, e, 1) // reclaims the retired init-valued records
 
 	k, slot := persistedEvicted(t, e, keys)
-	corruptSlot(t, e.Arena(), slot)
+	smashSlot(t, e.Arena(), slot)
 	if fired.Load() != 0 {
 		t.Fatal("integrity notify fired before any loss")
 	}
@@ -367,6 +387,128 @@ func TestRecoverNoUsableCheckpoint(t *testing.T) {
 		t.Fatal("recover with no usable checkpoint succeeded")
 	} else if !errors.Is(err, pmem.ErrCorrupt) {
 		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestScrubCorrectsSingleBitRot: a single flipped bit in a record with NO
+// DRAM copy — where every other heal would regress state — is corrected in
+// place from the CRC32C syndrome: same slot, same version, served state
+// unchanged, no loss counted.
+func TestScrubCorrectsSingleBitRot(t *testing.T) {
+	e := newTestEngine(t, rollbackTestConfig())
+	const k = 1
+	runBatch(t, e, 0, []uint64{k}, constGrads(1, 4, 1))
+	commitCheckpoint(t, e, 0)
+	runBatch(t, e, 1, []uint64{k}, constGrads(1, 4, 2))
+	// Six fresh keys overflow the 6-entry cache and evict k, flushing its
+	// post-batch-1 state.
+	runBatch(t, e, 2, []uint64{10, 11, 12, 13, 14, 15}, constGrads(6, 4, 1))
+
+	slot, inDRAM, present := entrySnapshot(e, k)
+	if !present || inDRAM || slot == noSlot {
+		t.Fatalf("precondition: key %d must be evicted and persisted (slot %d, inDRAM %v)", k, slot, inDRAM)
+	}
+	want := make([]float32, 4)
+	if err := e.Pull(3, []uint64{k}, want); err != nil {
+		t.Fatal(err)
+	}
+	corruptSlot(t, e.Arena(), slot)
+	if err := e.Pull(3, []uint64{k}, make([]float32, 4)); !errors.Is(err, pmem.ErrCorrupt) {
+		t.Fatalf("corrupt record served: %v", err)
+	}
+
+	rep, err := e.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt != 1 || rep.Repaired != 1 || rep.Restored != 0 || rep.Fenced != 0 || rep.Quarantined != 0 {
+		t.Fatalf("scrub report %+v, want 1 corrupt corrected in place", rep)
+	}
+	if after, _, _ := entrySnapshot(e, k); after != slot {
+		t.Fatalf("correction moved the record: slot %d -> %d", slot, after)
+	}
+	got := make([]float32, 4)
+	if err := e.Pull(3, []uint64{k}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("corrected state %v, want %v (bit-exact)", got, want)
+		}
+	}
+	if rep2, err := e.Scrub(); err != nil || rep2.Corrupt != 0 {
+		t.Fatalf("second scrub still finds corruption: %+v, %v", rep2, err)
+	}
+}
+
+// TestScrubDirtyEntryLosingCheckpointCopyCountsRestored: when the
+// uncorrectably corrupt record was a dirty entry's only durable copy at or
+// below the completed checkpoint, the DRAM rewrite (which lands at the
+// newer data version) abandons that checkpoint's coverage of the key — the
+// heal keeps the served state intact but must be reported as a restore so
+// the node fences its epoch instead of letting a later rollback silently
+// diverge.
+func TestScrubDirtyEntryLosingCheckpointCopyCountsRestored(t *testing.T) {
+	e := newTestEngine(t, testConfig(4, 100, 50))
+	keys := []uint64{1, 2, 3}
+	runBatch(t, e, 0, keys, constGrads(3, 4, 0.5))
+	commitCheckpoint(t, e, 0)                    // every key's v0 record is checkpoint state
+	runBatch(t, e, 1, keys, constGrads(3, 4, 1)) // dirty again: dataVersion 1, persisted 0
+	want := runBatch(t, e, 2, keys, nil)
+
+	slot, inDRAM, present := entrySnapshot(e, 2)
+	if !present || !inDRAM || slot == noSlot {
+		t.Fatalf("precondition: key 2 must be cached and persisted (slot %d, inDRAM %v)", slot, inDRAM)
+	}
+	smashSlot(t, e.Arena(), slot)
+
+	rep, err := e.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt != 1 || rep.Restored != 1 || rep.Repaired != 0 || rep.Fenced != 0 {
+		t.Fatalf("scrub report %+v, want 1 corrupt counted as restored (checkpoint coverage lost)", rep)
+	}
+	// The served state is untouched — the loss is to rollback coverage, not
+	// to live training state.
+	got := runBatch(t, e, 3, keys, nil)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("weights changed across heal: %v vs %v", want, got)
+		}
+	}
+	if rep2, err := e.Scrub(); err != nil || rep2.Corrupt != 0 {
+		t.Fatalf("second scrub still finds corruption: %+v, %v", rep2, err)
+	}
+}
+
+// TestScrubSeesKeysCreatedAfterSnapshot: the scrubber's cached sorted-key
+// snapshot must be invalidated by index inserts — a key created (and
+// persisted) after a full pass built the cache is still scanned by the
+// next pass.
+func TestScrubSeesKeysCreatedAfterSnapshot(t *testing.T) {
+	e := newTestEngine(t, testConfig(4, 100, 50))
+	runBatch(t, e, 0, []uint64{1, 2, 3}, constGrads(3, 4, 1))
+	commitCheckpoint(t, e, 0)
+	rep, err := e.Scrub() // builds the per-shard key snapshots
+	if err != nil || rep.Scanned != 3 {
+		t.Fatalf("first scrub: %+v, %v; want 3 scanned", rep, err)
+	}
+
+	runBatch(t, e, 1, []uint64{1, 2, 3, 4}, constGrads(4, 4, 1))
+	commitCheckpoint(t, e, 1) // persists the new key 4
+	slot, _, present := entrySnapshot(e, 4)
+	if !present || slot == noSlot {
+		t.Fatal("precondition: key 4 must be persisted")
+	}
+	corruptSlot(t, e.Arena(), slot)
+
+	rep, err = e.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 4 || rep.Corrupt != 1 || rep.Repaired != 1 {
+		t.Fatalf("scrub report %+v, want the post-snapshot key scanned and healed", rep)
 	}
 }
 

@@ -209,7 +209,7 @@ func (s *shard) runMaintenance(batch int64, recs []accessRec) error {
 	// is per maintenance round (not wall clock), so scrub progress — and any
 	// healing it triggers — is a deterministic function of the batch stream.
 	if e.scrubShare > 0 {
-		if err := s.scrubStepLocked(e.scrubShare); err != nil {
+		if err := s.scrubStepLocked(e.scrubShare, e.rollbackTargets()); err != nil {
 			return err
 		}
 	}

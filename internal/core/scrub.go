@@ -10,14 +10,27 @@ import (
 
 // This file is the self-healing integrity scrubber (DESIGN.md §11). The
 // scrubber walks persisted records in deterministic (sorted-key) order,
-// re-verifies each checksum, and heals what the media lost:
+// re-verifies each checksum, and heals what the media lost, trying the
+// least destructive heal first:
 //
+//   - corrected: a single flipped bit (bit-rot's signature) is located by
+//     CRC32C syndrome and undone in place — the record, its version, and
+//     its checkpoint coverage come back bit-exact. Counted as repaired.
 //   - repaired: the DRAM cache still holds the entry, so the record is
-//     rewritten in place — fully transparent.
+//     rewritten in place at the entry's current version.
 //   - restored: no DRAM copy, but a retained record at or below the
 //     completed checkpoint survives; the entry is rolled back onto it.
 //   - fenced: nothing recoverable — the key is dropped and will be reborn
 //     with its deterministic initializer on first touch.
+//
+// A DRAM rewrite is only transparent if it preserves checkpoint coverage:
+// flushLocked rewrites at dataVersion, so when the lost record was the
+// newest durable copy at or below some rollback target T (persistedVersion
+// <= T < dataVersion, the same window reclaim retains records for), a
+// later rollback to T would silently miss this key. Such heals are
+// honest about it and count as restored. A surviving older record is no
+// escape — it predates at least one applied push, so recovering to T
+// through it diverges from the state checkpoint T actually captured.
 //
 // Restored and fenced entries regress node state, so the engine notifies
 // the node (SetIntegrityNotify), which fences its epoch and lets the
@@ -51,14 +64,15 @@ func (e *Engine) Scrub() (psengine.ScrubReport, error) {
 	if e.closed.Load() {
 		return rep, psengine.ErrClosed
 	}
+	targets := e.rollbackTargets()
 	for _, s := range e.shards {
 		s.mu.Lock()
-		for _, k := range s.sortedKeysLocked() {
+		for _, k := range s.scrubKeysLocked() {
 			ent := s.index[k]
 			if ent == nil || ent.slot == noSlot {
 				continue
 			}
-			if err := s.scrubEntryLocked(ent, &rep); err != nil {
+			if err := s.scrubEntryLocked(ent, targets, &rep); err != nil {
 				s.mu.Unlock()
 				e.applyScrubObs(rep)
 				return rep, err
@@ -70,17 +84,59 @@ func (e *Engine) Scrub() (psengine.ScrubReport, error) {
 	return rep, nil
 }
 
+// rollbackTargets snapshots every checkpoint a later recovery or rollback
+// could land on: the two retained completed checkpoints, every queued
+// request, and the last sealed batch (the newest batch a future request
+// may still target) — mirroring reclaim's retention rule. It takes
+// ckptMu, which orders after shard locks, so it is safe from any scrub
+// context (with or without a shard lock held).
+func (e *Engine) rollbackTargets() []int64 {
+	e.ckptMu.Lock()
+	targets := append([]int64(nil), e.ckptQueue...)
+	e.ckptMu.Unlock()
+	if t := e.completedCkpt.Load(); t >= 0 {
+		targets = append(targets, t)
+	}
+	if t := e.prevCompleted.Load(); t >= 0 {
+		targets = append(targets, t)
+	}
+	if t := e.lastEnded.Load(); t >= 0 {
+		targets = append(targets, t)
+	}
+	return targets
+}
+
+// coverageLost reports whether dropping the entry's persisted record in
+// favor of a rewrite at dataVersion leaves some rollback target T without
+// any durable copy of this key's state-at-T: the record was the newest
+// copy at or below T (persistedVersion <= T) and its replacement lands
+// beyond T (dataVersion > T). A clean entry rewrites at persistedVersion
+// itself, reproducing identical coverage.
+func coverageLost(ent *entry, targets []int64) bool {
+	if !ent.dirty {
+		return false
+	}
+	for _, t := range targets {
+		if ent.persistedVersion <= t && ent.dataVersion > t {
+			return true
+		}
+	}
+	return false
+}
+
 // scrubStepLocked verifies up to budget entries of this shard, resuming
 // at the shard's cursor and wrapping — the background scrub step appended
-// to each maintenance round. Caller holds the shard's exclusive lock.
+// to each maintenance round. targets is the engine's rollback-target
+// snapshot, taken by the caller before the shard lock. Caller holds the
+// shard's exclusive lock.
 //
 // oevet:holds core.shard.mu 10
-func (s *shard) scrubStepLocked(budget int) error {
+func (s *shard) scrubStepLocked(budget int, targets []int64) error {
 	e := s.eng
 	if len(s.index) == 0 {
 		return nil
 	}
-	keys := s.sortedKeysLocked()
+	keys := s.scrubKeysLocked()
 	idx, found := slices.BinarySearch(keys, s.scrubCursor)
 	if found {
 		idx++
@@ -98,7 +154,7 @@ func (s *shard) scrubStepLocked(budget int) error {
 		if ent == nil || ent.slot == noSlot {
 			continue
 		}
-		if err = s.scrubEntryLocked(ent, &rep); err != nil {
+		if err = s.scrubEntryLocked(ent, targets, &rep); err != nil {
 			break
 		}
 	}
@@ -110,10 +166,12 @@ func (s *shard) scrubStepLocked(budget int) error {
 }
 
 // scrubEntryLocked verifies one entry's persisted record and heals it if
-// the media lost it. Caller holds the entry's shard lock exclusively.
+// the media lost it, trying the heal ladder in order (see the file
+// comment). targets is the caller's rollback-target snapshot. Caller
+// holds the entry's shard lock exclusively.
 //
 // oevet:holds core.shard.mu 10
-func (s *shard) scrubEntryLocked(ent *entry, rep *psengine.ScrubReport) error {
+func (s *shard) scrubEntryLocked(ent *entry, targets []int64, rep *psengine.ScrubReport) error {
 	e := s.eng
 	rep.Scanned++
 	err := e.arena.CheckRecord(ent.slot, ent.key)
@@ -124,6 +182,18 @@ func (s *shard) scrubEntryLocked(ent *entry, rep *psengine.ScrubReport) error {
 		return err
 	}
 	rep.Corrupt++
+	// Least destructive first: undo a single flipped bit in place. The
+	// record comes back bit-exact — version and checkpoint coverage
+	// included — so no other heal (which at best reconstructs some other
+	// version) can beat it. Poisoned media has nothing readable to correct.
+	if !errors.Is(err, pmem.ErrPoisoned) {
+		if cerr := e.arena.CorrectRecord(ent.slot, ent.key); cerr == nil {
+			rep.Repaired++
+			return nil
+		} else if errors.Is(cerr, pmem.ErrPoisoned) {
+			err = cerr // the corrective rewrite itself hit poisoned media
+		}
+	}
 	// The bad record leaves circulation: a poisoned slot is quarantined
 	// (its media range refuses reads until rewritten), a rotted slot's
 	// media is fine and returns to the free list.
@@ -137,11 +207,21 @@ func (s *shard) scrubEntryLocked(ent *entry, rep *psengine.ScrubReport) error {
 	ent.slot = noSlot
 	if ent.inDRAM() {
 		// The DRAM copy is intact: re-persist the entry's current state.
-		// flushLocked also settles any pending-checkpoint accounting.
+		// flushLocked also settles any pending-checkpoint accounting. The
+		// rewrite lands at dataVersion — if that abandons a rollback
+		// target's only durable copy of this key, the heal regresses
+		// recoverable state and must be reported as a restore so the node
+		// fences its epoch (served state is unchanged, but a later
+		// rollback would not be).
+		lost := coverageLost(ent, targets)
 		if err := s.flushLocked(ent); err != nil {
 			return err
 		}
-		rep.Repaired++
+		if lost {
+			rep.Restored++
+		} else {
+			rep.Repaired++
+		}
 		return nil
 	}
 	// No DRAM copy. The entry must not owe the active checkpoint a flush
@@ -167,6 +247,7 @@ func (s *shard) scrubEntryLocked(ent *entry, rep *psengine.ScrubReport) error {
 	// Fence: no recoverable record for this key. Drop it — after replay it
 	// is reborn from its deterministic initializer on first touch.
 	delete(s.index, ent.key)
+	s.scrubKeysStale = true
 	if ent.node.InList() {
 		s.lru.Remove(&ent.node)
 	}
@@ -175,11 +256,29 @@ func (s *shard) scrubEntryLocked(ent *entry, rep *psengine.ScrubReport) error {
 	return nil
 }
 
-// sortedKeysLocked snapshots this shard's keys in ascending order (the
-// deterministic scrub walk order). Caller holds the shard lock.
-func (s *shard) sortedKeysLocked() []uint64 {
-	keys := make([]uint64, 0, len(s.index))
-	for k := range s.index {
+// scrubKeysLocked returns this shard's keys in ascending order (the
+// deterministic scrub walk order), rebuilding the cached snapshot only
+// when an index insert or delete invalidated it — the background step
+// runs every maintenance round to verify a handful of entries, and an
+// O(n log n) re-sort per round under the exclusive shard lock would
+// dwarf the work it budgets. Deletions observed through a stale snapshot
+// are harmless (lookups find nil and skip), but the cache is invalidated
+// on them anyway so the slice cannot pin dropped keys forever. Caller
+// holds the shard lock.
+//
+// oevet:holds core.shard.mu 10
+func (s *shard) scrubKeysLocked() []uint64 {
+	if s.scrubKeys == nil || s.scrubKeysStale {
+		s.scrubKeys = sortedKeys(s.index)
+		s.scrubKeysStale = false
+	}
+	return s.scrubKeys
+}
+
+// sortedKeys snapshots an index's keys in ascending order.
+func sortedKeys(index map[uint64]*entry) []uint64 {
+	keys := make([]uint64, 0, len(index))
+	for k := range index {
 		keys = append(keys, k)
 	}
 	slices.Sort(keys)

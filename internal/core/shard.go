@@ -61,6 +61,13 @@ type shard struct {
 	// completes every ceil(entries/budget) rounds. Guarded by mu.
 	scrubCursor uint64
 
+	// scrubKeys caches the sorted-key snapshot the scrubber walks, rebuilt
+	// lazily when scrubKeysStale records an index insert or delete — the
+	// background step must not re-sort the whole key set under the
+	// exclusive lock every maintenance round. Both guarded by mu.
+	scrubKeys      []uint64
+	scrubKeysStale bool
+
 	// evictObs counts this shard's LRU evictions for the obs registry
 	// (nil, and therefore free, when obs is disabled).
 	evictObs *obs.Counter
@@ -152,6 +159,7 @@ func (s *shard) createMissing(batch int64, keys []uint64, idxs []int32, missing 
 			e.cfg.Optimizer.InitState(ent.state(dim))
 			e.dram.ChargeWrite(4 * e.cfg.EntryFloats())
 			s.index[k] = ent
+			s.scrubKeysStale = true
 		}
 		recs[j] = accessRec{ent: ent}
 		copy(dst[i*dim:(i+1)*dim], ent.weights(dim))

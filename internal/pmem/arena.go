@@ -380,11 +380,19 @@ func (a *Arena) ScanRange(lo, hi uint32, fn func(Record) error) error {
 	return nil
 }
 
+// maxCkptID is the largest checkpoint ID the packed header word can hold:
+// the low half stores id+1 in 32 bits, so the representable range is
+// [-1, 2^32-2]. setCkptWord rejects IDs outside it — a wrapped ID would
+// carry a VALID CRC over the wrong value, the one corruption the
+// self-validating word cannot detect after the fact.
+const maxCkptID = int64(1)<<32 - 2
+
 // packCkptWord encodes a checkpoint ID as a self-validating 8-byte word:
 // the low half is id+1 (so -1, "nothing checkpointed", packs to 0) and the
 // high half is the CRC32C of that low half. The word is still published
 // with a single aligned 8-byte store, so power-fail atomicity is preserved
-// while media corruption of the header becomes detectable.
+// while media corruption of the header becomes detectable. Callers must
+// range-check id against [-1, maxCkptID] first (setCkptWord does).
 //
 // oevet:pmem-checksum
 func packCkptWord(id int64) uint64 {
@@ -412,6 +420,9 @@ func unpackCkptWord(word uint64, what string) (int64, error) {
 //
 // oevet:pmem-integrity
 func (a *Arena) setCkptWord(off int, id int64) error {
+	if id < -1 || id > maxCkptID {
+		return fmt.Errorf("%w: checkpoint id %d outside packed-word range [-1, %d]", ErrOutOfRange, id, maxCkptID)
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], packCkptWord(id))
 	if !a.dev.MediaFaultsArmed() {

@@ -1,7 +1,10 @@
 package pmem
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // CorruptError reports a record (or header word) that failed its CRC32C.
@@ -75,6 +78,124 @@ func (a *Arena) CheckRecord(slot uint32, key uint64) error {
 	a.dev.crashMu.RUnlock()
 	a.dev.timed.ChargeRead(n)
 	return err
+}
+
+// CorrectRecord attempts to heal a record that failed its CRC32C by
+// correcting a single flipped bit in place — the exact signature of media
+// bit-rot. CRC32C (Castagnoli) has minimum Hamming distance 4 for any
+// message shorter than 2^31 bits, so no error pattern of weight <= 3 is a
+// codeword: a lone flipped bit (in the hashed bytes or in the stored CRC
+// word itself) produces a syndrome no other single-bit flip can produce,
+// the original record is recovered bit-exactly, and damage of 2-3 bits can
+// never masquerade as a different correctable single-bit error.
+//
+// The search is the standard syndrome walk: the CRC byte-update
+// crc' = tab[byte(crc)^in] ^ (crc>>8) is GF(2)-linear, so the register
+// DIFFERENCE caused by flipping bit b of a message byte is independent of
+// the actual bytes — it starts as crcTable[1<<b] and advances one
+// zero-input step per later message byte. Matching the observed syndrome
+// (stored ^ computed) against those candidates locates the flip in
+// O(8n) table lookups; a weight-1 syndrome means the flip landed in the
+// stored CRC field itself (a data flip there would be a weight-2 codeword).
+//
+// The corrected bytes are re-persisted with a durable read-back proof
+// (bounded retries) regardless of whether hot-path flush verification is
+// enabled: an unverified corrective flush could itself rot and the heal
+// would be a lie. On success the slot, its version, and its checkpoint
+// coverage are exactly what they were before the corruption. Poisoned
+// media, multi-bit damage, and structural damage (valid CRC over a wrong
+// key — only possible if corruption predates the checksum) return a typed
+// error so the caller falls through to the lossy heals. Repair path only:
+// never called while the record serves reads.
+//
+// oevet:pmem-integrity
+func (a *Arena) CorrectRecord(slot uint32, key uint64) error {
+	off := a.slotOffset(slot)
+	n := slotHeaderLen + a.payloadBytes
+	if err := a.dev.check(off, n); err != nil {
+		return err
+	}
+	if err := a.dev.poisonCheck(off, n); err != nil {
+		return err
+	}
+	buf := make([]byte, n)
+	a.dev.crashMu.RLock()
+	copy(buf, a.dev.image[off:off+n])
+	a.dev.crashMu.RUnlock()
+	a.dev.timed.ChargeRead(n)
+
+	stored := binary.LittleEndian.Uint32(buf[20:])
+	syndrome := stored ^ a.recordCRC(buf)
+	switch {
+	case syndrome == 0:
+		// CRC already valid: the record is structurally wrong (bad key or
+		// payload length), not bit-flipped — nothing this code can undo.
+		return &CorruptError{Key: binary.LittleEndian.Uint64(buf[0:]), Slot: slot, Off: int64(off)}
+	case bits.OnesCount32(syndrome) == 1:
+		binary.LittleEndian.PutUint32(buf[20:], stored^syndrome)
+	default:
+		if !correctMessageBit(buf, syndrome) {
+			return &CorruptError{Key: binary.LittleEndian.Uint64(buf[0:]), Slot: slot, Off: int64(off)}
+		}
+	}
+	rec, err := a.decode(slot, buf)
+	if err != nil {
+		return err
+	}
+	if rec.Key != key {
+		return &CorruptError{Key: rec.Key, Slot: slot, Off: int64(off)}
+	}
+
+	var lastErr error
+	rb := make([]byte, n)
+	for attempt := 0; attempt < 4; attempt++ {
+		if err := a.dev.Persist(off, buf); err != nil {
+			return err
+		}
+		if !a.dev.MediaFaultsArmed() {
+			return nil
+		}
+		if err := a.dev.ReadDurable(off, rb); err != nil {
+			lastErr = err // the corrective flush itself poisoned the line
+			continue
+		}
+		if bytes.Equal(rb, buf) {
+			return nil
+		}
+		lastErr = &CorruptError{Key: key, Slot: slot, Off: int64(off)}
+	}
+	return fmt.Errorf("pmem: corrected record of slot %d did not persist: %w", slot, lastErr)
+}
+
+// correctMessageBit locates the single message-bit flip whose CRC32C
+// syndrome matches and undoes it, returning false when no single flip
+// matches (multi-bit damage). The hashed message is buf[0:20] followed by
+// buf[24:]; candidate deltas are maintained for flipping each bit of the
+// byte currently under the cursor and advanced as the cursor moves from
+// the last hashed byte toward the first.
+func correctMessageBit(buf []byte, syndrome uint32) bool {
+	var d [8]uint32
+	for b := range d {
+		d[b] = crcTable[1<<b]
+	}
+	msgLen := len(buf) - 4 // header minus the 4-byte CRC field, plus payload
+	for k := 0; k < msgLen; k++ {
+		for b, db := range d {
+			if db != syndrome {
+				continue
+			}
+			i := msgLen - 1 - k // message index of the flipped byte
+			if i >= 20 {
+				i += 4 // skip the CRC field buf[20:24], which is not hashed
+			}
+			buf[i] ^= 1 << b
+			return true
+		}
+		for b := range d {
+			d[b] = crcTable[byte(d[b])] ^ (d[b] >> 8)
+		}
+	}
+	return false
 }
 
 // WriteRecordVerified is WriteRecord plus a durable read-back proof: after

@@ -1,0 +1,142 @@
+package pmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// flipDurableBit flips one bit at the device offset in both the volatile
+// and durable images — exactly what media bit-rot does.
+func flipDurableBit(t *testing.T, a *Arena, off int, bit uint) {
+	t.Helper()
+	var b [1]byte
+	if err := a.Device().Read(off, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 1 << bit
+	if err := a.Device().Persist(off, b[:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorrectRecordSingleBit flips one bit in every region of a stored
+// record — key, version, payload length, payload, and the stored CRC word
+// itself — and requires CorrectRecord to restore the record bit-exactly,
+// durably, from the CRC32C syndrome alone.
+func TestCorrectRecordSingleBit(t *testing.T) {
+	a := newTestArena(t, 4, 8)
+	slot, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := encPayload(a, 1, 2, 3, 4)
+	if err := a.WriteRecord(slot, 42, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	base := a.slotOffset(slot)
+	recLen := slotHeaderLen + a.PayloadBytes()
+	want := make([]byte, recLen)
+	if err := a.Device().ReadDurable(base, want); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		off  int // record-relative byte
+		bit  uint
+	}{
+		{"key", 3, 5},
+		{"version", 8, 0},
+		{"payload-len", 16, 2},
+		{"crc-field", 21, 7},
+		{"payload-first", slotHeaderLen, 6},
+		{"payload-last", recLen - 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			flipDurableBit(t, a, base+tc.off, tc.bit)
+			if err := a.CheckRecord(slot, 42); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("corruption undetected: %v", err)
+			}
+			if err := a.CorrectRecord(slot, 42); err != nil {
+				t.Fatalf("CorrectRecord: %v", err)
+			}
+			if err := a.CheckRecord(slot, 42); err != nil {
+				t.Fatalf("record still invalid after correction: %v", err)
+			}
+			got := make([]byte, recLen)
+			if err := a.Device().ReadDurable(base, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("corrected record is not durably bit-exact")
+			}
+		})
+	}
+}
+
+// TestCorrectRecordRefusesMultiBit: damage beyond one bit must fail typed,
+// never "correct" into a different record (CRC32C's minimum distance of 4
+// at record lengths guarantees no 2-3 bit pattern matches a single-bit
+// syndrome).
+func TestCorrectRecordRefusesMultiBit(t *testing.T) {
+	a := newTestArena(t, 4, 8)
+	slot, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteRecord(slot, 42, 7, encPayload(a, 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	base := a.slotOffset(slot)
+	for _, off := range []int{slotHeaderLen, slotHeaderLen + 1, slotHeaderLen + 2} {
+		flipDurableBit(t, a, base+off, 4)
+	}
+	if err := a.CorrectRecord(slot, 42); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("multi-bit damage not refused: %v", err)
+	}
+	if err := a.CheckRecord(slot, 42); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("record unexpectedly valid: %v", err)
+	}
+}
+
+// TestCorrectRecordRefusesStructuralDamage: a record whose CRC is valid
+// but which belongs to another key is not a bit flip and must not be
+// touched.
+func TestCorrectRecordRefusesStructuralDamage(t *testing.T) {
+	a := newTestArena(t, 4, 8)
+	slot, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteRecord(slot, 42, 7, encPayload(a, 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CorrectRecord(slot, 99); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong-key record not refused: %v", err)
+	}
+}
+
+// TestSetCheckpointedBatchRange: the packed header word holds id+1 in 32
+// bits; IDs outside [-1, 2^32-2] must fail loudly instead of wrapping to a
+// smaller ID with a valid CRC.
+func TestSetCheckpointedBatchRange(t *testing.T) {
+	a := newTestArena(t, 4, 8)
+	for _, id := range []int64{maxCkptID + 1, -2} {
+		if err := a.SetCheckpointedBatch(id); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("SetCheckpointedBatch(%d) = %v, want ErrOutOfRange", id, err)
+		}
+		if err := a.SetPrevCheckpointedBatch(id); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("SetPrevCheckpointedBatch(%d) = %v, want ErrOutOfRange", id, err)
+		}
+	}
+	if got, err := a.CheckpointedBatch(); err != nil || got != -1 {
+		t.Fatalf("rejected writes disturbed the header: %d, %v", got, err)
+	}
+	if err := a.SetCheckpointedBatch(maxCkptID); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.CheckpointedBatch(); err != nil || got != maxCkptID {
+		t.Fatalf("CheckpointedBatch = %d, %v, want %d", got, err, maxCkptID)
+	}
+}

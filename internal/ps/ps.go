@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"openembedding/internal/core"
 	"openembedding/internal/device"
@@ -92,6 +93,13 @@ type Node struct {
 	// lastRecover is the most recent recovery's outcome (zero until the
 	// node has recovered at least once). Guarded by mu.
 	lastRecover core.RecoverInfo
+
+	// pendingFence records a scrub-driven state loss whose epoch fence has
+	// not been applied yet. The engine consumes its loss signal before
+	// notifying (scrubLoss.Swap in the maintainer), so the notification
+	// must never be dropped: integrityFence sets this BEFORE trying mu and
+	// every applier clears it under mu (applyPendingFenceLocked).
+	pendingFence atomic.Bool
 }
 
 // StartNode builds the engine (recovering from an existing PMem image when
@@ -240,16 +248,41 @@ func (n *Node) adoptEngine(eng *core.Engine) {
 	eng.SetIntegrityNotify(n.integrityFence)
 }
 
-// integrityFence bumps the node's epoch after scrub-driven state loss. It
-// runs on a maintainer goroutine, so it must never block on mu: a
-// concurrent Crash/Close holds mu while draining the maintainer pool, and
-// waiting here would deadlock. TryLock is sound because every contender of
-// mu (crash, restart, rollback) bumps the epoch itself.
+// integrityFence records and (when possible, immediately) applies an epoch
+// fence after scrub-driven state loss. It runs on a maintainer goroutine,
+// so it must never block on mu: a concurrent Crash/Close holds mu while
+// draining the maintainer pool, and waiting here would deadlock. It must
+// also never LOSE the fence — the engine consumed the loss signal before
+// notifying (scrubLoss.Swap), and mu's other takers (Addr, Epoch,
+// LastRecoverInfo, Close) do not bump the epoch — so the loss is parked in
+// pendingFence first and, when TryLock finds mu busy, handed to a detached
+// goroutine that may block: the maintainer-pool drain never waits on it,
+// and applying late is safe because a crash/restart/rollback that raced
+// past bumps the epoch itself (making the parked fence redundant —
+// applyPendingFenceLocked drops it on a crashed/closed node) and
+// rpc.Server.SetEpoch is an atomic store, valid even after server close.
 func (n *Node) integrityFence() {
-	if !n.mu.TryLock() {
+	n.pendingFence.Store(true)
+	if n.mu.TryLock() {
+		n.applyPendingFenceLocked()
+		n.mu.Unlock()
 		return
 	}
-	defer n.mu.Unlock()
+	go func() {
+		n.mu.Lock()
+		n.applyPendingFenceLocked()
+		n.mu.Unlock()
+	}()
+}
+
+// applyPendingFenceLocked applies a parked integrity fence, if any. Caller
+// holds mu. On a crashed node the fence is dropped as redundant: the
+// restart/recovery path bumps the epoch itself, which re-fences every
+// client strictly harder than the scrub fence would have.
+func (n *Node) applyPendingFenceLocked() {
+	if !n.pendingFence.Swap(false) {
+		return
+	}
 	if n.crashed || n.srv == nil {
 		return
 	}
@@ -266,11 +299,9 @@ func (n *Node) scrubRPC() (psengine.ScrubReport, error) {
 		return rep, err
 	}
 	if rep.Restored+rep.Fenced > 0 {
+		n.pendingFence.Store(true)
 		n.mu.Lock()
-		if !n.crashed && n.srv != nil {
-			n.epoch++
-			n.srv.SetEpoch(n.epoch)
-		}
+		n.applyPendingFenceLocked()
 		n.mu.Unlock()
 	}
 	return rep, nil
@@ -361,6 +392,8 @@ func (n *Node) Restart() (int64, error) {
 	n.adoptEngine(eng)
 	n.lastRecover = eng.RecoverInfo()
 	n.box.set(eng)
+	// This bump subsumes any fence parked against the old engine's state.
+	n.pendingFence.Store(false)
 	n.epoch++
 	srv, err := rpc.ServeOpts(n.addr, n.box, n.serverOptions())
 	if err != nil {
@@ -395,6 +428,8 @@ func (n *Node) rollbackTo(target int64) error {
 	n.adoptEngine(eng)
 	n.lastRecover = eng.RecoverInfo()
 	n.box.set(eng)
+	// This bump subsumes any fence parked against the old engine's state.
+	n.pendingFence.Store(false)
 	n.epoch++
 	n.srv.SetEpoch(n.epoch)
 	return nil

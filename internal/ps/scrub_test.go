@@ -39,8 +39,8 @@ func startNodeWith(t *testing.T, cfg NodeConfig) (*Node, *rpc.Client) {
 	return n, cl
 }
 
-// TestScrubRPCRepairsTransparently: bit-rot in a record whose entry is still
-// DRAM-cached is found by the scrub RPC and repaired in place — no state
+// TestScrubRPCRepairsTransparently: bit-rot in a stored record is found by
+// the scrub RPC and corrected in place from the CRC32C syndrome — no state
 // loss, so the epoch does not move.
 func TestScrubRPCRepairsTransparently(t *testing.T) {
 	n, cl := startNodeWith(t, scrubNodeConfig(
@@ -79,10 +79,12 @@ func TestPullReturnsRemoteCorrupt(t *testing.T) {
 	// Flush stream on this node: occurrences 1-3 persist keys 1-3's
 	// init-valued records during batch 0's maintenance; the ten keys of
 	// batch 1 overflow the 8-entry cache and evict keys 1-3, whose post-push
-	// records are flush occurrences 4-6. Rot occurrence 4: key 1's only
-	// current record, served straight from PMem on the next pull.
+	// records are flush occurrences 4-6. Poison occurrence 4: key 1's only
+	// current record, served straight from PMem on the next pull. (Poison,
+	// not rot: a single rotted bit is now corrected in place, and this test
+	// needs genuinely unrecoverable media.)
 	n, cl := startNodeWith(t, scrubNodeConfig(
-		faultinject.Rule{Point: faultinject.PointPMemFlush, Kind: faultinject.KindBitRot, Nth: 4}))
+		faultinject.Rule{Point: faultinject.PointPMemFlush, Kind: faultinject.KindPoison, Nth: 4}))
 	keys := []uint64{1, 2, 3}
 	driveConst(t, cl, 0, keys, 1.0)
 	fill := make([]uint64, 10)
@@ -103,14 +105,15 @@ func TestPullReturnsRemoteCorrupt(t *testing.T) {
 		t.Fatalf("pull of healthy key after corrupt error: %v", err)
 	}
 
-	// Scrub heals by restoring key 1's retained older record — a state
-	// regression, so the node fences its epoch.
+	// Scrub quarantines the poisoned slot and heals by restoring key 1's
+	// retained older record — a state regression, so the node fences its
+	// epoch.
 	rep, err := cl.Scrub()
 	if err != nil {
 		t.Fatalf("scrub RPC: %v", err)
 	}
-	if rep.Corrupt != 1 || rep.Restored != 1 {
-		t.Fatalf("scrub report %+v, want 1 corrupt restored", rep)
+	if rep.Corrupt != 1 || rep.Restored != 1 || rep.Quarantined != 1 {
+		t.Fatalf("scrub report %+v, want 1 corrupt quarantined and restored", rep)
 	}
 	if n.Epoch() != 1 {
 		t.Fatalf("state-losing scrub left epoch at %d, want 1", n.Epoch())
@@ -123,6 +126,34 @@ func TestPullReturnsRemoteCorrupt(t *testing.T) {
 	}
 	if _, err := cl.Pull(2, []uint64{1}); err != nil {
 		t.Fatalf("pull after adopting the fenced epoch: %v", err)
+	}
+}
+
+// TestIntegrityFenceLosslessUnderContention pins the no-dropped-fence
+// guarantee: the engine consumes its loss signal before notifying, so a
+// fence arriving while mu is busy (as during a concurrent Crash/Close
+// draining the maintainer pool) must neither block the maintainer nor be
+// lost — it parks and applies as soon as mu frees up.
+func TestIntegrityFenceLosslessUnderContention(t *testing.T) {
+	n, _ := startNodeWith(t, restartNodeConfig())
+	n.mu.Lock() // what the notify would race against
+	n.integrityFence()
+	if n.epoch != 0 {
+		n.mu.Unlock()
+		t.Fatal("fence applied while mu was held")
+	}
+	n.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Epoch() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked fence was dropped: epoch never moved after mu was released")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Uncontended, the fence applies synchronously.
+	n.integrityFence()
+	if got := n.Epoch(); got != 2 {
+		t.Fatalf("uncontended fence: epoch %d, want 2", got)
 	}
 }
 
