@@ -99,32 +99,38 @@ func drainAccessQueues(e *Engine) {
 func BenchmarkEnginePullParallel(b *testing.B) {
 	for _, shards := range []int{1, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			e := newBenchEngine(b, shards)
-			batches := benchBatches(256)
-			var worker atomic.Int64
-			b.ReportAllocs()
-			b.SetBytes(benchBatchLen * benchDim * 4)
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				i := int(worker.Add(1)) * 31 // de-phase workers' batch streams
-				dst := make([]float32, benchBatchLen*benchDim)
-				n := 0
-				for pb.Next() {
-					keys := batches[i%len(batches)]
-					i++
-					if err := e.Pull(1, keys, dst[:len(keys)*benchDim]); err != nil {
-						b.Error(err)
-						return
-					}
-					if n++; n%256 == 0 {
-						drainAccessQueues(e)
-					}
-				}
-			})
-			b.StopTimer()
-			drainAccessQueues(e)
+			benchPullParallel(b, shards)
 		})
 	}
+}
+
+// benchPullParallel is the concurrent DRAM-hit pull workload shared by
+// BenchmarkEnginePullParallel and the BENCH-report harness.
+func benchPullParallel(b *testing.B, shards int) {
+	e := newBenchEngine(b, shards)
+	batches := benchBatches(256)
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.SetBytes(benchBatchLen * benchDim * 4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) * 31 // de-phase workers' batch streams
+		dst := make([]float32, benchBatchLen*benchDim)
+		n := 0
+		for pb.Next() {
+			keys := batches[i%len(batches)]
+			i++
+			if err := e.Pull(1, keys, dst[:len(keys)*benchDim]); err != nil {
+				b.Error(err)
+				return
+			}
+			if n++; n%256 == 0 {
+				drainAccessQueues(e)
+			}
+		}
+	})
+	b.StopTimer()
+	drainAccessQueues(e)
 }
 
 // BenchmarkEnginePullObs measures the observability overhead on the hottest
@@ -167,33 +173,58 @@ func benchPullSingle(b *testing.B, reg *obs.Registry) {
 	drainAccessQueues(e)
 }
 
+// BenchmarkSortPosByKey isolates the run sort on one Zipfian batch — the
+// fixed cost the batched hot path pays per request to earn dedup and
+// run-grouped locking.
+func BenchmarkSortPosByKey(b *testing.B) {
+	batches := benchBatches(256)
+	pos := make([]int32, benchBatchLen)
+	var buf []uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys := batches[i%len(batches)]
+		pos = pos[:len(keys)]
+		for j := range pos {
+			pos[j] = int32(j)
+		}
+		buf = sortPosByKey(pos, keys, buf)
+	}
+}
+
 // BenchmarkEnginePushParallel measures concurrent gradient pushes into the
 // DRAM-resident working set: per-shard read locks plus per-stripe write
 // locks around the optimizer step.
 func BenchmarkEnginePushParallel(b *testing.B) {
 	for _, shards := range []int{1, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			e := newBenchEngine(b, shards)
-			batches := benchBatches(256)
-			grads := make([]float32, benchBatchLen*benchDim)
-			for i := range grads {
-				grads[i] = 0.01
-			}
-			var worker atomic.Int64
-			b.ReportAllocs()
-			b.SetBytes(benchBatchLen * benchDim * 4)
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				i := int(worker.Add(1)) * 31
-				for pb.Next() {
-					keys := batches[i%len(batches)]
-					i++
-					if err := e.Push(1, keys, grads[:len(keys)*benchDim]); err != nil {
-						b.Error(err)
-						return
-					}
-				}
-			})
+			benchPushParallel(b, shards)
 		})
 	}
+}
+
+// benchPushParallel is the concurrent gradient-push workload shared by
+// BenchmarkEnginePushParallel and the BENCH-report harness.
+func benchPushParallel(b *testing.B, shards int) {
+	e := newBenchEngine(b, shards)
+	batches := benchBatches(256)
+	grads := make([]float32, benchBatchLen*benchDim)
+	for i := range grads {
+		grads[i] = 0.01
+	}
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.SetBytes(benchBatchLen * benchDim * 4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) * 31
+		for pb.Next() {
+			keys := batches[i%len(batches)]
+			i++
+			if err := e.Push(1, keys, grads[:len(keys)*benchDim]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }

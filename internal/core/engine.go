@@ -136,15 +136,96 @@ type opScratch struct {
 	byShard [][]int32     // positions in keys partitioned by shard
 	ids     []int32       // shards with a non-empty sublist
 	recs    [][]accessRec // per-shard access records
-	missing [][]int32     // per-shard first-touch positions
+	miss    [][]missRun   // per-shard first-touch runs
+	pmem    [][]pmemRun   // per-shard PMem-resident runs awaiting coalescing
+	sortBuf [][]uint64    // per-shard (key,pos) packing scratch for sortPosByKey
+
+	// fan is the request's fan-out frame: the wait group, error slot and
+	// work description the helper goroutines need, preallocated here so a
+	// multi-shard request spawns helpers without any per-call closure
+	// allocations.
+	fan fanFrame
 
 	// obsTick drives the 1-in-8 latency sampling of Pull. It lives here
 	// because the scratch is owned exclusively for the request's duration:
 	// no shared counter, no atomics, no races. obsSample mirrors the tick's
-	// verdict for this request so the per-key miss path (readWeights) can
+	// verdict for this request so the PMem miss path (servePMem) can
 	// ride the same sampling decision without re-deriving it.
 	obsTick   uint8
 	obsSample bool
+}
+
+// fanFrame carries one fanned-out request's shared state. It lives inside
+// the pooled opScratch: `go f.run(sid)` passes the receiver and shard id as
+// plain goroutine arguments, so dispatching a multi-shard batch performs no
+// heap allocation (the closure-per-request formulation this replaces cost
+// five allocations per Pull/Push).
+type fanFrame struct {
+	e     *Engine
+	sc    *opScratch
+	batch int64
+	keys  []uint64
+	buf   []float32 // dst for pulls, grads for pushes
+	push  bool
+
+	wg    sync.WaitGroup
+	errMu sync.Mutex
+	err   error
+}
+
+func (f *fanFrame) record(err error) {
+	if err == nil {
+		return
+	}
+	f.errMu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.errMu.Unlock()
+}
+
+// do runs the frame's operation for one shard inline.
+func (f *fanFrame) do(sid int32) error {
+	s := f.e.shards[sid]
+	if f.push {
+		return s.push(f.batch, f.keys, f.sc.byShard[sid], f.buf, f.sc, int(sid))
+	}
+	return s.pull(f.batch, f.keys, f.sc.byShard[sid], f.buf, f.sc, int(sid))
+}
+
+// run is the helper-goroutine body.
+func (f *fanFrame) run(sid int32) {
+	f.record(f.do(sid))
+	<-f.e.fanout
+	f.wg.Done()
+}
+
+// dispatch runs the frame's operation for every shard in sc.ids, spawning a
+// goroutine per shard while pool tokens are available and running the
+// remainder (always including the first) on the caller. The first error
+// wins.
+func (f *fanFrame) dispatch() error {
+	ids := f.sc.ids
+	if len(ids) == 0 {
+		return nil
+	}
+	if len(ids) == 1 {
+		return f.do(ids[0])
+	}
+	for _, sid := range ids[1:] {
+		select {
+		case f.e.fanout <- struct{}{}:
+			f.wg.Add(1)
+			go f.run(sid)
+		default:
+			f.record(f.do(sid))
+		}
+	}
+	f.record(f.do(ids[0]))
+	f.wg.Wait()
+	err := f.err
+	f.err = nil
+	return err
 }
 
 // New creates a PMem-OE engine storing records in the given arena. The
@@ -214,7 +295,9 @@ func New(cfg psengine.Config, arena *pmem.Arena) (*Engine, error) {
 		return &opScratch{
 			byShard: make([][]int32, nShards),
 			recs:    make([][]accessRec, nShards),
-			missing: make([][]int32, nShards),
+			miss:    make([][]missRun, nShards),
+			pmem:    make([][]pmemRun, nShards),
+			sortBuf: make([][]uint64, nShards),
 		}
 	}
 	for i := 0; i < cfg.MaintThreads; i++ {
@@ -251,14 +334,18 @@ func (e *Engine) putScratch(sc *opScratch) {
 	for i := range sc.byShard {
 		sc.byShard[i] = sc.byShard[i][:0]
 		sc.recs[i] = sc.recs[i][:0]
-		sc.missing[i] = sc.missing[i][:0]
+		sc.miss[i] = sc.miss[i][:0]
+		sc.pmem[i] = sc.pmem[i][:0]
 	}
 	sc.ids = sc.ids[:0]
+	sc.fan.e, sc.fan.sc, sc.fan.keys, sc.fan.buf, sc.fan.err = nil, nil, nil, nil, nil
 	e.scratchPool.Put(sc)
 }
 
 // partition splits the positions of keys into sc.byShard sublists and
-// records the non-empty shards in sc.ids.
+// records the non-empty shards in sc.ids. Sublists are in batch order here;
+// each shard sorts its own sublist into key runs (sortPosByKey), keeping
+// the O(n log n) work off the partitioning thread and inside the fan-out.
 func (e *Engine) partition(keys []uint64, sc *opScratch) {
 	byShard := sc.byShard
 	for i, k := range keys {
@@ -274,47 +361,16 @@ func (e *Engine) partition(keys []uint64, sc *opScratch) {
 	sc.ids = ids
 }
 
-// fanOut runs work for every listed shard, spawning a goroutine per shard
-// while pool tokens are available and running the remainder (always
-// including the first) on the caller. The first error wins.
-func (e *Engine) fanOut(ids []int32, work func(sid int32) error) error {
-	if len(ids) == 0 {
-		return nil
+// partitionAll routes every position to the single shard — the one-shard
+// engine shares the sorted-run sweep with the fanned-out path, so Shards=1
+// still reproduces the unsharded layout with identical charges.
+func (e *Engine) partitionAll(keys []uint64, sc *opScratch) []int32 {
+	idxs := sc.byShard[0][:0]
+	for i := range keys {
+		idxs = append(idxs, int32(i))
 	}
-	if len(ids) == 1 {
-		return work(ids[0])
-	}
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	record := func(err error) {
-		if err == nil {
-			return
-		}
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	for _, sid := range ids[1:] {
-		select {
-		case e.fanout <- struct{}{}:
-			wg.Add(1)
-			go func(sid int32) {
-				defer wg.Done()
-				record(work(sid))
-				<-e.fanout
-			}(sid)
-		default:
-			record(work(sid))
-		}
-	}
-	record(work(ids[0]))
-	wg.Wait()
-	return firstErr
+	sc.byShard[0] = idxs
+	return idxs
 }
 
 // Pull implements Algorithm 1: under each shard's shared lock, resolve the
@@ -328,7 +384,12 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	if err := psengine.CheckBuf(keys, dst, e.cfg.Dim); err != nil {
 		return err
 	}
-	e.currBatch.Store(batch)
+	// Conditional store: every pull of a batch writing the same value turns
+	// the line into a read-mostly one instead of a per-call cross-core
+	// invalidation.
+	if e.currBatch.Load() != batch {
+		e.currBatch.Store(batch)
+	}
 	e.cfg.Meter.Charge(simclock.LockSync, psengine.LockCost)
 
 	sc := e.getScratch()
@@ -346,12 +407,12 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	}
 	var err error
 	if len(e.shards) == 1 {
-		err = e.shards[0].pull(batch, keys, nil, dst, sc, 0)
+		err = e.shards[0].pull(batch, keys, e.partitionAll(keys, sc), dst, sc, 0)
 	} else {
 		e.partition(keys, sc)
-		err = e.fanOut(sc.ids, func(sid int32) error {
-			return e.shards[sid].pull(batch, keys, sc.byShard[sid], dst, sc, int(sid))
-		})
+		f := &sc.fan
+		f.e, f.sc, f.batch, f.keys, f.buf, f.push = e, sc, batch, keys, dst, false
+		err = f.dispatch()
 	}
 	if sc.obsSample {
 		e.obs.Pull.Observe(e.obs.Now() - obsStart)
@@ -365,46 +426,6 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 		e.inlineMaintain(batch)
 	}
 	return nil
-}
-
-// readWeights copies the entry's weights into dst from whichever tier holds
-// them, charging the corresponding device cost, and reports whether the
-// read came from PMem. Caller holds the entry's shard lock (shared).
-// sampled says whether this request won the 1-in-8 obs sample; miss-service
-// latency rides the same decision so a miss-heavy workload pays the clock
-// reads at the same amortized rate as a hit-heavy one.
-func (e *Engine) readWeights(ent *entry, dst []float32, sampled bool) (fromPMem bool, err error) {
-	dim := e.cfg.Dim
-	if ent.inDRAM() {
-		copy(dst, ent.weights(dim))
-		e.dram.ChargeRead(4 * dim)
-		e.hits.Add(1)
-		return false, nil
-	}
-	// Served straight from PMem; promotion to DRAM is deferred to the
-	// maintenance phase so the request path stays read-only.
-	var missStart time.Duration
-	if sampled {
-		missStart = e.obs.Now()
-	}
-	bufp := e.payloadPool.Get().(*[]byte)
-	// Integrity-checked PMem read: a rotted or poisoned record fails typed
-	// here, BEFORE its bytes can reach a Pull response. DRAM hits above
-	// never pay the verification (the cache is trusted volatile state).
-	err = e.arena.ReadPayloadVerified(ent.slot, ent.key, *bufp)
-	if err == nil {
-		pmem.DecodeFloats(dst, *bufp)
-		e.pmemReads.Add(1)
-		e.misses.Add(1)
-		if sampled {
-			e.obs.MissService.Observe(e.obs.Now() - missStart)
-		}
-	} else if pmem.IsIntegrity(err) {
-		e.obs.CorruptServe.Add(1)
-		err = fmt.Errorf("core: pull of key %d: %w", ent.key, err)
-	}
-	e.payloadPool.Put(bufp)
-	return true, err
 }
 
 // Push applies gradients with the server-side optimizer. Entries accessed
@@ -431,16 +452,16 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 
 	e.cfg.Meter.Charge(simclock.LockSync, psengine.LockCost)
 	var err error
+	sc := e.getScratch()
 	if len(e.shards) == 1 {
-		err = e.shards[0].push(batch, keys, nil, grads)
+		err = e.shards[0].push(batch, keys, e.partitionAll(keys, sc), grads, sc, 0)
 	} else {
-		sc := e.getScratch()
 		e.partition(keys, sc)
-		err = e.fanOut(sc.ids, func(sid int32) error {
-			return e.shards[sid].push(batch, keys, sc.byShard[sid], grads)
-		})
-		e.putScratch(sc)
+		f := &sc.fan
+		f.e, f.sc, f.batch, f.keys, f.buf, f.push = e, sc, batch, keys, grads, true
+		err = f.dispatch()
 	}
+	e.putScratch(sc)
 	if obsStart != 0 {
 		e.obs.Push.Observe(e.obs.Now() - obsStart)
 	}

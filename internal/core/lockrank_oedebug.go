@@ -21,6 +21,10 @@ import (
 // A rank of 0 means initRank was never called (a zero-value Engine outside
 // New); such locks are exempt rather than guessed at.
 
+// lockRankDebug: the rank checks below allocate (per-goroutine held-lock
+// stacks), so the zero-alloc hot-path pins skip themselves in this build.
+const lockRankDebug = true
+
 type heldLock struct {
 	name string
 	rank int

@@ -10,6 +10,10 @@ import "sync"
 // implementations (lockrank_oedebug.go) that verify at runtime the same
 // invariant the lockorder analyzer proves statically: a goroutine acquires
 // ranked locks in strictly increasing rank order (DESIGN.md §7/§8).
+// lockRankDebug reports whether the allocating runtime rank checks are
+// compiled in; the zero-alloc hot-path pins skip themselves when it is set.
+const lockRankDebug = false
+
 type rankedMutex struct{ sync.Mutex }
 
 type rankedRWMutex struct{ sync.RWMutex }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates on paths that are otherwise allocation-free,
+// so the zero-alloc hot-path pins skip themselves under -race.
+const raceEnabled = true

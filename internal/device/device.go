@@ -175,6 +175,28 @@ func (t *Timed) ChargeWrite(n int) {
 	t.Meter.Charge(t.WriteCat, t.Model.WriteCost(n))
 }
 
+// ChargeReadN records the cost of count independent n-byte reads in one
+// atomic meter update. The cost model is nonlinear (latency + bytes/bw), so
+// the batch charges count × ReadCost(n) — bit-identical in both virtual
+// time and op count to count individual ChargeRead calls, never
+// ReadCost(count×n). Hot paths that resolve a whole run of records use this
+// to keep the meter off their inner loop.
+func (t *Timed) ChargeReadN(n int, count int64) {
+	if t == nil || count <= 0 {
+		return
+	}
+	t.Meter.ChargeN(t.ReadCat, time.Duration(count)*t.Model.ReadCost(n), count)
+}
+
+// ChargeWriteN records the cost of count independent n-byte writes in one
+// atomic meter update (count × WriteCost(n), as ChargeReadN).
+func (t *Timed) ChargeWriteN(n int, count int64) {
+	if t == nil || count <= 0 {
+		return
+	}
+	t.Meter.ChargeN(t.WriteCat, time.Duration(count)*t.Model.WriteCost(n), count)
+}
+
 // ChargeStreamRead records the cost of an n-byte sequential read stream.
 func (t *Timed) ChargeStreamRead(n int64) {
 	if t == nil {

@@ -124,30 +124,21 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	if e.closed.Load() {
 		return psengine.ErrClosed
 	}
-	if err := psengine.CheckBuf(keys, dst, e.cfg.Dim); err != nil {
-		return err
-	}
-	var obsStart time.Duration
-	if e.obs.Enabled() {
-		obsStart = e.obs.Now()
-	}
 	dim := e.cfg.Dim
 	meter := e.cfg.Meter
 	meter.Charge(simclock.LockSync, psengine.LockCost)
-	for i, k := range keys {
+	_, err := psengine.GatherRows(e.obs, keys, dst, dim, func(k uint64, out []float32) error {
 		meter.Charge(simclock.Compute, psengine.IndexProbeCost)
 		ent, err := e.lookupOrCreate(k)
 		if err != nil {
 			return err
 		}
-		copy(dst[i*dim:(i+1)*dim], ent.buf[:dim])
+		copy(out, ent.buf[:dim])
 		e.dram.ChargeRead(4 * dim)
 		e.hits.Add(1)
-	}
-	if e.obs.Enabled() {
-		e.obs.Pull.Observe(e.obs.Now() - obsStart)
-	}
-	return nil
+		return nil
+	})
+	return err
 }
 
 func (e *Engine) lookupOrCreate(key uint64) (*entry, error) {

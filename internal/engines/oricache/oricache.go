@@ -152,28 +152,19 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	if e.closed.Load() {
 		return psengine.ErrClosed
 	}
-	if err := psengine.CheckBuf(keys, dst, e.cfg.Dim); err != nil {
-		return err
-	}
-	var obsStart time.Duration
-	if e.obs.Enabled() {
-		obsStart = e.obs.Now()
-	}
 	dim := e.cfg.Dim
-	for i, k := range keys {
+	_, err := psengine.GatherRows(e.obs, keys, dst, dim, func(k uint64, out []float32) error {
 		ent, err := e.access(k, true)
 		if err != nil {
 			return err
 		}
 		ent.mu.Lock()
-		copy(dst[i*dim:(i+1)*dim], ent.buf[:dim])
+		copy(out, ent.buf[:dim])
 		ent.mu.Unlock()
 		e.dram.ChargeRead(4 * dim)
-	}
-	if e.obs.Enabled() {
-		e.obs.Pull.Observe(e.obs.Now() - obsStart)
-	}
-	return nil
+		return nil
+	})
+	return err
 }
 
 // access resolves key to a cached entry, performing inline cache

@@ -118,16 +118,8 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	if e.closed.Load() {
 		return psengine.ErrClosed
 	}
-	if err := psengine.CheckBuf(keys, dst, e.cfg.Dim); err != nil {
-		return err
-	}
-	var obsStart time.Duration
-	if e.obs.Enabled() {
-		obsStart = e.obs.Now()
-	}
-	dim := e.cfg.Dim
 	buf := make([]byte, e.arena.PayloadBytes())
-	for i, k := range keys {
+	d, err := psengine.GatherRows(e.obs, keys, dst, e.cfg.Dim, func(k uint64, out []float32) error {
 		slot, err := e.slotFor(k, batch)
 		if err != nil {
 			return err
@@ -135,16 +127,16 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 		if err := e.arena.ReadPayload(slot, buf); err != nil {
 			return err
 		}
-		pmem.DecodeFloats(dst[i*dim:(i+1)*dim], buf)
+		pmem.DecodeFloats(out, buf)
 		e.pmemReads.Add(1)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	if e.obs.Enabled() {
-		d := e.obs.Now() - obsStart
-		e.obs.Pull.Observe(d)
-		// Every PMem-Hash read is a miss by construction — the same reading
-		// Stats reports — so pull latency doubles as miss service time.
-		e.obs.MissService.Observe(d)
-	}
+	// Every PMem-Hash read is a miss by construction — the same reading
+	// Stats reports — so pull latency doubles as miss service time.
+	e.obs.MissService.Observe(d)
 	return nil
 }
 

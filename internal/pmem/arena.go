@@ -280,14 +280,12 @@ func (a *Arena) WriteRecord(slot uint32, key uint64, version int64, payload []by
 }
 
 // recordCRC covers key, version, payloadLen and payload (the crc field
-// itself is skipped).
+// itself is skipped). crc32.Update chains the two spans without the
+// hash.Hash32 allocation, which keeps the verified read path alloc-free.
 //
 // oevet:pmem-checksum
 func (a *Arena) recordCRC(buf []byte) uint32 {
-	h := crc32.New(crcTable)
-	h.Write(buf[0:20])
-	h.Write(buf[slotHeaderLen:])
-	return h.Sum32()
+	return crc32.Update(crc32.Update(0, crcTable, buf[0:20]), crcTable, buf[slotHeaderLen:])
 }
 
 // Record is a decoded arena record.

@@ -58,6 +58,70 @@ func (a *Arena) ReadPayloadVerified(slot uint32, key uint64, dst []byte) error {
 	return err
 }
 
+// ReadPayloadsVerified is the coalesced form of ReadPayloadVerified: it
+// serves the count records occupying the consecutive slots [lo, lo+count)
+// with one bounds check, one crash-lock acquisition and a single sequential
+// sweep over the contiguous device bytes, validating each record's CRC32C
+// from that one pass. key(i) must return the expected key of slot lo+i;
+// serve(i, payload) receives each verified payload as a view into the
+// device image, valid only for the duration of the call (the callback runs
+// under the device's crash lock and must not re-enter the device).
+//
+// Integrity semantics are ReadPayloadVerified's, per record: a rotted or
+// structurally-wrong record fails with a typed *CorruptError naming its
+// slot, and poisoned media fails typed before any of its bytes are served.
+// The charge-equivalence invariant also holds per record: the call charges
+// exactly one payload-sized PMem read per record that the per-record path
+// would have charged — never StreamReadCost of the span — so virtual time
+// is independent of whether a run's slots happened to be adjacent (slot
+// adjacency depends on maintainer scheduling, which determinism forbids
+// from influencing simulated results).
+func (a *Arena) ReadPayloadsVerified(lo uint32, count int, key func(i int) uint64, serve func(i int, payload []byte)) error {
+	if count <= 0 {
+		return nil
+	}
+	off := a.slotOffset(lo)
+	recLen := slotHeaderLen + a.payloadBytes
+	span := (count-1)*a.slotSize + recLen
+	if err := a.dev.check(off, span); err != nil {
+		return err
+	}
+	// Poison is checked per record up front (the no-fault fast path is one
+	// atomic load): records before the first poisoned one are still served
+	// and charged, exactly as the per-record loop would have.
+	limit, poisonErr := count, error(nil)
+	for i := 0; i < count; i++ {
+		if err := a.dev.poisonCheck(off+i*a.slotSize, recLen); err != nil {
+			limit, poisonErr = i, err
+			break
+		}
+	}
+	charged := int64(limit)
+	var err error
+	a.dev.crashMu.RLock()
+	view := a.dev.image[off : off+span]
+	for i := 0; i < limit; i++ {
+		recOff := i * a.slotSize
+		rec, derr := a.decode(lo+uint32(i), view[recOff:recOff+recLen])
+		if derr == nil && rec.Key != key(i) {
+			derr = &CorruptError{Key: key(i), Slot: lo + uint32(i), Off: int64(off + recOff)}
+		}
+		if derr != nil {
+			// Records 0..i-1 were served; the failing record still pays its
+			// read (its bytes were fetched), matching ReadPayloadVerified.
+			charged, err = int64(i+1), derr
+			break
+		}
+		serve(i, rec.Payload)
+	}
+	a.dev.crashMu.RUnlock()
+	a.dev.timed.ChargeReadN(a.payloadBytes, charged)
+	if err != nil {
+		return err
+	}
+	return poisonErr
+}
+
 // CheckRecord validates the record in slot against key without copying the
 // payload out — the scrubber's probe. It charges a full record read (the
 // scrub budget is what keeps this off the hot path).

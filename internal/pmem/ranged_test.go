@@ -1,0 +1,206 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"openembedding/internal/device"
+	"openembedding/internal/faultinject"
+	"openembedding/internal/simclock"
+)
+
+// newMeteredArena is newTestArena but keeps the meter, for tests that pin
+// the ranged read's charge-equivalence invariant.
+func newMeteredArena(t *testing.T, payloadFloats, slots int) (*Arena, *simclock.Meter) {
+	t.Helper()
+	payload := FloatBytes(payloadFloats)
+	d, m := newTestDevice(t, ArenaLayout(payload, slots))
+	a, err := NewArena(d, payload, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, m
+}
+
+// writeSeq fills count consecutive slots with records keyed base+i whose
+// payloads encode (i, i+1, i+2, i+3), returning the first slot.
+func writeSeq(t *testing.T, a *Arena, base uint64, count int) uint32 {
+	t.Helper()
+	first := uint32(0)
+	for i := 0; i < count; i++ {
+		slot := mustAlloc(t, a)
+		if i == 0 {
+			first = slot
+		}
+		f := float32(i)
+		if err := a.WriteRecord(slot, base+uint64(i), int64(i), encPayload(a, f, f+1, f+2, f+3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return first
+}
+
+// TestReadPayloadsVerifiedCoalesced: one ranged call over n adjacent slots
+// serves every payload bit-identically to n individual verified reads, and —
+// the charge-equivalence invariant — charges exactly the same virtual time
+// and op count, so coalescing is invisible to the simulation.
+func TestReadPayloadsVerifiedCoalesced(t *testing.T) {
+	const n = 6
+	a, am := newMeteredArena(t, 4, 8)
+	b, bm := newMeteredArena(t, 4, 8)
+	lo := writeSeq(t, a, 100, n)
+	writeSeq(t, b, 100, n)
+
+	s0, s1 := am.Snapshot(), bm.Snapshot()
+	got := make([][]byte, n)
+	err := a.ReadPayloadsVerified(lo, n,
+		func(i int) uint64 { return 100 + uint64(i) },
+		func(i int, payload []byte) {
+			got[i] = append([]byte(nil), payload...)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, b.PayloadBytes())
+	for i := 0; i < n; i++ {
+		if err := b.ReadPayloadVerified(lo+uint32(i), 100+uint64(i), one); err != nil {
+			t.Fatal(err)
+		}
+		if got[i] == nil {
+			t.Fatalf("record %d not served", i)
+		}
+		for j := range one {
+			if got[i][j] != one[j] {
+				t.Fatalf("record %d byte %d: ranged %d, individual %d", i, j, got[i][j], one[j])
+			}
+		}
+	}
+	if da, db := am.Snapshot().Sub(s0), bm.Snapshot().Sub(s1); da != db {
+		t.Fatalf("ranged read charges differ from %d individual reads:\nranged     %v\nindividual %v", n, da, db)
+	}
+}
+
+// TestReadPayloadsVerifiedCorruptMiddle: a rotted record in the middle of
+// the range fails with the same typed *CorruptError (correct slot) a
+// per-record read reports; every record before it is served and charged, the
+// failing record is charged (its bytes were read), and nothing after it is
+// served or charged.
+func TestReadPayloadsVerifiedCorruptMiddle(t *testing.T) {
+	const n, bad = 6, 3
+	a, m := newMeteredArena(t, 4, 8)
+	lo := writeSeq(t, a, 100, n)
+	flipDurableBit(t, a, a.slotOffset(lo+bad)+slotHeaderLen, 2)
+
+	s0 := m.Snapshot()
+	var served []int
+	err := a.ReadPayloadsVerified(lo, n,
+		func(i int) uint64 { return 100 + uint64(i) },
+		func(i int, payload []byte) { served = append(served, i) })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %T", err)
+	}
+	if ce.Slot != lo+bad {
+		t.Fatalf("CorruptError.Slot = %d, want %d", ce.Slot, lo+bad)
+	}
+	if len(served) != bad {
+		t.Fatalf("served %v, want records 0..%d", served, bad-1)
+	}
+	d := m.Snapshot().Sub(s0)
+	wantNS := time.Duration(bad+1) * device.PMem().ReadCost(a.PayloadBytes())
+	if d.Total(simclock.PMemRead) != wantNS || d.OpCount(simclock.PMemRead) != bad+1 {
+		t.Fatalf("corrupt range charged %v/%d ops, want %v/%d (served + failing record)",
+			d.Total(simclock.PMemRead), d.OpCount(simclock.PMemRead), wantNS, bad+1)
+	}
+}
+
+// TestReadPayloadsVerifiedKeyMismatch: a record whose stored key is not the
+// one the index expects is structural corruption; the typed error carries
+// the mismatching slot and the failing record is charged.
+func TestReadPayloadsVerifiedKeyMismatch(t *testing.T) {
+	const n, bad = 4, 2
+	a, _ := newMeteredArena(t, 4, 8)
+	lo := writeSeq(t, a, 100, n)
+
+	var served []int
+	err := a.ReadPayloadsVerified(lo, n,
+		func(i int) uint64 {
+			if i == bad {
+				return 999 // the index thinks this slot holds another key
+			}
+			return 100 + uint64(i)
+		},
+		func(i int, payload []byte) { served = append(served, i) })
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if ce.Slot != lo+bad || ce.Key != 999 {
+		t.Fatalf("CorruptError = slot %d key %d, want slot %d key 999", ce.Slot, ce.Key, lo+bad)
+	}
+	if len(served) != bad {
+		t.Fatalf("served %v, want records 0..%d", served, bad-1)
+	}
+}
+
+// TestReadPayloadsVerifiedPoison: a poisoned record bounds the range read —
+// records before it are served and charged, the poisoned record is neither
+// (mirroring ReadPayloadVerified, which charges nothing for a poisoned
+// read), and the error is the typed media error.
+func TestReadPayloadsVerifiedPoison(t *testing.T) {
+	const n, bad = 5, 2
+	payload := FloatBytes(4)
+	m := simclock.NewMeter()
+	dev := NewDevice(ArenaLayout(payload, 8), device.NewTimedPMem(m))
+	a, err := NewArena(dev, payload, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetMediaFaults(faultinject.New(1), "m") // armed, no scripted faults
+	lo := writeSeq(t, a, 100, n)
+	dev.media.poison(a.slotOffset(lo+bad)+4, 8)
+
+	s0 := m.Snapshot()
+	var served []int
+	err = a.ReadPayloadsVerified(lo, n,
+		func(i int) uint64 { return 100 + uint64(i) },
+		func(i int, payload []byte) { served = append(served, i) })
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("want ErrPoisoned, got %v", err)
+	}
+	if !IsIntegrity(err) {
+		t.Fatalf("IsIntegrity(%v) = false", err)
+	}
+	if len(served) != bad {
+		t.Fatalf("served %v, want records 0..%d", served, bad-1)
+	}
+	d := m.Snapshot().Sub(s0)
+	if d.OpCount(simclock.PMemRead) != bad {
+		t.Fatalf("poisoned range charged %d reads, want %d (poisoned record uncharged)",
+			d.OpCount(simclock.PMemRead), bad)
+	}
+}
+
+// TestReadPayloadsVerifiedBounds: empty and out-of-range requests fail the
+// same way the per-record read does, before any charge.
+func TestReadPayloadsVerifiedBounds(t *testing.T) {
+	a, m := newMeteredArena(t, 4, 4)
+	writeSeq(t, a, 7, 2)
+	if err := a.ReadPayloadsVerified(0, 0, nil, nil); err != nil {
+		t.Fatalf("empty range: %v", err)
+	}
+	s0 := m.Snapshot()
+	err := a.ReadPayloadsVerified(3, 2,
+		func(i int) uint64 { return 0 },
+		func(i int, payload []byte) { t.Fatal("served out-of-range record") })
+	if err == nil {
+		t.Fatal("range past the arena end succeeded")
+	}
+	if d := m.Snapshot().Sub(s0); d.OpCount(simclock.PMemRead) != 0 {
+		t.Fatal("failed bounds check still charged reads")
+	}
+}

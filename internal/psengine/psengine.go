@@ -293,6 +293,38 @@ func CheckBuf(keys []uint64, buf []float32, dim int) error {
 	return nil
 }
 
+// GatherRows is the shared per-key pull loop of the baseline engines
+// (DRAM-PS, PMem-Hash, Ori-Cache): it validates dst against keys×dim,
+// times the whole gather through eobs (sampling aside — baselines record
+// every pull, keeping their Fig. 2 latency distributions complete), and
+// calls row once per key with that key's dim-sized slice of dst. The row
+// callback owns all engine-specific work — lookup, device reads, meter
+// charges, counters — so the baselines stay comparable: they differ only
+// in what a row costs, never in how a batch is walked. It returns the
+// gather's wall-clock duration (zero when eobs is disabled) so engines
+// with extra histograms (PMem-Hash's miss-service time) can reuse the
+// measurement instead of reading the clock again.
+func GatherRows(eobs *EngineObs, keys []uint64, dst []float32, dim int, row func(k uint64, out []float32) error) (time.Duration, error) {
+	if err := CheckBuf(keys, dst, dim); err != nil {
+		return 0, err
+	}
+	var start time.Duration
+	if eobs.Enabled() {
+		start = eobs.Now()
+	}
+	for i, k := range keys {
+		if err := row(k, dst[i*dim:(i+1)*dim]); err != nil {
+			return 0, err
+		}
+	}
+	var d time.Duration
+	if eobs.Enabled() {
+		d = eobs.Now() - start
+		eobs.Pull.Observe(d)
+	}
+	return d, nil
+}
+
 // LockCost is the calibrated virtual cost of one uncontended lock
 // acquisition/release pair on the request path; engines charge it under
 // simclock.LockSync so the simulator's contention model can scale it.

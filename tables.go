@@ -75,6 +75,66 @@ func (g *Tables) Push(table string, batch int64, keys []uint64, grads []float32)
 	return s.Push(batch, keys, grads)
 }
 
+// TableBatch is one table's slice of a training step: the keys the batch
+// looks up in that table, and the caller's row buffer — weights out on
+// PullAll, gradients in on PushAll. len(Buf) must be len(Keys)×dim of the
+// table.
+type TableBatch struct {
+	Table string
+	Keys  []uint64
+	Buf   []float32
+}
+
+// resolveAll maps each request to its server, failing before any table is
+// touched when a name is unknown — a step either addresses only real tables
+// or does nothing.
+func (g *Tables) resolveAll(reqs []TableBatch, scratch []*Server) ([]*Server, error) {
+	srvs := scratch[:0]
+	for i := range reqs {
+		s := g.tables[reqs[i].Table]
+		if s == nil {
+			return nil, fmt.Errorf("openembedding: unknown table %q", reqs[i].Table)
+		}
+		srvs = append(srvs, s)
+	}
+	return srvs, nil
+}
+
+// PullAll fetches one training step's rows across tables: each request's
+// keys are gathered from its table into its buffer, all under one batch ID —
+// the per-step shape of a DLRM, where every sparse feature hits its own
+// table. Each table's pull runs the engine's run-sorted, duplicate-collapsed
+// sweep, so repeated keys within a request cost one tier read.
+func (g *Tables) PullAll(batch int64, reqs []TableBatch) error {
+	var stack [8]*Server
+	srvs, err := g.resolveAll(reqs, stack[:])
+	if err != nil {
+		return err
+	}
+	for i := range reqs {
+		if err := srvs[i].Pull(batch, reqs[i].Keys, reqs[i].Buf); err != nil {
+			return fmt.Errorf("openembedding: table %q: %w", reqs[i].Table, err)
+		}
+	}
+	return nil
+}
+
+// PushAll applies one training step's gradients across tables, the push-side
+// counterpart of PullAll.
+func (g *Tables) PushAll(batch int64, reqs []TableBatch) error {
+	var stack [8]*Server
+	srvs, err := g.resolveAll(reqs, stack[:])
+	if err != nil {
+		return err
+	}
+	for i := range reqs {
+		if err := srvs[i].Push(batch, reqs[i].Keys, reqs[i].Buf); err != nil {
+			return fmt.Errorf("openembedding: table %q: %w", reqs[i].Table, err)
+		}
+	}
+	return nil
+}
+
 // EndPullPhase signals pull completion to every table.
 func (g *Tables) EndPullPhase(batch int64) {
 	for _, name := range g.names {

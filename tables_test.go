@@ -80,6 +80,92 @@ func TestTablesBatchProtocol(t *testing.T) {
 	}
 }
 
+// TestTablesPullAllPushAll drives a training step through the batch surface
+// and checks it is exactly per-table Pull/Push: same rows out, same weights
+// after the update, and an unknown table fails the whole step before any
+// table is touched.
+func TestTablesPullAllPushAll(t *testing.T) {
+	g := openTestTables(t)
+	ref := openTestTables(t)
+	userKeys := []uint64{1, 2, 1} // duplicate: collapsed by the run sweep
+	itemKeys := []uint64{10, 11}
+	step := []TableBatch{
+		{Table: "user", Keys: userKeys, Buf: make([]float32, len(userKeys)*8)},
+		{Table: "item", Keys: itemKeys, Buf: make([]float32, len(itemKeys)*16)},
+	}
+	uw := make([]float32, len(userKeys)*8)
+	iw := make([]float32, len(itemKeys)*16)
+
+	for batch := int64(0); batch < 3; batch++ {
+		if err := g.PullAll(batch, step); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Pull("user", batch, userKeys, uw); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Pull("item", batch, itemKeys, iw); err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range uw {
+			if step[0].Buf[i] != want {
+				t.Fatalf("batch %d user row float %d: %v, want %v", batch, i, step[0].Buf[i], want)
+			}
+		}
+		for i, want := range iw {
+			if step[1].Buf[i] != want {
+				t.Fatalf("batch %d item row float %d: %v, want %v", batch, i, step[1].Buf[i], want)
+			}
+		}
+		g.EndPullPhase(batch)
+		ref.EndPullPhase(batch)
+
+		grads := []TableBatch{
+			{Table: "user", Keys: userKeys, Buf: constSlice(len(userKeys)*8, 0.5)},
+			{Table: "item", Keys: itemKeys, Buf: constSlice(len(itemKeys)*16, 0.5)},
+		}
+		if err := g.PushAll(batch, grads); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Push("user", batch, userKeys, grads[0].Buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Push("item", batch, itemKeys, grads[1].Buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.EndBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.EndBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Unknown table: the step must fail atomically — the "user" request
+	// listed before it must not have run.
+	before := g.Stats()
+	bad := []TableBatch{
+		{Table: "user", Keys: userKeys, Buf: make([]float32, len(userKeys)*8)},
+		{Table: "ghost", Keys: itemKeys, Buf: make([]float32, len(itemKeys)*16)},
+	}
+	if err := g.PullAll(3, bad); err == nil {
+		t.Fatal("PullAll with unknown table succeeded")
+	}
+	if err := g.PushAll(3, bad); err == nil {
+		t.Fatal("PushAll with unknown table succeeded")
+	}
+	if after := g.Stats(); after != before {
+		t.Fatalf("failed step touched tables: stats %+v -> %+v", before, after)
+	}
+}
+
+func constSlice(n int, v float32) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
 func TestTablesErrors(t *testing.T) {
 	if _, err := OpenTables(); err == nil {
 		t.Fatal("empty group accepted")
