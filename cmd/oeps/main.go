@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -82,7 +83,7 @@ func main() {
 		debugSrv = &http.Server{Addr: *debugAddr, Handler: node.ObsHandler()}
 		go func() {
 			fmt.Printf("oeps: observability on http://%s/metrics\n", *debugAddr)
-			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("oeps: debug server: %v", err)
 			}
 		}()

@@ -1,6 +1,6 @@
 // Command oevet runs the OpenEmbedding invariant analyzer suite: lockorder,
-// pmemdurability, determinism, faultdet and atomicstat (see
-// internal/analysis and DESIGN.md §8).
+// pmemdurability, determinism, faultdet, atomicstat, chargeflow, allocfree,
+// epochfence and errwrap (see internal/analysis and DESIGN.md §8, §13).
 //
 // Standalone (authoritative; cross-package facts flow in dependency order):
 //

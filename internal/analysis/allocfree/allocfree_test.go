@@ -1,0 +1,13 @@
+package allocfree_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/allocfree"
+	"openembedding/internal/analysis/oeanalysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	oeanalysistest.Run(t, allocfree.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,648 @@
+// Package chargeflow mechanizes the simulated-time charge-accounting
+// invariants (DESIGN.md §4, §12): every read/write that models device work
+// must reach a device.Timed charge exactly once, with the right cost class,
+// and the batched hot path must never pay stream costs.
+//
+// The analyzer computes, per function, an interval [min,max] of how many
+// times each cost class (read, write, stream-read, stream-write) can be
+// charged on a path through the body. Direct calls to Timed's Charge*
+// methods count one charge; calls to declared functions add the callee's
+// computed interval (same-package bodies are summarized on demand;
+// cross-package callees resolve through facts exported when their package
+// was analyzed). Branches join intervals, loops widen the maximum, and
+// returns under an `err != nil` guard are tracked as error paths.
+//
+// Contracts come from annotations:
+//
+//	// oevet:charge <class>   the function charges exactly once with
+//	                          <class> on every non-error path: charging
+//	                          zero times, possibly twice (the PR 1
+//	                          double-count bug class), or with another
+//	                          class is reported;
+//	// oevet:charge-free      the function must never reach a charge.
+//
+// Two unconditional rules need no annotation:
+//
+//   - a ChargeRead/ChargeWrite call whose argument is a product of two
+//     non-constant factors is reported: that shape bills cost(count×n) for
+//     one op, where the run-batched invariant requires count ops of
+//     cost(n) via ChargeReadN/ChargeWriteN (op count preserved);
+//   - inside the oevet:hotpath closure, any path that can charge a stream
+//     class is reported: stream costs amortize slot adjacency that only
+//     the maintainer's schedule guarantees, so they must never move
+//     simulated time on the run path (scrub, scan and checkpoint I/O own
+//     them).
+//
+// False positives are suppressed in place with `//oevet:charge-ok <reason>`
+// (reason mandatory, unused directives reported).
+package chargeflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"openembedding/internal/analysis/oeanalysis"
+)
+
+// Analyzer flags charge-accounting violations (zero/double/wrong-class
+// charges, cost(count×n) shapes, stream costs on the hot path).
+var Analyzer = &oeanalysis.Analyzer{
+	Name: "chargeflow",
+	Doc:  "check that device read/write sites charge the simulated-time meter exactly once with the right cost class (oevet:charge annotations)",
+	Run:  run,
+}
+
+// Cost classes, indexed into sums.
+const (
+	clsRead = iota
+	clsWrite
+	clsStreamRead
+	clsStreamWrite
+	numClasses
+)
+
+var clsNames = [numClasses]string{"read", "write", "stream-read", "stream-write"}
+
+// chargeMethods maps device.Timed method names to their cost class.
+var chargeMethods = map[string]int{
+	"ChargeRead":        clsRead,
+	"ChargeReadN":       clsRead,
+	"ChargeWrite":       clsWrite,
+	"ChargeWriteN":      clsWrite,
+	"ChargeStreamRead":  clsStreamRead,
+	"ChargeStreamWrite": clsStreamWrite,
+}
+
+// sum is a per-class interval of charge counts; counts saturate at 2
+// ("two or more").
+type sum [numClasses]oeanalysis.ChargeBound
+
+func sat(n int) int {
+	if n > 2 {
+		return 2
+	}
+	return n
+}
+
+func addSum(a, b sum) sum {
+	var out sum
+	for i := range out {
+		out[i] = oeanalysis.ChargeBound{Min: sat(a[i].Min + b[i].Min), Max: sat(a[i].Max + b[i].Max)}
+	}
+	return out
+}
+
+func joinSum(a, b sum) sum {
+	var out sum
+	for i := range out {
+		out[i].Min = min(a[i].Min, b[i].Min)
+		out[i].Max = max(a[i].Max, b[i].Max)
+	}
+	return out
+}
+
+func unit(cls int) sum {
+	var out sum
+	out[cls] = oeanalysis.ChargeBound{Min: 1, Max: 1}
+	return out
+}
+
+func (s sum) zero() bool {
+	for _, b := range s {
+		if b.Max != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func toSummary(s sum) oeanalysis.ChargeSummary {
+	return oeanalysis.ChargeSummary{
+		Read:        s[clsRead],
+		Write:       s[clsWrite],
+		StreamRead:  s[clsStreamRead],
+		StreamWrite: s[clsStreamWrite],
+	}
+}
+
+func fromSummary(cs oeanalysis.ChargeSummary) sum {
+	return sum{cs.Read, cs.Write, cs.StreamRead, cs.StreamWrite}
+}
+
+// funcSummary is the computed charge behavior of one function body.
+type funcSummary struct {
+	all sum // interval over every path
+	// nonErr is the interval over paths that do not return under an
+	// `err != nil` guard; contracts are enforced against its Min.
+	nonErr    sum
+	hasNonErr bool
+}
+
+// effective is the interval a call site inherits: the success-path minimum
+// (a callee's early error return does not lower the caller's guaranteed
+// count, because the caller propagates the error) with the any-path maximum.
+func (fs funcSummary) effective() sum {
+	if !fs.hasNonErr {
+		return fs.all
+	}
+	var out sum
+	for i := range out {
+		out[i] = oeanalysis.ChargeBound{Min: fs.nonErr[i].Min, Max: fs.all[i].Max}
+	}
+	return out
+}
+
+type state struct {
+	pass       *oeanalysis.Pass
+	info       *types.Info
+	decls      map[*types.Func]*ast.FuncDecl
+	memo       map[*types.Func]funcSummary
+	inProgress map[*types.Func]bool
+}
+
+func run(pass *oeanalysis.Pass) error {
+	info := pass.TypesInfo
+	supp := oeanalysis.NewSuppressor(pass, "charge-ok")
+	st := &state{
+		pass:       pass,
+		info:       info,
+		decls:      map[*types.Func]*ast.FuncDecl{},
+		memo:       map[*types.Func]funcSummary{},
+		inProgress: map[*types.Func]bool{},
+	}
+
+	type contract struct {
+		decl *ast.FuncDecl
+		cls  int  // -1 for charge-free
+		bad  bool // malformed annotation, already reported
+	}
+	contracts := map[*types.Func]contract{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			st.decls[obj] = fn
+			for _, d := range oeanalysis.FuncDirectives(fn) {
+				switch d.Verb {
+				case "charge":
+					cls, ok := classIndex(d.Args)
+					if !ok {
+						pass.Reportf(fn.Pos(), "malformed oevet:charge: want one class out of %s", strings.Join(clsNames[:], ", "))
+						contracts[obj] = contract{decl: fn, bad: true}
+						continue
+					}
+					contracts[obj] = contract{decl: fn, cls: cls}
+				case "charge-free":
+					contracts[obj] = contract{decl: fn, cls: -1}
+				}
+			}
+		}
+	}
+
+	// Summarize every declared function (also exports facts for dependents).
+	for obj := range st.decls {
+		fs := st.of(obj)
+		if !fs.all.zero() {
+			pass.Facts.Charges[obj.FullName()] = toSummary(fs.effective())
+		}
+	}
+
+	// Contract checks.
+	for obj, ct := range contracts {
+		if ct.bad {
+			continue
+		}
+		fs := st.of(obj)
+		pos := ct.decl.Name.Pos()
+		if ct.cls == -1 {
+			for i, b := range fs.all {
+				if b.Max > 0 {
+					supp.Reportf(pos, "%s is annotated oevet:charge-free but a path may charge %s cost", obj.Name(), clsNames[i])
+					break
+				}
+			}
+			continue
+		}
+		switch {
+		case fs.all[ct.cls].Max == 0:
+			// When another class is charged instead, the wrong-class report
+			// below carries the actionable message.
+			if fs.all.zero() {
+				supp.Reportf(pos, "%s is annotated oevet:charge %s but no path reaches a %s charge", obj.Name(), clsNames[ct.cls], clsNames[ct.cls])
+			}
+		case fs.hasNonErr && fs.nonErr[ct.cls].Min == 0:
+			supp.Reportf(pos, "%s is annotated oevet:charge %s but a non-error path may return without charging", obj.Name(), clsNames[ct.cls])
+		case fs.all[ct.cls].Max >= 2:
+			supp.Reportf(pos, "%s is annotated oevet:charge %s but a path may charge %s twice (double-count)", obj.Name(), clsNames[ct.cls], clsNames[ct.cls])
+		}
+		for i, b := range fs.all {
+			if i != ct.cls && b.Max > 0 {
+				supp.Reportf(pos, "%s is annotated oevet:charge %s but a path may charge %s cost (wrong class)", obj.Name(), clsNames[ct.cls], clsNames[i])
+			}
+		}
+	}
+
+	// cost(count×n) shape: a single-op charge whose argument multiplies two
+	// non-constant factors bills one op for count ops' worth of bytes.
+	for _, decl := range st.decls {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			_, name, ok := directCharge(info, call)
+			if !ok || (name != "ChargeRead" && name != "ChargeWrite") || len(call.Args) != 1 {
+				return true
+			}
+			mul, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr)
+			if !ok || mul.Op.String() != "*" {
+				return true
+			}
+			if isConst(info, mul.X) || isConst(info, mul.Y) {
+				return true
+			}
+			supp.Reportf(call.Pos(), "%s(count*n) charges one op with cost(count×n); batched accounting must preserve the op count — use %sN(count, n) for count × cost(n)", name, name)
+			return true
+		})
+	}
+
+	// Stream costs never on the run path: inside the hot-path closure,
+	// report direct stream charges and calls into dependency packages whose
+	// summary can charge a stream class.
+	hot, _ := oeanalysis.HotpathSet(pass)
+	for _, decl := range hot {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if cls, _, ok := directCharge(info, call); ok {
+				if cls == clsStreamRead || cls == clsStreamWrite {
+					supp.Reportf(call.Pos(), "hot path charges %s cost; stream costs amortize maintainer-scheduled slot adjacency and must never move simulated time on the run path", clsNames[cls])
+				}
+				return true
+			}
+			callee := oeanalysis.CalleeFunc(info, call)
+			if callee == nil || callee.Pkg() == pass.Pkg {
+				return true // same-package callees are themselves in the hot set
+			}
+			cs := pass.Facts.Charges[callee.FullName()]
+			if cs.StreamRead.Max > 0 || cs.StreamWrite.Max > 0 {
+				supp.Reportf(call.Pos(), "hot path calls %s, which may charge stream cost; stream costs must never move simulated time on the run path", callee.Name())
+			}
+			return true
+		})
+	}
+
+	supp.Finish()
+	return nil
+}
+
+func classIndex(args []string) (int, bool) {
+	if len(args) != 1 {
+		return 0, false
+	}
+	for i, n := range clsNames {
+		if args[0] == n {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// directCharge reports whether call invokes one of device.Timed's Charge*
+// methods (recognized by method name on a receiver type named Timed, so the
+// testdata corpus can model the device without importing it).
+func directCharge(info *types.Info, call *ast.CallExpr) (cls int, name string, ok bool) {
+	callee := oeanalysis.CalleeFunc(info, call)
+	if callee == nil {
+		return 0, "", false
+	}
+	cls, ok = chargeMethods[callee.Name()]
+	if !ok {
+		return 0, "", false
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return 0, "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Timed" {
+		return 0, "", false
+	}
+	return cls, callee.Name(), true
+}
+
+var chargeErrorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// constructsError reports whether e builds a fresh error value on the spot:
+// a fmt.Errorf/errors.New call or the address of an error-typed composite
+// literal.
+func constructsError(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		callee := oeanalysis.CalleeFunc(info, x)
+		if callee == nil || callee.Pkg() == nil {
+			return false
+		}
+		path, name := callee.Pkg().Path(), callee.Name()
+		return (path == "fmt" && name == "Errorf") || (path == "errors" && name == "New")
+	case *ast.UnaryExpr:
+		if x.Op.String() != "&" {
+			return false
+		}
+		if _, isLit := x.X.(*ast.CompositeLit); !isLit {
+			return false
+		}
+		tv, ok := info.Types[e]
+		return ok && tv.Type != nil && types.Implements(tv.Type, chargeErrorIface)
+	}
+	return false
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	// Constants survive conversions (int64(8) is still constant); a
+	// non-constant count wrapped in a conversion is not.
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}
+
+// of returns the memoized summary of fn, computing it from the body when
+// declared in this package and from facts otherwise. Recursive cycles
+// contribute nothing (an under-approximation; the engine's charge paths are
+// acyclic).
+func (s *state) of(fn *types.Func) funcSummary {
+	if v, ok := s.memo[fn]; ok {
+		return v
+	}
+	if s.inProgress[fn] {
+		return funcSummary{}
+	}
+	decl := s.decls[fn]
+	if decl == nil {
+		if cs, ok := s.pass.Facts.Charges[fn.FullName()]; ok {
+			v := fromSummary(cs)
+			return funcSummary{all: v, nonErr: v, hasNonErr: true}
+		}
+		return funcSummary{}
+	}
+	s.inProgress[fn] = true
+	v := s.summarize(decl.Body)
+	delete(s.inProgress, fn)
+	s.memo[fn] = v
+	return v
+}
+
+// summarize runs the interval walk over one body.
+func (s *state) summarize(body *ast.BlockStmt) funcSummary {
+	w := &walker{s: s}
+	fall, term := w.block(body.List, sum{}, false)
+	if !term {
+		w.exits = append(w.exits, exitState{fall, false})
+	}
+	var fs funcSummary
+	first, firstNonErr := true, true
+	for _, e := range w.exits {
+		c := addSum(e.cnt, w.deferred)
+		if first {
+			fs.all, first = c, false
+		} else {
+			fs.all = joinSum(fs.all, c)
+		}
+		if !e.err {
+			if firstNonErr {
+				fs.nonErr, firstNonErr = c, false
+			} else {
+				fs.nonErr = joinSum(fs.nonErr, c)
+			}
+			fs.hasNonErr = true
+		}
+	}
+	return fs
+}
+
+type exitState struct {
+	cnt sum
+	err bool
+}
+
+// walker tracks the charge interval along one body in source order,
+// collecting an exit state per return.
+type walker struct {
+	s        *state
+	exits    []exitState
+	deferred sum
+}
+
+// exprs adds the contributions of every call inside n, in visit order.
+// Function literal bodies are skipped unless called on the spot (a literal
+// handed to another function runs on that function's timeline).
+func (w *walker) exprs(n ast.Node, st sum) sum {
+	if n == nil {
+		return st
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if lit, isLit := e.Fun.(*ast.FuncLit); isLit {
+				st = addSum(st, w.s.summarize(lit.Body).all)
+			}
+			st = addSum(st, w.contribution(e))
+		}
+		return true
+	})
+	return st
+}
+
+func (w *walker) contribution(call *ast.CallExpr) sum {
+	if cls, _, ok := directCharge(w.s.info, call); ok {
+		return unit(cls)
+	}
+	callee := oeanalysis.CalleeFunc(w.s.info, call)
+	if callee == nil {
+		return sum{}
+	}
+	return w.s.of(callee).effective()
+}
+
+func (w *walker) block(list []ast.Stmt, st sum, inErr bool) (sum, bool) {
+	for _, stmt := range list {
+		var term bool
+		st, term = w.stmt(stmt, st, inErr)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *walker) stmt(stmt ast.Stmt, st sum, inErr bool) (sum, bool) {
+	switch t := stmt.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range t.Results {
+			st = w.exprs(r, st)
+		}
+		// A return that constructs a fresh error (fmt.Errorf, errors.New, or
+		// &SomeError{...}) is an error path even without an `err != nil`
+		// guard — the validation-guard idiom `if bad { return fmt.Errorf(...) }`.
+		errExit := inErr
+		for _, r := range t.Results {
+			if constructsError(w.s.info, r) {
+				errExit = true
+			}
+		}
+		w.exits = append(w.exits, exitState{st, errExit})
+		return st, true
+	case *ast.IfStmt:
+		if t.Init != nil {
+			st, _ = w.stmt(t.Init, st, inErr)
+		}
+		st = w.exprs(t.Cond, st)
+		errIf := oeanalysis.HasNilCheck(t.Cond)
+		s1, t1 := w.block(t.Body.List, st, inErr || errIf)
+		s2, t2 := st, false
+		if t.Else != nil {
+			s2, t2 = w.stmt(t.Else, st, inErr)
+		}
+		switch {
+		case t1 && t2:
+			return st, true
+		case t1:
+			return s2, false
+		case t2:
+			return s1, false
+		case errIf:
+			// An error branch that falls through must not lower the
+			// guaranteed count of the surviving path.
+			var out sum
+			for i := range out {
+				out[i] = oeanalysis.ChargeBound{Min: s2[i].Min, Max: max(s1[i].Max, s2[i].Max)}
+			}
+			return out, false
+		default:
+			return joinSum(s1, s2), false
+		}
+	case *ast.ForStmt:
+		if t.Init != nil {
+			st, _ = w.stmt(t.Init, st, inErr)
+		}
+		st = w.exprs(t.Cond, st)
+		st = w.loop(t.Body, st, inErr)
+		if t.Post != nil {
+			w.exprs(t.Post, sum{})
+		}
+		return st, false
+	case *ast.RangeStmt:
+		st = w.exprs(t.X, st)
+		return w.loop(t.Body, st, inErr), false
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			st, _ = w.stmt(t.Init, st, inErr)
+		}
+		st = w.exprs(t.Tag, st)
+		return w.cases(t.Body, st, inErr, switchHasDefault(t.Body))
+	case *ast.TypeSwitchStmt:
+		if t.Init != nil {
+			st, _ = w.stmt(t.Init, st, inErr)
+		}
+		return w.cases(t.Body, st, inErr, switchHasDefault(t.Body))
+	case *ast.SelectStmt:
+		return w.cases(t.Body, st, inErr, false)
+	case *ast.DeferStmt:
+		if lit, ok := t.Call.Fun.(*ast.FuncLit); ok {
+			w.deferred = addSum(w.deferred, w.s.summarize(lit.Body).all)
+		} else {
+			w.deferred = addSum(w.deferred, w.contribution(t.Call))
+		}
+		for _, a := range t.Call.Args {
+			st = w.exprs(a, st)
+		}
+		return st, false
+	case *ast.BlockStmt:
+		return w.block(t.List, st, inErr)
+	case *ast.LabeledStmt:
+		return w.stmt(t.Stmt, st, inErr)
+	default:
+		return w.exprs(stmt, st), false
+	}
+}
+
+// loop widens the body's contribution: zero iterations keep the minimum,
+// repeated iterations push the maximum to "two or more". Returns inside the
+// body exit with at least one iteration's worth of charges.
+func (w *walker) loop(body *ast.BlockStmt, st sum, inErr bool) sum {
+	sub := &walker{s: w.s}
+	fall, _ := sub.block(body.List, sum{}, inErr)
+	for _, e := range sub.exits {
+		var widened sum
+		for i := range widened {
+			widened[i] = oeanalysis.ChargeBound{Min: e.cnt[i].Min, Max: sat(2 * e.cnt[i].Max)}
+		}
+		w.exits = append(w.exits, exitState{addSum(st, widened), e.err})
+	}
+	w.deferred = addSum(w.deferred, sub.deferred)
+	var out sum
+	for i := range out {
+		out[i] = oeanalysis.ChargeBound{Min: st[i].Min, Max: sat(st[i].Max + 2*fall[i].Max)}
+	}
+	return out
+}
+
+func (w *walker) cases(body *ast.BlockStmt, st sum, inErr bool, hasDefault bool) (sum, bool) {
+	joined := st
+	haveJoin := !hasDefault // without a default, falling past every case is a path
+	allTerm := hasDefault
+	for _, cc := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cc.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				st = w.exprs(e, st)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				st, _ = w.stmt(cl.Comm, st, inErr)
+			}
+			stmts = cl.Body
+		default:
+			continue
+		}
+		bs, bterm := w.block(stmts, st, inErr)
+		if bterm {
+			continue
+		}
+		allTerm = false
+		if !haveJoin {
+			joined, haveJoin = bs, true
+		} else {
+			joined = joinSum(joined, bs)
+		}
+	}
+	if allTerm && hasDefault {
+		return st, true
+	}
+	return joined, false
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, cc := range body.List {
+		if cl, ok := cc.(*ast.CaseClause); ok && cl.List == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package chargeflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/chargeflow"
+	"openembedding/internal/analysis/oeanalysistest"
+)
+
+func TestChargeflow(t *testing.T) {
+	oeanalysistest.Run(t, chargeflow.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,145 @@
+// Test corpus for the chargeflow analyzer: a miniature of the device meter
+// (a Timed with the six Charge* methods) plus read paths that honor or
+// violate the exactly-once charge-accounting contracts.
+package a
+
+import "fmt"
+
+type Timed struct{ n int }
+
+func (t *Timed) ChargeRead(n int64)        { t.n++ }
+func (t *Timed) ChargeReadN(c, n int64)    { t.n++ }
+func (t *Timed) ChargeWrite(n int64)       { t.n++ }
+func (t *Timed) ChargeWriteN(c, n int64)   { t.n++ }
+func (t *Timed) ChargeStreamRead(n int64)  { t.n++ }
+func (t *Timed) ChargeStreamWrite(n int64) { t.n++ }
+
+type dev struct {
+	t   *Timed
+	buf []byte
+	err error
+}
+
+// oevet:charge read
+func (d *dev) readOnce(n int64) []byte { // ok: exactly one read charge
+	d.t.ChargeRead(n)
+	return d.buf
+}
+
+// oevet:charge read
+func (d *dev) readDoubleCharge(n int64) []byte { // want `may charge read twice \(double-count\)`
+	b := d.readOnce(n) // the callee already charged; charging again double-counts (PR 1 bug class)
+	d.t.ChargeRead(n)
+	return b
+}
+
+// oevet:charge read
+func (d *dev) readNeverCharges(n int64) []byte { // want `no path reaches a read charge`
+	return d.buf
+}
+
+// oevet:charge read
+func (d *dev) readMissesABranch(n int64, cached bool) []byte { // want `a non-error path may return without charging`
+	if cached {
+		return d.buf
+	}
+	d.t.ChargeRead(n)
+	return d.buf
+}
+
+// oevet:charge read
+func (d *dev) readWrongClass(n int64) { // want `a path may charge write cost \(wrong class\)`
+	d.t.ChargeWrite(n)
+}
+
+// oevet:charge write
+func (d *dev) writeErrorPathOK(n int64) error { // ok: the error return needn't charge
+	if d.err != nil {
+		return d.err
+	}
+	d.t.ChargeWrite(n)
+	return nil
+}
+
+// oevet:charge write
+func (d *dev) writeViaDefer(n int64) { // ok: the deferred charge runs at return
+	defer d.t.ChargeWrite(n)
+}
+
+// oevet:charge-free
+func (d *dev) probeFree() int { // ok: no charge anywhere
+	return len(d.buf)
+}
+
+// oevet:charge-free
+func (d *dev) probeCharges(n int64) int { // want `annotated oevet:charge-free but a path may charge read cost`
+	d.t.ChargeRead(n)
+	return len(d.buf)
+}
+
+func (d *dev) runShape(count, rec int64) {
+	d.t.ChargeReadN(count, rec) // ok: count ops of cost(rec)
+	d.t.ChargeRead(count * rec) // want `ChargeRead\(count\*n\) charges one op with cost\(count×n\)`
+	d.t.ChargeRead(8 * rec)     // ok: constant factor scales one op, not a batch
+}
+
+// oevet:charge read
+func (d *dev) readLoopCharges(keys []int64) { // want `may charge read twice \(double-count\)`
+	for _, k := range keys {
+		d.t.ChargeRead(k)
+	}
+	d.t.ChargeRead(1)
+}
+
+// oevet:charge stream-read
+func (d *dev) scan(n int64) { // ok: scans own the stream class off the hot path
+	d.t.ChargeStreamRead(n)
+}
+
+// oevet:hotpath
+func (d *dev) pull(n int64) []byte {
+	d.t.ChargeRead(n)
+	d.t.ChargeStreamRead(n) // want `hot path charges stream-read cost`
+	return d.readOnce(n)
+}
+
+// bulkEvict is unannotated but reached from the hot push root, so its
+// stream charge is reported where it happens.
+func (d *dev) bulkEvict(n int64) {
+	d.t.ChargeStreamWrite(n) // want `hot path charges stream-write cost`
+}
+
+// oevet:hotpath
+func (d *dev) push(n int64) {
+	d.bulkEvict(n)
+	d.t.ChargeWriteN(2, n)
+}
+
+// oevet:hotpath
+func (d *dev) pullSuppressed(n int64) {
+	//oevet:charge-ok recovery probe runs once per restart, not per batch
+	d.t.ChargeStreamRead(n)
+}
+
+// oevet:coldpath recovery-only scan, never on the batch path
+func (d *dev) recoverAll(n int64) {
+	d.t.ChargeStreamRead(n) // ok: the hot-path walk stops at coldpath
+}
+
+// oevet:hotpath
+func (d *dev) pullWithRecovery(n int64) {
+	d.t.ChargeRead(n)
+	d.recoverAll(n)
+}
+
+// A guard returning a freshly-constructed error is an error path even
+// without an `err != nil` comparison: the validation-guard idiom must not
+// lower the success path's guaranteed charge count.
+// oevet:charge read
+func (d *dev) readGuarded(n int64) error { // ok: the guard is an error exit
+	if n < 0 {
+		return fmt.Errorf("bad read length %d", n)
+	}
+	d.t.ChargeRead(n)
+	return nil
+}

@@ -20,8 +20,12 @@ import (
 	"strconv"
 	"strings"
 
+	"openembedding/internal/analysis/allocfree"
 	"openembedding/internal/analysis/atomicstat"
+	"openembedding/internal/analysis/chargeflow"
 	"openembedding/internal/analysis/determinism"
+	"openembedding/internal/analysis/epochfence"
+	"openembedding/internal/analysis/errwrap"
 	"openembedding/internal/analysis/faultdet"
 	"openembedding/internal/analysis/lockorder"
 	"openembedding/internal/analysis/oeanalysis"
@@ -35,6 +39,10 @@ var Suite = []*oeanalysis.Analyzer{
 	determinism.Analyzer,
 	faultdet.Analyzer,
 	atomicstat.Analyzer,
+	chargeflow.Analyzer,
+	allocfree.Analyzer,
+	epochfence.Analyzer,
+	errwrap.Analyzer,
 }
 
 // Result is the outcome of a standalone run.

@@ -1,0 +1,321 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"openembedding/internal/analysis/oeanalysis"
+)
+
+// ---------------------------------------------------------------------------
+// apply: ignore precedence over raw diagnostics
+// ---------------------------------------------------------------------------
+
+func diag(analyzer, file string, line int, msg string) oeanalysis.Diagnostic {
+	return oeanalysis.Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func ig(file string, line int, reason string) *ignoreDirective {
+	d := &ignoreDirective{reason: reason}
+	d.pos.Filename = file
+	d.pos.Line = line
+	d.pos.Column = 1
+	return d
+}
+
+// TestApplyIgnoreCoversSameLineAndLineBelow: one //oevet:ignore covers
+// diagnostics on its own line and the line directly below — including
+// diagnostics from two different analyzers landing on the same line — and
+// counts once in the used-ignore census.
+func TestApplyIgnoreCoversSameLineAndLineBelow(t *testing.T) {
+	raw := []oeanalysis.Diagnostic{
+		diag("lockorder", "x.go", 10, "acquires out of order"),
+		diag("epochfence", "x.go", 10, "returns while unfenced"),
+		diag("allocfree", "x.go", 11, "make allocates"),
+	}
+	res := apply(raw, []*ignoreDirective{ig("x.go", 10, "test justification")})
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("want all diagnostics suppressed, got %v", res.Diagnostics)
+	}
+	if res.IgnoresUsed != 1 {
+		t.Fatalf("one directive covering three diagnostics must count once, got %d", res.IgnoresUsed)
+	}
+}
+
+// TestApplyIgnoreDoesNotReachTwoLinesDown: coverage is same-line-or-above
+// only; a diagnostic two lines below the directive survives, and the
+// directive still counts as used via the diagnostic it does cover.
+func TestApplyIgnoreDoesNotReachTwoLinesDown(t *testing.T) {
+	raw := []oeanalysis.Diagnostic{
+		diag("chargeflow", "y.go", 5, "charges twice"),
+		diag("chargeflow", "y.go", 7, "charges twice"),
+	}
+	res := apply(raw, []*ignoreDirective{ig("y.go", 5, "only the first")})
+	if len(res.Diagnostics) != 1 || res.Diagnostics[0].Pos.Line != 7 {
+		t.Fatalf("want only the line-7 diagnostic to survive, got %v", res.Diagnostics)
+	}
+	if res.IgnoresUsed != 1 {
+		t.Fatalf("IgnoresUsed = %d, want 1", res.IgnoresUsed)
+	}
+}
+
+// TestApplyMetaDiagnostics: reason-less and unused ignores are themselves
+// diagnostics and never count toward the baseline census.
+func TestApplyMetaDiagnostics(t *testing.T) {
+	res := apply(nil, []*ignoreDirective{
+		ig("z.go", 3, ""),               // malformed: no reason
+		ig("z.go", 9, "covers nothing"), // unused
+	})
+	if len(res.Diagnostics) != 2 {
+		t.Fatalf("want 2 meta-diagnostics, got %v", res.Diagnostics)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Analyzer != "oevet" {
+			t.Errorf("meta-diagnostic attributed to %q, want oevet", d.Analyzer)
+		}
+	}
+	if !strings.Contains(res.Diagnostics[0].Message, "requires a justification") {
+		t.Errorf("malformed-ignore message: %q", res.Diagnostics[0].Message)
+	}
+	if !strings.Contains(res.Diagnostics[1].Message, "unused") {
+		t.Errorf("unused-ignore message: %q", res.Diagnostics[1].Message)
+	}
+	if res.IgnoresUsed != 0 {
+		t.Fatalf("meta-flagged ignores must not count, got %d", res.IgnoresUsed)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Baseline ratchet
+// ---------------------------------------------------------------------------
+
+func TestBaselineRoundTripAndRatchet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline")
+	if err := WriteBaseline(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReadBaseline(path)
+	if err != nil || n != 3 {
+		t.Fatalf("ReadBaseline = %d, %v; want 3, nil", n, err)
+	}
+	if err := CheckBaseline(path, 3); err != nil {
+		t.Errorf("exact census must pass: %v", err)
+	}
+	if err := CheckBaseline(path, 4); err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Errorf("growth must fail the ratchet, got %v", err)
+	}
+	if err := CheckBaseline(path, 2); err == nil || !strings.Contains(err.Error(), "below") {
+		t.Errorf("shrink without regenerating must fail, got %v", err)
+	}
+}
+
+// TestBaselineTolerantOfJustificationComments: the one-directional CI
+// ratchet records growth justifications as `# oevet-baseline-grow: ...`
+// comment lines; ReadBaseline must skip them.
+func TestBaselineTolerantOfJustificationComments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline")
+	content := "# oevet ignore baseline\n" +
+		"# oevet-baseline-grow: PR 7 adds a justified ignore for the X invariant\n" +
+		"ignores 4\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReadBaseline(path)
+	if err != nil || n != 4 {
+		t.Fatalf("ReadBaseline with grow-justification comment = %d, %v; want 4, nil", n, err)
+	}
+}
+
+func TestBaselineRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline")
+	if err := os.WriteFile(path, []byte("ignored 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil {
+		t.Fatal("unrecognized baseline line accepted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Vettool protocol (single-package mode)
+// ---------------------------------------------------------------------------
+
+// writeVetCfg materializes a unitchecker .cfg for one synthetic package.
+func writeVetCfg(t *testing.T, dir, importPath string, goFiles []string, vetxOnly bool) string {
+	t.Helper()
+	cfg := vetConfig{
+		ID:          importPath,
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  importPath,
+		GoFiles:     goFiles,
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+		Standard:    map[string]bool{},
+		VetxOnly:    vetxOnly,
+		VetxOutput:  filepath.Join(dir, "out.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeFile(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// twoAnalyzerSrc makes allocfree and epochfence both report on the same
+// line: the one-line body puts the make expression and the closing brace
+// (where the undischarged entry obligation is reported) on one line.
+const twoAnalyzerSrc = `package a
+
+// oevet:hotpath
+//
+// oevet:fence-obligated
+func doubled() { _ = make([]int, 4) }
+`
+
+// TestRunVetTwoAnalyzersSameLine: a single vettool invocation runs the whole
+// suite; two analyzers reporting on the same line both reach stderr and the
+// exit code is 2 (the cmd/go vet "diagnostics found" contract).
+func TestRunVetTwoAnalyzersSameLine(t *testing.T) {
+	dir := t.TempDir()
+	src := writeFile(t, dir, "a.go", twoAnalyzerSrc)
+	cfgPath := writeVetCfg(t, dir, "tvet/a", []string{src}, false)
+
+	var stderr bytes.Buffer
+	if code := RunVet(cfgPath, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "(allocfree)") || !strings.Contains(out, "make allocates") {
+		t.Errorf("missing allocfree diagnostic in:\n%s", out)
+	}
+	if !strings.Contains(out, "(epochfence)") || !strings.Contains(out, "fence-obligated") {
+		t.Errorf("missing epochfence diagnostic in:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out.vetx")); err != nil {
+		t.Errorf("vetx facts placeholder not written: %v", err)
+	}
+}
+
+// TestRunVetIgnoreSuppresses: the driver-level //oevet:ignore works
+// identically in vettool mode, covering both same-line diagnostics at once.
+func TestRunVetIgnoreSuppresses(t *testing.T) {
+	dir := t.TempDir()
+	src := writeFile(t, dir, "a.go", strings.Replace(twoAnalyzerSrc,
+		"func doubled() { _ = make([]int, 4) }",
+		"func doubled() { _ = make([]int, 4) } //oevet:ignore driver-test: both diagnostics share this line",
+		1))
+	cfgPath := writeVetCfg(t, dir, "tvet/a", []string{src}, false)
+
+	var stderr bytes.Buffer
+	if code := RunVet(cfgPath, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+}
+
+// TestRunVetCleanPackage: a package with no violations exits 0 and prints
+// nothing.
+func TestRunVetCleanPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := writeFile(t, dir, "a.go", "package a\n\nfunc ok() int { return 1 }\n")
+	cfgPath := writeVetCfg(t, dir, "tvet/a", []string{src}, false)
+
+	var stderr bytes.Buffer
+	if code := RunVet(cfgPath, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("clean run wrote to stderr: %q", stderr.String())
+	}
+}
+
+// TestRunVetSkipsTestFiles: in-package _test.go files are filtered (tests
+// deliberately violate invariants), so a violation that lives only in a
+// test file does not fail the vettool run.
+func TestRunVetSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	clean := writeFile(t, dir, "a.go", "package a\n\nfunc ok() int { return 1 }\n")
+	dirty := writeFile(t, dir, "a_test.go", strings.Replace(twoAnalyzerSrc, "package a", "package a", 1))
+	cfgPath := writeVetCfg(t, dir, "tvet/a", []string{clean, dirty}, false)
+
+	var stderr bytes.Buffer
+	if code := RunVet(cfgPath, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+}
+
+// TestRunVetVetxOnly: a facts-only request writes the placeholder and exits
+// 0 without analyzing.
+func TestRunVetVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	src := writeFile(t, dir, "a.go", twoAnalyzerSrc)
+	cfgPath := writeVetCfg(t, dir, "tvet/a", []string{src}, true)
+
+	var stderr bytes.Buffer
+	if code := RunVet(cfgPath, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out.vetx")); err != nil {
+		t.Errorf("vetx placeholder not written: %v", err)
+	}
+}
+
+// TestRunVetMissingCfg: an unreadable cfg is a driver error (exit 1), not a
+// diagnostic.
+func TestRunVetMissingCfg(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := RunVet(filepath.Join(t.TempDir(), "nope.cfg"), &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Main: vet protocol probes and flag errors
+// ---------------------------------------------------------------------------
+
+func TestMainVetProtocolProbes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout.String(), "oevet version") {
+		t.Errorf("-V=full output %q lacks identity line", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := Main([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Errorf("-flags output = %q, want []", stdout.String())
+	}
+
+	if code := Main([]string{"-no-such-flag"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown flag exit = %d, want 1", code)
+	}
+	if code := Main([]string{"-baseline"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-baseline without argument exit = %d, want 1", code)
+	}
+}

@@ -113,6 +113,10 @@ func RunVet(cfgPath string, stderr io.Writer) int {
 	}
 
 	facts := oeanalysis.NewFacts()
+	// Single-package mode: no cross-package fact exchange, so fact-driven
+	// diagnostics (and the unused-suppression meta-check that depends on
+	// them) are left to the authoritative standalone run.
+	facts.Complete = false
 	var raw []oeanalysis.Diagnostic
 	for _, a := range Suite {
 		diags, err := oeanalysis.Run(a, fset, files, pkg, info, facts)
@@ -230,7 +234,8 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage: oevet [-baseline file] [-write-baseline] [packages]
 
 Runs the OpenEmbedding invariant suite (lockorder, pmemdurability,
-determinism, atomicstat) over the given package patterns (default ./...).
+determinism, faultdet, atomicstat, chargeflow, allocfree, epochfence,
+errwrap) over the given package patterns (default ./...).
 
   -baseline file    compare the //oevet:ignore count against the pinned
                     census in file (both directions)

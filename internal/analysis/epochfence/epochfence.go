@@ -1,0 +1,288 @@
+// Package epochfence mechanizes the recovery-epoch fencing invariant
+// (DESIGN.md §11): every path that discards durable or DRAM state — a
+// quarantined record, a fenced key, a restore that lost coverage, a
+// rollback — must reach an epoch bump (or park the obligation for the
+// maintainer to apply) before returning. This is the exact bug shape of
+// the PR 5 pending-fence fix, where a TryLock miss dropped the fence on
+// the floor and stale clients kept their epoch.
+//
+// The check is annotation-driven, walked in statement order like
+// pmemdurability:
+//
+//	// oevet:fence-need       calling this discards state; the caller owes
+//	                          a fence before returning. A fence-need body
+//	                          is itself exempt — it passes the obligation
+//	                          up, like pmem-write passes the flush.
+//	// oevet:fence-apply      applies the fence (bumps the recovery epoch).
+//	// oevet:fence-park       parks the obligation (pending-fence flag,
+//	                          scrub-loss accumulator) for a later apply.
+//	// oevet:fence-obligated  the function is entered owing a fence (an
+//	                          integrity callback); every path must
+//	                          discharge it.
+//
+// Unlike the durability check, error-path returns are NOT exempt: state
+// already lost must fence the epoch even when the surrounding operation
+// fails, or a recovering client trusts handles the loss invalidated.
+//
+// Classes cross packages via facts, and may be declared on interface
+// methods (the engine is dispatched through psengine.Engine), so callers
+// that only see the interface still inherit the obligation. False
+// positives are suppressed in place with `//oevet:fence-ok <reason>`.
+package epochfence
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"openembedding/internal/analysis/oeanalysis"
+)
+
+// Analyzer flags state-discarding paths that can return without fencing.
+var Analyzer = &oeanalysis.Analyzer{
+	Name: "epochfence",
+	Doc:  "check that every state-discarding path reaches an epoch bump or parks the fence before returning (oevet:fence-* annotations)",
+	Run:  run,
+}
+
+func run(pass *oeanalysis.Pass) error {
+	info := pass.TypesInfo
+	supp := oeanalysis.NewSuppressor(pass, "fence-ok")
+
+	classes := map[*types.Func]string{}
+	obligated := map[*types.Func]bool{}
+	record := func(obj *types.Func, dirs []oeanalysis.Directive) {
+		for _, d := range dirs {
+			switch d.Verb {
+			case "fence-need":
+				classes[obj] = "need"
+			case "fence-apply":
+				classes[obj] = "apply"
+			case "fence-park":
+				classes[obj] = "park"
+			case "fence-obligated":
+				obligated[obj] = true
+			}
+		}
+		if c, ok := classes[obj]; ok {
+			pass.Facts.FenceClass[obj.FullName()] = c
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			record(obj, oeanalysis.FuncDirectives(fn))
+		}
+	}
+	oeanalysis.InterfaceMethodDirectives(info, pass.Files, record)
+
+	var lits []*ast.FuncLit
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fn.Name].(*types.Func)
+			c := &checker{
+				pass:     pass,
+				info:     info,
+				supp:     supp,
+				classes:  classes,
+				selfNeed: obj != nil && classes[obj] == "need",
+			}
+			if obj != nil && obligated[obj] {
+				c.pending = fn.Name
+				c.entry = true
+			}
+			c.block(fn.Body)
+			if !lastIsReturn(fn.Body) {
+				c.ret(fn.Body.Rbrace)
+			}
+			lits = append(lits, c.lits...)
+		}
+	}
+	// Function literals run on their own timeline and carry their own
+	// obligations (an integrity callback registered as a literal must
+	// fence inside itself).
+	for len(lits) > 0 {
+		lit := lits[0]
+		lits = lits[1:]
+		c := &checker{pass: pass, info: info, supp: supp, classes: classes}
+		c.block(lit.Body)
+		if !lastIsReturn(lit.Body) {
+			c.ret(lit.Body.Rbrace)
+		}
+		lits = append(lits, c.lits...)
+	}
+	supp.Finish()
+	return nil
+}
+
+func lastIsReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+type checker struct {
+	pass    *oeanalysis.Pass
+	info    *types.Info
+	supp    *oeanalysis.Suppressor
+	classes map[*types.Func]string
+
+	selfNeed bool
+	// pending is the node that created the open obligation (a fence-need
+	// call, or the function name for an entry obligation); nil when
+	// discharged.
+	pending ast.Node
+	// entry marks the pending obligation as seeded by oevet:fence-obligated.
+	entry             bool
+	deferredDischarge bool
+	lits              []*ast.FuncLit
+}
+
+func (c *checker) classOf(call *ast.CallExpr) string {
+	callee := oeanalysis.CalleeFunc(c.info, call)
+	if callee == nil {
+		return ""
+	}
+	if cl, ok := c.classes[callee]; ok {
+		return cl
+	}
+	return c.pass.Facts.FenceClass[callee.FullName()]
+}
+
+func (c *checker) exprs(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok {
+			c.lits = append(c.lits, lit)
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch c.classOf(call) {
+		case "need":
+			c.pending, c.entry = call, false
+		case "apply", "park":
+			c.pending = nil
+		}
+		return true
+	})
+}
+
+func (c *checker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			c.exprs(r)
+		}
+		c.ret(st.Pos())
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.stmt(st.Init)
+		}
+		c.exprs(st.Cond)
+		c.block(st.Body)
+		if st.Else != nil {
+			c.stmt(st.Else)
+		}
+	case *ast.BlockStmt:
+		c.block(st)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.stmt(st.Init)
+		}
+		c.exprs(st.Cond)
+		c.block(st.Body)
+		if st.Post != nil {
+			c.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		c.exprs(st.X)
+		c.block(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.stmt(st.Init)
+		}
+		c.exprs(st.Tag)
+		c.caseBodies(st.Body)
+	case *ast.TypeSwitchStmt:
+		c.caseBodies(st.Body)
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				for _, bs := range cl.Body {
+					c.stmt(bs)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		switch c.classOf(st.Call) {
+		case "apply", "park":
+			c.deferredDischarge = true
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			c.lits = append(c.lits, lit)
+		}
+	case *ast.GoStmt:
+		// A goroutine's fence applies on its own timeline; it does not
+		// discharge this function's obligation, and its body is checked
+		// independently when it is a literal.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			c.lits = append(c.lits, lit)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(st.Stmt)
+	default:
+		c.exprs(s)
+	}
+}
+
+func (c *checker) caseBodies(body *ast.BlockStmt) {
+	for _, cc := range body.List {
+		if cl, ok := cc.(*ast.CaseClause); ok {
+			for _, e := range cl.List {
+				c.exprs(e)
+			}
+			for _, bs := range cl.Body {
+				c.stmt(bs)
+			}
+		}
+	}
+}
+
+// ret enforces the fence obligation at a return (or fall-off-the-end).
+// Error paths are deliberately NOT exempt: lost state fences even when the
+// surrounding operation fails.
+func (c *checker) ret(pos token.Pos) {
+	if c.pending == nil || c.deferredDischarge || c.selfNeed {
+		return
+	}
+	if c.entry {
+		c.supp.Reportf(pos, "returns without discharging the entry fence obligation (oevet:fence-obligated); every path must bump the epoch (oevet:fence-apply) or park the fence (oevet:fence-park)")
+		return
+	}
+	wp := c.pass.Fset.Position(c.pending.Pos())
+	c.supp.Reportf(pos, "returns while the state discarded at %s:%d is unfenced; bump the epoch (oevet:fence-apply), park the fence (oevet:fence-park), or annotate this function oevet:fence-need to pass the obligation to callers", wp.Filename, wp.Line)
+}

@@ -1,0 +1,13 @@
+package epochfence_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/epochfence"
+	"openembedding/internal/analysis/oeanalysistest"
+)
+
+func TestEpochfence(t *testing.T) {
+	oeanalysistest.Run(t, epochfence.Analyzer, filepath.Join("testdata", "src", "a"))
+}

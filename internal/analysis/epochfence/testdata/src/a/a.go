@@ -1,0 +1,119 @@
+// Test corpus for the epochfence analyzer: a miniature node with a
+// recovery epoch, scrub losses that must fence it, and the PR 5 bug shape
+// (a TryLock miss dropping the fence).
+package a
+
+import "sync"
+
+type node struct {
+	mu      sync.Mutex
+	epoch   uint64
+	pending bool
+	eng     engine
+}
+
+type engine interface {
+	// oevet:fence-need
+	Scrub() int
+	Keys() int
+}
+
+// oevet:fence-apply
+func (n *node) bumpEpoch() {
+	n.pending = false
+	n.epoch++
+}
+
+// oevet:fence-park
+func (n *node) parkFence() {
+	n.pending = true
+}
+
+// oevet:fence-need
+func (n *node) quarantine(k int64) {}
+
+func (n *node) healOK(k int64) { // ok: loss fenced before return
+	n.quarantine(k)
+	n.bumpEpoch()
+}
+
+func (n *node) healDropped(k int64) {
+	n.quarantine(k)
+} // want `returns while the state discarded at .* is unfenced`
+
+func (n *node) healEarlyReturn(k int64, busy bool) {
+	n.quarantine(k)
+	if busy {
+		return // want `returns while the state discarded at .* is unfenced`
+	}
+	n.bumpEpoch()
+}
+
+func (n *node) healParked(k int64) { // ok: parking discharges; the maintainer applies later
+	n.quarantine(k)
+	n.parkFence()
+}
+
+func (n *node) healDeferred(k int64) { // ok: the deferred apply runs at return
+	defer n.bumpEpoch()
+	n.quarantine(k)
+}
+
+// oevet:fence-need
+func (n *node) healChained(k int64) { // ok: fence-need passes the obligation to callers
+	n.quarantine(k)
+}
+
+func (n *node) callsChain(k int64) {
+	n.healChained(k)
+	n.bumpEpoch()
+}
+
+// integrityCallback is the PR 5 pending-fence bug shape: the TryLock miss
+// path returns without parking, so the fence is dropped on the floor.
+//
+// oevet:fence-obligated
+func (n *node) integrityCallback() {
+	if !n.mu.TryLock() {
+		return // want `returns without discharging the entry fence obligation`
+	}
+	n.bumpEpoch()
+	n.mu.Unlock()
+}
+
+// oevet:fence-obligated
+func (n *node) integrityCallbackFixed() { // ok: park before the lock probe
+	n.parkFence()
+	if !n.mu.TryLock() {
+		return
+	}
+	n.bumpEpoch()
+	n.mu.Unlock()
+}
+
+func (n *node) scrubRPC() int { // obligation arrives through the interface annotation
+	rep := n.eng.Scrub()
+	if rep > 0 {
+		n.bumpEpoch() // a discharge on any branch covers the remainder (source-order walk)
+	}
+	return rep
+}
+
+func (n *node) scrubDropped() int {
+	return n.eng.Scrub() // want `returns while the state discarded at .* is unfenced`
+}
+
+func (n *node) freshStart() {
+	n.quarantine(1)
+	//oevet:fence-ok boot-time quarantine precedes any client handle; epoch 0 is the fence
+	return
+}
+
+func (n *node) errorPathStillFences(k int64, err error) error {
+	n.quarantine(k)
+	if err != nil {
+		return err // want `returns while the state discarded at .* is unfenced`
+	}
+	n.bumpEpoch()
+	return nil
+}

@@ -1,0 +1,244 @@
+// Package errwrap mechanizes the typed-error flow invariant: the
+// repository's sentinel and structured errors (ErrCorrupt, *CorruptError,
+// TimeoutError, ErrRemoteCorrupt, ...) cross RPC and engine boundaries
+// wrapped in context, so matching them with `==`, a value switch, or a
+// concrete type assertion silently stops working the first time a caller
+// adds `fmt.Errorf("...: %w", err)`. The analyzer reports:
+//
+//   - `err == sentinel` / `err != sentinel` comparisons (and value-switch
+//     cases) against package-level error variables — use errors.Is;
+//   - type assertions and type-switch cases naming a concrete error type —
+//     use errors.As;
+//   - fmt.Errorf formatting an error argument with %v/%s — use %w so the
+//     chain stays matchable.
+//
+// The one legitimate direct comparison — the `func (e *T) Is(target error)
+// bool { return target == ErrX }` method that teaches errors.Is about a
+// type's identity — is exempt. Remaining deliberate sites are suppressed
+// in place with `//oevet:errwrap-ok <reason>`.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"openembedding/internal/analysis/oeanalysis"
+)
+
+// Analyzer flags error handling that breaks on wrapped errors.
+var Analyzer = &oeanalysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "check that typed errors flow through %w/errors.Is/errors.As, never == or concrete type switches",
+	Run:  run,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+func run(pass *oeanalysis.Pass) error {
+	info := pass.TypesInfo
+	supp := oeanalysis.NewSuppressor(pass, "errwrap-ok")
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			check(pass, info, supp, fn)
+		}
+	}
+	supp.Finish()
+	return nil
+}
+
+// isIsMethod reports whether fn is the errors.Is support idiom: a method
+// named Is with signature func (recv) Is(target error) bool, whose direct
+// comparisons define the type's identity rather than bypassing it.
+func isIsMethod(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Name.Name != "Is" || fn.Recv == nil {
+		return false
+	}
+	obj, _ := info.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isErrorType(sig.Params().At(0).Type()) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+// sentinel resolves e to a package-level error variable ("sentinel"), or
+// nil. Locals and fields are not sentinels: comparing two just-produced
+// errors for identity is not the wrapped-chain bug.
+func sentinel(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil || v.IsField() || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func check(pass *oeanalysis.Pass, info *types.Info, supp *oeanalysis.Suppressor, fn *ast.FuncDecl) {
+	inIs := isIsMethod(info, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if inIs {
+				return true
+			}
+			op := x.Op.String()
+			if op != "==" && op != "!=" {
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{x.X, x.Y}, {x.Y, x.X}} {
+				if s := sentinel(info, pair[1]); s != nil && isErrorType(typeOf(info, pair[0])) {
+					verb := "errors.Is"
+					if op == "!=" {
+						verb = "!errors.Is"
+					}
+					supp.Reportf(x.Pos(), "compares an error to the sentinel %s with %s; wrapped errors never compare equal — use %s(err, %s)", s.Name(), op, verb, s.Name())
+					break
+				}
+			}
+		case *ast.SwitchStmt:
+			if x.Tag == nil || !isErrorType(typeOf(info, x.Tag)) {
+				return true
+			}
+			for _, cc := range x.Body.List {
+				cl, ok := cc.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cl.List {
+					if s := sentinel(info, e); s != nil {
+						supp.Reportf(e.Pos(), "switches on an error value against the sentinel %s; wrapped errors never compare equal — use errors.Is in if/else", s.Name())
+					}
+				}
+			}
+		case *ast.TypeAssertExpr:
+			if x.Type == nil { // the type-switch header, handled below
+				return true
+			}
+			if !isErrorType(typeOf(info, x.X)) {
+				return true
+			}
+			if t := typeOf(info, x.Type); t != nil && !types.IsInterface(t) && isErrorType(t) {
+				supp.Reportf(x.Pos(), "asserts an error to the concrete type %s; a wrapped %s never matches — use errors.As", types.TypeString(t, types.RelativeTo(pass.Pkg)), types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			}
+		case *ast.TypeSwitchStmt:
+			var subject ast.Expr
+			switch a := x.Assign.(type) {
+			case *ast.AssignStmt:
+				if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+					subject = ta.X
+				}
+			case *ast.ExprStmt:
+				if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+					subject = ta.X
+				}
+			}
+			if subject == nil || !isErrorType(typeOf(info, subject)) {
+				return true
+			}
+			for _, cc := range x.Body.List {
+				cl, ok := cc.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cl.List {
+					t := typeOf(info, e)
+					if t == nil || types.IsInterface(t) || !isErrorType(t) {
+						continue // interface cases (net.Error, Timeout() probes) are fine
+					}
+					supp.Reportf(e.Pos(), "type-switches an error to the concrete type %s; a wrapped %s never matches — use errors.As", types.TypeString(t, types.RelativeTo(pass.Pkg)), types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			}
+		case *ast.CallExpr:
+			checkErrorf(pass, info, supp, x)
+		}
+		return true
+	})
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error argument with a
+// flattening verb (%v/%s) instead of wrapping it with %w.
+func checkErrorf(pass *oeanalysis.Pass, info *types.Info, supp *oeanalysis.Suppressor, call *ast.CallExpr) {
+	callee := oeanalysis.CalleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "fmt" || callee.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	argIdx := 1
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision; '*' consumes an argument.
+		for i < len(format) && strings.ContainsRune("+-# 0.123456789", rune(format[i])) {
+			i++
+		}
+		for i < len(format) && format[i] == '*' {
+			argIdx++
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if verb == '%' {
+			continue
+		}
+		if argIdx < len(call.Args) && (verb == 'v' || verb == 's') {
+			arg := call.Args[argIdx]
+			if isErrorType(typeOf(info, arg)) && !isNilConst(info, arg) {
+				supp.Reportf(arg.Pos(), "formats an error with %%%c, flattening it out of the chain; wrap it with %%w so errors.Is/errors.As still match", verb)
+			}
+		}
+		argIdx++
+	}
+}
+
+func isNilConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,13 @@
+package errwrap_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"openembedding/internal/analysis/errwrap"
+	"openembedding/internal/analysis/oeanalysistest"
+)
+
+func TestErrwrap(t *testing.T) {
+	oeanalysistest.Run(t, errwrap.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,97 @@
+// Test corpus for the errwrap analyzer: sentinel and structured errors
+// matched correctly (errors.Is/As, %w) and incorrectly (==, value
+// switches, concrete type assertions, %v flattening).
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCorrupt = errors.New("corrupt")
+var ErrClosed = errors.New("closed")
+
+type CorruptError struct {
+	Key int64
+}
+
+func (e *CorruptError) Error() string { return "corrupt" }
+
+// Is teaches errors.Is the type's identity: the direct comparison here is
+// the idiom, not the bug.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt } // ok: Is-method exemption
+
+func load() error { return nil }
+
+func compareEq(err error) bool {
+	return err == ErrCorrupt // want `compares an error to the sentinel ErrCorrupt with ==`
+}
+
+func compareNeq(err error) bool {
+	return err != nil && err != ErrClosed // want `compares an error to the sentinel ErrClosed with !=`
+}
+
+func compareIs(err error) bool { // ok: errors.Is sees through wrapping
+	return errors.Is(err, ErrCorrupt)
+}
+
+func compareLocals(err error) bool { // ok: two just-produced errors, no sentinel
+	prev := load()
+	return err == prev
+}
+
+func valueSwitch(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrCorrupt: // want `switches on an error value against the sentinel ErrCorrupt`
+		return 1
+	}
+	return 2
+}
+
+func assertConcrete(err error) int64 {
+	if ce, ok := err.(*CorruptError); ok { // want `asserts an error to the concrete type \*CorruptError`
+		return ce.Key
+	}
+	return 0
+}
+
+func assertViaAs(err error) int64 { // ok: errors.As sees through wrapping
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		return ce.Key
+	}
+	return 0
+}
+
+func typeSwitchConcrete(err error) int64 {
+	switch e := err.(type) {
+	case *CorruptError: // want `type-switches an error to the concrete type \*CorruptError`
+		return e.Key
+	case interface{ Timeout() bool }: // ok: interface cases probe behavior, not identity
+		return -1
+	}
+	return 0
+}
+
+func wrapFlattens(err error) error {
+	return fmt.Errorf("load: %v", err) // want `formats an error with %v, flattening it out of the chain`
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("load: %s", err) // want `formats an error with %s, flattening it out of the chain`
+}
+
+func wrapKeeps(err error) error { // ok: %w preserves the chain
+	return fmt.Errorf("load: %w", err)
+}
+
+func wrapMixed(key int64, err error) error { // ok: the %d binds the int, the %w binds the error
+	return fmt.Errorf("key %d: %w", key, err)
+}
+
+func citeSuperseded(prev, err error) error {
+	//oevet:errwrap-ok the superseded error is cited as context; the live failure is wrapped
+	return fmt.Errorf("retry (after %v): %w", prev, err)
+}

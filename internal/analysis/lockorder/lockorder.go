@@ -12,7 +12,8 @@
 // shard lock while ckptMu is held — and same-rank double acquisition, e.g.
 // two shard locks at once).
 //
-// The check is intra-procedural with annotated summaries:
+// The check is interprocedural within a package, with annotated summaries
+// at package boundaries:
 //
 //   - Lock/RLock and Unlock/RUnlock calls on annotated fields are tracked in
 //     source order through the function body; `defer mu.Unlock()` keeps the
@@ -26,6 +27,19 @@
 //   - `// oevet:holds <name> <rank>` on a function seeds its entry held-set:
 //     the function is documented to be called with that lock held (the
 //     *Locked-suffix convention in internal/core).
+//   - Entry held-sets are additionally INFERRED through helper calls: if
+//     any in-package call site reaches a function with a lock held, the
+//     function is re-checked with that lock seeded (to fixpoint), so
+//     helpers no longer need a holds annotation just to be checked in
+//     their callers' context. Reports cite the contributing caller.
+//   - A holds annotation is also enforced at call sites (must-hold): calling
+//     a holds-annotated function without the named lock in the (annotated
+//     or inferred) held-set is reported, locally and across packages via
+//     exported facts.
+//   - Net lock effects propagate through helpers: a callee that returns
+//     holding a ranked lock (a lockAll-style helper) adds it to the
+//     caller's held-set after the call, and a callee that releases its
+//     caller's lock removes it.
 //
 // The source-order walk is an under-approximation: a lock released on one
 // branch is considered released for the remainder of the function. That
@@ -61,6 +75,15 @@ type funcInfo struct {
 	holds    []oeanalysis.Lock
 	acquires map[oeanalysis.Lock]bool // transitive set, grown to fixpoint
 	callees  []*types.Func            // same-package static callees
+
+	// entryHeld is the inferred entry held-set: the holds annotation plus
+	// every lock held at any in-package call site (grown to fixpoint).
+	entryHeld []oeanalysis.Lock
+	// entryVia names the caller that contributed an inferred entry lock.
+	entryVia map[oeanalysis.Lock]string
+	// netAcq/netRel are the callee's net lock effects: locks it returns
+	// holding beyond its entry set, and entry locks it releases.
+	netAcq, netRel []oeanalysis.Lock
 }
 
 func run(pass *oeanalysis.Pass) error {
@@ -103,7 +126,7 @@ func run(pass *oeanalysis.Pass) error {
 			if obj == nil {
 				continue
 			}
-			fi := &funcInfo{decl: fn, obj: obj, acquires: map[oeanalysis.Lock]bool{}}
+			fi := &funcInfo{decl: fn, obj: obj, acquires: map[oeanalysis.Lock]bool{}, entryVia: map[oeanalysis.Lock]string{}}
 			for _, d := range oeanalysis.FuncDirectives(fn) {
 				lk, err := parseLockArg(d)
 				if err != nil {
@@ -116,6 +139,7 @@ func run(pass *oeanalysis.Pass) error {
 					fi.acquires[lk] = true
 				}
 			}
+			fi.entryHeld = append([]oeanalysis.Lock(nil), fi.holds...)
 			aliases := lockAliases(info, ranks, fn.Body)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
@@ -182,9 +206,62 @@ func run(pass *oeanalysis.Pass) error {
 		pass.Facts.Acquires[fi.obj.FullName()] = lks
 	}
 
-	// Point-wise check: walk each body in source order with a held-set.
+	// Export annotated holds contracts so cross-package callers get the
+	// must-hold check. Only annotations are exported — inferred entry sets
+	// reflect how THIS package calls the function, not a contract.
 	for _, fi := range order {
-		checkFunc(pass, info, ranks, funcs, fi)
+		if len(fi.holds) == 0 {
+			continue
+		}
+		lks := append([]oeanalysis.Lock(nil), fi.holds...)
+		sortLocks(lks)
+		pass.Facts.Holds[fi.obj.FullName()] = lks
+	}
+
+	// Interprocedural fixpoint: walk every body, propagating (a) locks held
+	// at call sites into the callee's inferred entry set, and (b) each
+	// callee's net lock effect (locks still held at its exits beyond its
+	// entry set, and entry locks it released) back into callers. Iteration
+	// is bounded as a backstop against pathological oscillation; monotone
+	// entry growth converges long before the bound on real code.
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, fi := range order {
+			exit, sites := walkFunc(pass, info, ranks, funcs, fi, false)
+			na := lockSetDiff(exit, fi.entryHeld)
+			nr := lockSetDiff(fi.entryHeld, exit)
+			if !lockSliceEq(na, fi.netAcq) {
+				fi.netAcq = na
+				changed = true
+			}
+			if !lockSliceEq(nr, fi.netRel) {
+				fi.netRel = nr
+				changed = true
+			}
+			for callee, hl := range sites {
+				cfi := funcs[callee]
+				if cfi == nil {
+					continue
+				}
+				for _, lk := range hl {
+					if containsLock(cfi.entryHeld, lk) {
+						continue
+					}
+					cfi.entryHeld = append(cfi.entryHeld, lk)
+					cfi.entryVia[lk] = fi.obj.Name()
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Report pass: re-walk each body with the converged entry sets and net
+	// effects, this time emitting diagnostics.
+	for _, fi := range order {
+		walkFunc(pass, info, ranks, funcs, fi, true)
 	}
 	return nil
 }
@@ -270,10 +347,21 @@ func rankedLockCall(info *types.Info, ranks map[*types.Var]oeanalysis.Lock, alia
 	return lk, acquire, ok
 }
 
-func checkFunc(pass *oeanalysis.Pass, info *types.Info, ranks map[*types.Var]oeanalysis.Lock, funcs map[*types.Func]*funcInfo, fi *funcInfo) {
-	held := append([]oeanalysis.Lock(nil), fi.holds...)
+// walkFunc walks fi's body in source order with the held-set seeded from the
+// (annotated + inferred) entry set, applying callee net lock effects at call
+// sites. It returns the held-set at exit (with deferred unlocks discharged)
+// and, per same-package callee, the union of held-sets observed across its
+// call sites — the inputs the fixpoint in run propagates. Diagnostics are
+// emitted only when report is true, on the final converged pass.
+func walkFunc(pass *oeanalysis.Pass, info *types.Info, ranks map[*types.Var]oeanalysis.Lock, funcs map[*types.Func]*funcInfo, fi *funcInfo, report bool) (exit []oeanalysis.Lock, sites map[*types.Func][]oeanalysis.Lock) {
+	held := append([]oeanalysis.Lock(nil), fi.entryHeld...)
+	var deferredRel []oeanalysis.Lock
+	sites = map[*types.Func][]oeanalysis.Lock{}
 
-	report := func(n ast.Node, acq oeanalysis.Lock, via string) {
+	emit := func(n ast.Node, acq oeanalysis.Lock, via string) {
+		if !report {
+			return
+		}
 		worst := held[0]
 		for _, h := range held {
 			if h.Rank > worst.Rank {
@@ -284,24 +372,43 @@ func checkFunc(pass *oeanalysis.Pass, info *types.Info, ranks map[*types.Var]oea
 		if via != "" {
 			msg = fmt.Sprintf("call to %s may acquire %s (rank %d) while holding %s (rank %d); the hierarchy requires strictly increasing ranks", via, acq.Name, acq.Rank, worst.Name, worst.Rank)
 		}
+		if caller := fi.entryVia[worst]; caller != "" {
+			msg += fmt.Sprintf(" (held at entry via caller %s)", caller)
+		}
 		pass.Reportf(n.Pos(), "%s", msg)
 	}
 
 	checkAcquire := func(n ast.Node, acq oeanalysis.Lock, via string) {
 		for _, h := range held {
 			if acq.Rank <= h.Rank {
-				report(n, acq, via)
+				emit(n, acq, via)
 				return
+			}
+		}
+	}
+
+	checkMustHold := func(n ast.Node, callee string, holds []oeanalysis.Lock) {
+		if !report {
+			return
+		}
+		for _, lk := range holds {
+			if !containsLock(held, lk) {
+				pass.Reportf(n.Pos(), "call to %s requires %s (rank %d) held (oevet:holds), but it is not held here", callee, lk.Name, lk.Rank)
 			}
 		}
 	}
 
 	aliases := lockAliases(info, ranks, fi.decl.Body)
 	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
-		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		if d, isDefer := n.(*ast.DeferStmt); isDefer {
 			// A deferred Unlock releases only at return, after every
 			// statement the walk still has to check — so the lock stays in
-			// the held-set. Deferred acquisitions are not modeled.
+			// the held-set and is discharged from the exit set instead.
+			// Deferred acquisitions and deferred helper calls are not
+			// modeled.
+			if lk, acquire, ok := rankedLockCall(info, ranks, aliases, d.Call); ok && !acquire {
+				deferredRel = append(deferredRel, lk)
+			}
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
@@ -313,12 +420,7 @@ func checkFunc(pass *oeanalysis.Pass, info *types.Info, ranks map[*types.Var]oea
 				checkAcquire(n, lk, "")
 				held = append(held, lk)
 			} else {
-				for i := len(held) - 1; i >= 0; i-- {
-					if held[i] == lk {
-						held = append(held[:i], held[i+1:]...)
-						break
-					}
-				}
+				held = removeOnce(held, lk)
 			}
 			return true
 		}
@@ -326,20 +428,89 @@ func checkFunc(pass *oeanalysis.Pass, info *types.Info, ranks map[*types.Var]oea
 		if callee == nil {
 			return true
 		}
-		var acquired []oeanalysis.Lock
 		if cfi := funcs[callee]; cfi != nil {
+			for _, lk := range held {
+				if !containsLock(sites[callee], lk) {
+					sites[callee] = append(sites[callee], lk)
+				}
+			}
+			var acquired []oeanalysis.Lock
 			for lk := range cfi.acquires {
 				acquired = append(acquired, lk)
 			}
 			sortLocks(acquired)
+			for _, lk := range acquired {
+				checkAcquire(n, lk, callee.Name())
+			}
+			checkMustHold(n, callee.Name(), cfi.holds)
+			// Thread the callee's net effect: a lockAll-style helper leaves
+			// its lock held here; an unlockAll-style helper releases ours.
+			for _, lk := range cfi.netRel {
+				held = removeOnce(held, lk)
+			}
+			held = append(held, cfi.netAcq...)
 		} else if callee.Pkg() != pass.Pkg {
-			acquired = pass.Facts.Acquires[callee.FullName()]
-		}
-		for _, lk := range acquired {
-			checkAcquire(n, lk, callee.Name())
+			for _, lk := range pass.Facts.Acquires[callee.FullName()] {
+				checkAcquire(n, lk, callee.Name())
+			}
+			checkMustHold(n, callee.Name(), pass.Facts.Holds[callee.FullName()])
 		}
 		return true
 	})
+
+	for _, lk := range deferredRel {
+		held = removeOnce(held, lk)
+	}
+	return held, sites
+}
+
+func containsLock(lks []oeanalysis.Lock, lk oeanalysis.Lock) bool {
+	for _, h := range lks {
+		if h == lk {
+			return true
+		}
+	}
+	return false
+}
+
+// removeOnce removes the last instance of lk from held, in place.
+func removeOnce(held []oeanalysis.Lock, lk oeanalysis.Lock) []oeanalysis.Lock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == lk {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// lockSetDiff returns the multiset difference a − b, sorted.
+func lockSetDiff(a, b []oeanalysis.Lock) []oeanalysis.Lock {
+	cnt := map[oeanalysis.Lock]int{}
+	for _, lk := range b {
+		cnt[lk]++
+	}
+	var out []oeanalysis.Lock
+	for _, lk := range a {
+		if cnt[lk] > 0 {
+			cnt[lk]--
+			continue
+		}
+		out = append(out, lk)
+	}
+	sortLocks(out)
+	return out
+}
+
+func lockSliceEq(a, b []oeanalysis.Lock) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func sortLocks(lks []oeanalysis.Lock) {

@@ -46,7 +46,7 @@ func (e *engine) releaseThenAcquire() { // ok: ckptMu released before mu
 }
 
 func (e *engine) takesCkpt() {
-	e.ckptMu.Lock()
+	e.ckptMu.Lock() // want `acquires ckptMu \(rank 20\) while holding arena\.mu \(rank 30\).*held at entry via caller viaCallee`
 	e.ckptMu.Unlock()
 }
 
@@ -56,7 +56,9 @@ func (e *engine) viaCallee() {
 	e.arenaMu.Unlock()
 }
 
-func (e *engine) transitiveHop() { e.takesCkpt() }
+func (e *engine) transitiveHop() {
+	e.takesCkpt() // want `call to takesCkpt may acquire ckptMu \(rank 20\) while holding arena\.mu \(rank 30\).*held at entry via caller viaTransitiveCallee`
+}
 
 func (e *engine) viaTransitiveCallee() {
 	e.arenaMu.Lock()
@@ -111,4 +113,59 @@ func (e *engine) unrankedIsFree() { // ok: plain has no rank
 	e.plain.Lock()
 	e.plain.Unlock()
 	e.arenaMu.Unlock()
+}
+
+// Inference: lockedHelper carries no holds annotation, but its caller holds
+// ckptMu across the call, so it is re-checked with ckptMu seeded at entry.
+func (e *engine) lockedHelper() {
+	e.mu.RLock() // want `acquires shard\.mu \(rank 10\) while holding ckptMu \(rank 20\).*held at entry via caller callsHelperLocked`
+	e.mu.RUnlock()
+}
+
+func (e *engine) callsHelperLocked() {
+	e.ckptMu.Lock()
+	e.lockedHelper() // want `call to lockedHelper may acquire shard\.mu \(rank 10\) while holding ckptMu \(rank 20\)`
+	e.ckptMu.Unlock()
+}
+
+// Must-hold: a holds annotation is a call-site contract, not only an entry
+// seed — calling without the lock held is reported.
+// oevet:holds arena.mu 30
+func (e *engine) requiresArena() {}
+
+func (e *engine) callsWithoutArena() {
+	e.requiresArena() // want `call to requiresArena requires arena\.mu \(rank 30\) held \(oevet:holds\)`
+}
+
+func (e *engine) callsWithArena() { // ok: the contract is satisfied
+	e.arenaMu.Lock()
+	e.requiresArena()
+	e.arenaMu.Unlock()
+}
+
+// Net lock effects: lockAll returns holding shard.mu, unlockAll releases the
+// caller's shard.mu; the held-set threads through both helpers.
+func (e *engine) lockAll()   { e.mu.Lock() }
+func (e *engine) unlockAll() { e.mu.Unlock() }
+
+func (e *engine) netHeldFlows() {
+	e.lockAll()
+	e.ckptMu.Lock() // ok: shard.mu 10 < ckptMu 20
+	e.ckptMu.Unlock()
+	e.mu.Lock() // want `acquires shard\.mu \(rank 10\) while holding shard\.mu \(rank 10\)`
+	e.mu.Unlock()
+	e.unlockAll()
+}
+
+// The deferred-unlock idiom is a zero-net helper: the deferred release is
+// discharged from the exit set, so callers do not inherit a phantom lock.
+func (e *engine) deferNet() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+func (e *engine) callsDeferNet() { // ok: deferNet's net effect is zero
+	e.deferNet()
+	e.mu.Lock()
+	e.mu.Unlock()
 }

@@ -119,6 +119,41 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 //	                                  must be bit-reproducible (no wall
 //	                                  clock, no global rand, no map-order
 //	                                  dependent output).
+//	// oevet:charge <class>           on a func decl: its contract is to
+//	                                  charge the simulated-time meter exactly
+//	                                  once with <class> (read, write,
+//	                                  stream-read, stream-write) on every
+//	                                  non-error path, and never with another
+//	                                  class (chargeflow).
+//	// oevet:charge-free              on a func decl: it must never reach a
+//	                                  device.Timed charge on any path.
+//	// oevet:hotpath                  on a func decl: it is a 0-alloc,
+//	                                  stream-charge-free hot-path root; the
+//	                                  allocfree and chargeflow analyzers walk
+//	                                  its same-package call closure.
+//	// oevet:coldpath <reason>        on a func decl: the hot-path walk stops
+//	                                  here (first-touch promotion, media
+//	                                  repair, ...). The reason is mandatory.
+//	// oevet:fence-need               on a func decl: calling it discards
+//	                                  durable or DRAM state; the caller must
+//	                                  reach an epoch fence before returning
+//	                                  (or be fence-need itself, passing the
+//	                                  obligation on).
+//	// oevet:fence-apply              on a func decl: it applies the fence
+//	                                  (bumps the recovery epoch).
+//	// oevet:fence-park               on a func decl: it parks the obligation
+//	                                  for a later apply (pending-fence flag,
+//	                                  loss accumulator).
+//	// oevet:fence-obligated          on a func decl: it is entered with a
+//	                                  pending fence obligation (an integrity
+//	                                  callback) that every path must
+//	                                  discharge.
+//	//oevet:charge-ok <reason>        on (or immediately above) a flagged
+//	//oevet:alloc-ok <reason>         line: analyzer-scoped suppressions for
+//	//oevet:fence-ok <reason>         chargeflow, allocfree, epochfence and
+//	//oevet:errwrap-ok <reason>       errwrap. The reason is mandatory and
+//	                                  unused directives are themselves
+//	                                  reported (see Suppressor).
 //	//oevet:ignore <reason>           on (or immediately above) a flagged
 //	                                  line: suppress the diagnostic. The
 //	                                  reason is mandatory; cmd/oevet counts
@@ -175,6 +210,34 @@ func PackageMarked(files []*ast.File, verb string) bool {
 		}
 	}
 	return false
+}
+
+// InterfaceMethodDirectives walks every interface type declared in the
+// files and calls fn for each method that carries at least one directive on
+// its doc or trailing line comment — so behavioral contracts (fence
+// classes, charge classes) can live on the interface the callers actually
+// dispatch through.
+func InterfaceMethodDirectives(info *types.Info, files []*ast.File, fn func(m *types.Func, dirs []Directive)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			for _, fld := range it.Methods.List {
+				dirs := append(ParseDirectives(fld.Doc), ParseDirectives(fld.Comment)...)
+				if len(dirs) == 0 {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := info.Defs[name].(*types.Func); ok {
+						fn(obj, dirs)
+					}
+				}
+			}
+			return true
+		})
+	}
 }
 
 // FieldDirectives walks every struct type declared in the files and calls fn

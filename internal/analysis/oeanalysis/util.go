@@ -11,6 +11,24 @@ type Lock struct {
 	Rank int
 }
 
+// ChargeBound bounds how many times one device cost class is charged across
+// the paths through a function: Min over non-error paths, Max over every
+// path. Counts saturate at 2, which reads as "two or more".
+type ChargeBound struct {
+	Min, Max int
+}
+
+// ChargeSummary bounds the simulated-time charges a call performs, one
+// interval per device.Timed cost class.
+type ChargeSummary struct {
+	Read, Write, StreamRead, StreamWrite ChargeBound
+}
+
+// Zero reports whether no class can be charged on any path.
+func (s ChargeSummary) Zero() bool {
+	return s.Read.Max == 0 && s.Write.Max == 0 && s.StreamRead.Max == 0 && s.StreamWrite.Max == 0
+}
+
 // Facts is the cross-package side channel of the suite: analyzers export
 // what annotations declare about a package's objects while that package is
 // being analyzed, and later packages (the driver analyzes in dependency
@@ -21,16 +39,46 @@ type Facts struct {
 	// Acquires maps a function to the ranked locks calling it may acquire
 	// (transitively, as computed by lockorder plus oevet:acquires).
 	Acquires map[string][]Lock
+	// Holds maps a function to the ranked locks its callers must already
+	// hold when invoking it (from oevet:holds), for the must-hold check.
+	Holds map[string][]Lock
 	// PMemClass maps a function to its durability class: "write", "flush"
 	// or "publish" (from the oevet:pmem-* annotations).
 	PMemClass map[string]string
+	// Charges maps a function to the charge-count intervals chargeflow
+	// computed for its body (or its oevet:charge contract when the body is
+	// not in the analyzed set).
+	Charges map[string]ChargeSummary
+	// Allocates maps a function to a one-line description of its first
+	// direct, non-error-path allocation site, so hot-path callers in
+	// dependent packages see one level into their dependencies.
+	Allocates map[string]string
+	// FenceClass maps a function to its epoch-fence role: "need" (calling
+	// it discards state the caller must fence), "apply" (it bumps the
+	// epoch), or "park" (it records the obligation for a later apply).
+	FenceClass map[string]string
+
+	// Complete reports whether the store saw every dependency (standalone
+	// mode, which analyzes in dependency order). The vettool protocol runs
+	// one package at a time with no fact exchange and clears it; suppression
+	// directives that cover fact-driven diagnostics cannot be judged unused
+	// there, so the Suppressor skips its unused-directive meta-diagnostic
+	// when Complete is false. Standalone mode stays authoritative.
+	Complete bool
 }
 
-// NewFacts returns an empty fact store.
+// NewFacts returns an empty fact store, marked Complete (the standalone
+// driver and tests thread one store across all packages in dependency
+// order; only the vettool path clears the flag).
 func NewFacts() *Facts {
 	return &Facts{
-		Acquires:  make(map[string][]Lock),
-		PMemClass: make(map[string]string),
+		Acquires:   make(map[string][]Lock),
+		Holds:      make(map[string][]Lock),
+		PMemClass:  make(map[string]string),
+		Charges:    make(map[string]ChargeSummary),
+		Allocates:  make(map[string]string),
+		FenceClass: make(map[string]string),
+		Complete:   true,
 	}
 }
 
@@ -95,22 +143,30 @@ func IsErrorPathReturn(stack []ast.Node) bool {
 		if !ok {
 			continue
 		}
-		hasNilCheck := false
-		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
-			if b, ok := n.(*ast.BinaryExpr); ok {
-				if b.Op.String() == "!=" || b.Op.String() == "==" {
-					if isNilIdent(b.X) || isNilIdent(b.Y) {
-						hasNilCheck = true
-					}
-				}
-			}
-			return true
-		})
-		if hasNilCheck {
+		if HasNilCheck(ifStmt.Cond) {
 			return true
 		}
 	}
 	return false
+}
+
+// HasNilCheck reports whether a condition contains an `x == nil` or
+// `x != nil` comparison — the idiomatic failure-path guard that several
+// analyzers exempt (allocations and missing charges on a path that only
+// exists to surface an error are not hot-path regressions).
+func HasNilCheck(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			if b.Op.String() == "!=" || b.Op.String() == "==" {
+				if isNilIdent(b.X) || isNilIdent(b.Y) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
 }
 
 func isNilIdent(e ast.Expr) bool {

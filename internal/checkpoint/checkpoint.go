@@ -98,6 +98,8 @@ func deltaName(batch int64) string { return fmt.Sprintf("delta-%016d.ckpt", batc
 // batch. The call blocks for the duration of the file write — synchronous
 // checkpointing pauses training (Sec. II-A) — and charges the written bytes
 // as a sequential stream to the checkpoint device.
+//
+// oevet:charge stream-write
 func (w *Writer) WriteDelta(batch int64, entries []Entry) error {
 	var obsStart time.Time
 	if w.writeNS != nil {
@@ -210,6 +212,8 @@ func List(dir string) ([]int64, error) {
 // ReadDelta loads one delta file, charging its size as a sequential stream
 // read from the checkpoint device (what dominates DRAM-PS recovery,
 // Sec. VI-E).
+//
+// oevet:charge stream-read
 func ReadDelta(dir string, batch int64, dev *device.Timed) ([]Entry, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, deltaName(batch)))
 	if err != nil {

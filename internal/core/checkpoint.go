@@ -199,10 +199,11 @@ func (e *Engine) noteFlushed(needed bool) {
 // (Alg. 2 lines 24-28): persist the Checkpointed Batch ID with one atomic
 // PMem store, pop the request queue, and release superseded records the
 // space manager retained for it. Safe to call with a shard lock held
-// (ckptMu and the arena's own lock order after shard locks); the holds
-// annotation checks it against the worst-case caller, noteFlushed.
-//
-// oevet:holds core.shard.mu 10
+// (ckptMu and the arena's own lock order after shard locks); lockorder
+// checks it against the worst-case caller, noteFlushed, by inferring the
+// shard lock at entry from noteFlushed's holds annotation. (No holds
+// annotation here: the shard lock is tolerated, not required — activateHead
+// calls with no lock held.)
 func (e *Engine) completeCheckpoint(cp int64) {
 	if e.cfg.RetainCheckpoints >= 2 {
 		// The outgoing checkpoint becomes the retained previous one.
@@ -268,14 +269,17 @@ func (e *Engine) finalizeCheckpoints() error {
 
 		s := e.shardFor(ent.key)
 		s.mu.Lock()
-		if !ent.ckptPending {
-			s.mu.Unlock()
-			continue // already persisted by maintenance or eviction
+		pending := ent.ckptPending
+		var err error
+		if pending {
+			err = s.flushLocked(ent)
 		}
-		err := s.flushLocked(ent)
 		s.mu.Unlock()
 		if err != nil {
 			return err
+		}
+		if !pending {
+			continue // already persisted by maintenance or eviction
 		}
 		budget--
 	}

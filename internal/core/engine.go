@@ -350,12 +350,12 @@ func (e *Engine) partition(keys []uint64, sc *opScratch) {
 	byShard := sc.byShard
 	for i, k := range keys {
 		sid := e.shardIndex(k)
-		byShard[sid] = append(byShard[sid], int32(i))
+		byShard[sid] = append(byShard[sid], int32(i)) //oevet:alloc-ok appends into a pooled scratch lane: capacity persists across batches, steady state never grows
 	}
 	ids := sc.ids
 	for sid := range byShard {
 		if len(byShard[sid]) > 0 {
-			ids = append(ids, int32(sid))
+			ids = append(ids, int32(sid)) //oevet:alloc-ok appends into a pooled scratch lane: capacity persists across batches, steady state never grows
 		}
 	}
 	sc.ids = ids
@@ -367,7 +367,7 @@ func (e *Engine) partition(keys []uint64, sc *opScratch) {
 func (e *Engine) partitionAll(keys []uint64, sc *opScratch) []int32 {
 	idxs := sc.byShard[0][:0]
 	for i := range keys {
-		idxs = append(idxs, int32(i))
+		idxs = append(idxs, int32(i)) //oevet:alloc-ok appends into a pooled scratch lane: capacity persists across batches, steady state never grows
 	}
 	sc.byShard[0] = idxs
 	return idxs
@@ -377,6 +377,8 @@ func (e *Engine) partitionAll(keys []uint64, sc *opScratch) []int32 {
 // shard's keys through its DRAM index, copy weights from DRAM or PMem into
 // dst, and append the touched entries to the shard's access queue for
 // deferred maintenance. Multi-shard batches fan out across the worker pool.
+//
+// oevet:hotpath
 func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 	if e.closed.Load() {
 		return psengine.ErrClosed
@@ -433,6 +435,8 @@ func (e *Engine) Pull(batch int64, keys []uint64, dst []float32) error {
 // to DRAM by the maintainers; Push waits for that promotion to complete, as
 // the paper's pipeline guarantees by construction (maintenance runs during
 // the much longer GPU phase).
+//
+// oevet:hotpath
 func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 	if e.closed.Load() {
 		return psengine.ErrClosed
@@ -474,6 +478,8 @@ func (e *Engine) Push(batch int64, keys []uint64, grads []float32) error {
 // maintenance promotion of an entry the same batch's pull already served
 // from PMem is the second half of one logical fetch and is not re-counted
 // (the virtual-time device charge always applies — the read really happens).
+//
+// oevet:coldpath miss-path promotion allocates the entry's DRAM buffer once by design; the steady-state hit path never reaches it
 func (e *Engine) promoteLocked(ent *entry, countRead bool) error {
 	bufp := e.payloadPool.Get().(*[]byte)
 	defer e.payloadPool.Put(bufp)

@@ -127,6 +127,8 @@ func (e *Engine) maintainLoop() {
 
 // inlineMaintain is the pipeline-disabled path: maintenance for every shard
 // runs synchronously on the request thread that finished the pull.
+//
+// oevet:coldpath pipeline-disabled ablation: paying maintenance (and its allocations) on the request thread is the measured effect, not hot-path overhead
 func (e *Engine) inlineMaintain(batch int64) {
 	e.activateHead()
 	for _, s := range e.shards {
@@ -279,7 +281,7 @@ func (s *shard) flushLocked(ent *entry) error {
 		slot, err = e.arena.Alloc()
 	}
 	if err != nil {
-		return fmt.Errorf("%w: flush of key %d: %v", errMaintenance, ent.key, err)
+		return fmt.Errorf("%w: flush of key %d: %w", errMaintenance, ent.key, err)
 	}
 	bufp := e.payloadPool.Get().(*[]byte)
 	pmem.EncodeFloats(*bufp, ent.buf)
@@ -292,7 +294,7 @@ func (s *shard) flushLocked(ent *entry) error {
 			if err == nil || !errors.Is(err, pmem.ErrPoisoned) || tries >= 4 {
 				break
 			}
-			e.arena.Quarantine(slot)
+			e.quarantineEmpty(slot)
 			slot, err = e.arena.Alloc()
 			if errors.Is(err, pmem.ErrFull) {
 				e.reclaim()
@@ -300,7 +302,7 @@ func (s *shard) flushLocked(ent *entry) error {
 			}
 			if err != nil {
 				e.payloadPool.Put(bufp)
-				return fmt.Errorf("%w: flush of key %d: %v", errMaintenance, ent.key, err)
+				return fmt.Errorf("%w: flush of key %d: %w", errMaintenance, ent.key, err)
 			}
 		}
 	} else {
@@ -309,11 +311,11 @@ func (s *shard) flushLocked(ent *entry) error {
 	e.payloadPool.Put(bufp)
 	if err != nil {
 		if errors.Is(err, pmem.ErrPoisoned) {
-			e.arena.Quarantine(slot)
+			e.quarantineEmpty(slot)
 		} else {
 			e.arena.Free(slot)
 		}
-		return fmt.Errorf("%w: flush of key %d: %v", errMaintenance, ent.key, err)
+		return fmt.Errorf("%w: flush of key %d: %w", errMaintenance, ent.key, err)
 	}
 	neededByActive := ent.ckptPending
 	ent.ckptPending = false
@@ -337,6 +339,14 @@ func (s *shard) flushLocked(ent *entry) error {
 // inlineFlushDrain is the media-drain wait of a persist executed under the
 // exclusive lock (pipeline-disabled ablation).
 const inlineFlushDrain = 1 * time.Microsecond
+
+// quarantineEmpty quarantines a slot that was allocated by this flush and
+// never held a live record. Unlike Arena.Quarantine's general contract it
+// owes no epoch fence: the entry's DRAM state is intact and is either
+// retried into a fresh slot or surfaced as a flush error.
+func (e *Engine) quarantineEmpty(slot uint32) {
+	e.arena.Quarantine(slot) //oevet:fence-ok the slot was allocated in this flush and never held a live record; no durable state is lost
+}
 
 // EndBatch implements psengine.Engine: it waits for the batch's deferred
 // maintenance, surfaces asynchronous errors, folds in entries that Push had

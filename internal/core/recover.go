@@ -44,7 +44,11 @@ func RecoverParallel(cfg psengine.Config, dev *pmem.Device, workers int) (*Engin
 // to scratch" and is valid only while the image retains no older state.
 // Rolling back rewrites the durable IDs so the rollback itself survives a
 // crash. RecoverTo with target equal to the latest checkpoint is exactly
-// Recover, which is what makes the rollback RPC idempotent.
+// Recover, which is what makes the rollback RPC idempotent. Adopting the
+// recovered engine regresses served state past target, so the adopter owes
+// an epoch fence.
+//
+// oevet:fence-need
 func RecoverTo(cfg psengine.Config, dev *pmem.Device, target int64) (*Engine, int64, error) {
 	return recoverImpl(cfg, dev, runtime.GOMAXPROCS(0), target, true)
 }

@@ -58,7 +58,10 @@ func (e *Engine) notifyIntegrityLoss() {
 // returns what it found and healed. It takes each shard's exclusive lock
 // in turn (a repair path, not a hot path). If the report's Restored or
 // Fenced counts are non-zero the caller must treat node state as rolled
-// back: fence the epoch and replay, exactly as after a crash.
+// back: fence the epoch and replay, exactly as after a crash — including
+// on the error return, whose partial report may already carry losses.
+//
+// oevet:fence-need
 func (e *Engine) Scrub() (psengine.ScrubReport, error) {
 	var rep psengine.ScrubReport
 	if e.closed.Load() {
@@ -160,16 +163,27 @@ func (s *shard) scrubStepLocked(budget int, targets []int64) error {
 	}
 	e.applyScrubObs(rep)
 	if loss := rep.Restored + rep.Fenced; loss > 0 {
-		e.scrubLoss.Add(loss)
+		e.noteScrubLoss(loss)
 	}
 	return err
 }
 
+// noteScrubLoss parks the epoch-fence obligation for scrub heals that lost
+// state: the accumulator is drained after every maintenance round (outside
+// all shard locks) and handed to the node's integrity callback, which
+// fences the epoch. Parking under the shard lock instead of notifying
+// directly is what keeps the lock order acyclic.
+//
+// oevet:fence-park
+func (e *Engine) noteScrubLoss(loss int64) { e.scrubLoss.Add(loss) }
+
 // scrubEntryLocked verifies one entry's persisted record and heals it if
 // the media lost it, trying the heal ladder in order (see the file
-// comment). targets is the caller's rollback-target snapshot. Caller
-// holds the entry's shard lock exclusively.
+// comment). targets is the caller's rollback-target snapshot. Restored and
+// fenced heals discard state the caller must fence the epoch for (or park
+// via noteScrubLoss). Caller holds the entry's shard lock exclusively.
 //
+// oevet:fence-need
 // oevet:holds core.shard.mu 10
 func (s *shard) scrubEntryLocked(ent *entry, targets []int64, rep *psengine.ScrubReport) error {
 	e := s.eng

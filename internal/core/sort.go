@@ -20,7 +20,7 @@ func posLess(keys []uint64, a, b int32) bool {
 // scratch, returned (possibly grown) for the caller's scratch lane.
 func sortPosByKey(pos []int32, keys []uint64, buf []uint64) []uint64 {
 	if cap(buf) < len(pos) {
-		buf = make([]uint64, len(pos))
+		buf = make([]uint64, len(pos)) //oevet:alloc-ok grow-once scratch: the buffer returns to the pooled lane and steady state never regrows
 	}
 	buf = buf[:len(pos)]
 	// Pack optimistically, accumulating the key OR; a wide key voids the

@@ -266,6 +266,7 @@ func (a *Arena) FinishRecovery() {
 //
 // oevet:pmem-flush
 // oevet:pmem-integrity
+// oevet:charge write
 func (a *Arena) WriteRecord(slot uint32, key uint64, version int64, payload []byte) error {
 	if len(payload) != a.payloadBytes {
 		return fmt.Errorf("pmem: payload size %d != record payload %d", len(payload), a.payloadBytes)
@@ -298,6 +299,8 @@ type Record struct {
 
 // ReadRecord decodes the record in slot. It returns ErrCorrupt if the
 // checksum does not validate (torn or never-written slot).
+//
+// oevet:charge read
 func (a *Arena) ReadRecord(slot uint32) (Record, error) {
 	off := a.slotOffset(slot)
 	buf, err := a.dev.View(off, slotHeaderLen+a.payloadBytes)
@@ -310,6 +313,8 @@ func (a *Arena) ReadRecord(slot uint32) (Record, error) {
 // ReadPayload copies the payload of the record in slot into dst (which must
 // be at least PayloadBytes long) without checksum validation; the caller is
 // on the hot pull path and the record is known-live.
+//
+// oevet:charge read
 func (a *Arena) ReadPayload(slot uint32, dst []byte) error {
 	off := a.slotOffset(slot) + slotHeaderLen
 	return a.dev.Read(off, dst[:a.payloadBytes])
@@ -317,6 +322,8 @@ func (a *Arena) ReadPayload(slot uint32, dst []byte) error {
 
 // Version returns the version field of the record in slot without decoding
 // the payload.
+//
+// oevet:charge read
 func (a *Arena) Version(slot uint32) (int64, error) {
 	buf, err := a.dev.View(a.slotOffset(slot)+8, 8)
 	if err != nil {
@@ -346,6 +353,8 @@ func (a *Arena) decode(slot uint32, buf []byte) (Record, error) {
 // validates. Slots that were never written, torn by a crash, or zeroed are
 // skipped silently — exactly the recovery-scan semantics of Sec. V-C.
 // Scan charges a sequential stream read of the whole arena.
+//
+// oevet:charge stream-read
 func (a *Arena) Scan(fn func(Record) error) error {
 	return a.ScanRange(0, uint32(a.slots), fn)
 }
@@ -355,6 +364,8 @@ func (a *Arena) Scan(fn func(Record) error) error {
 // recovery the paper proposes in Sec. VI-E ("both scanning and the
 // rebuilding can be executed [in] parallel on each part of the embedding
 // tables").
+//
+// oevet:charge stream-read
 func (a *Arena) ScanRange(lo, hi uint32, fn func(Record) error) error {
 	if int(hi) > a.slots || lo > hi {
 		return fmt.Errorf("%w: scan range [%d,%d) of %d slots", ErrOutOfRange, lo, hi, a.slots)

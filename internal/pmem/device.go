@@ -90,6 +90,8 @@ func (d *Device) check(off, n int) error {
 
 // Read copies n=len(buf) bytes at off into buf and charges one read access.
 // Reads overlapping a poisoned media range fail with a typed PoisonError.
+//
+// oevet:charge read
 func (d *Device) Read(off int, buf []byte) error {
 	if err := d.check(off, len(buf)); err != nil {
 		return err
@@ -107,6 +109,8 @@ func (d *Device) Read(off int, buf []byte) error {
 // View returns a read-only view of the volatile image without copying.
 // The caller must not retain it across Crash/Restore. It charges one read
 // access of n bytes (byte-addressable load).
+//
+// oevet:charge read
 func (d *Device) View(off, n int) ([]byte, error) {
 	if err := d.check(off, n); err != nil {
 		return nil, err
@@ -144,6 +148,7 @@ func (d *Device) Write(off int, data []byte) error {
 // checksum/read-back layer's job.
 //
 // oevet:pmem-flush
+// oevet:charge write
 func (d *Device) Flush(off, n int) error {
 	if err := d.check(off, n); err != nil {
 		return err
@@ -176,6 +181,7 @@ func (d *Device) Flush(off, n int) error {
 // Persist writes data at off and immediately flushes it.
 //
 // oevet:pmem-flush
+// oevet:charge write
 func (d *Device) Persist(off int, data []byte) error {
 	if err := d.Write(off, data); err != nil {
 		return err

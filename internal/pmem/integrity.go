@@ -35,6 +35,8 @@ func (a *Arena) SlotOffset(slot uint32) int { return a.slotOffset(slot) }
 // virtual time as the unverified ReadPayload (one payload-sized PMem read —
 // the CRC is computed by the CPU over bytes the load already fetched), so
 // enabling verification does not move the simulated-performance results.
+//
+// oevet:charge read
 func (a *Arena) ReadPayloadVerified(slot uint32, key uint64, dst []byte) error {
 	off := a.slotOffset(slot)
 	n := slotHeaderLen + a.payloadBytes
@@ -76,6 +78,10 @@ func (a *Arena) ReadPayloadVerified(slot uint32, key uint64, dst []byte) error {
 // is independent of whether a run's slots happened to be adjacent (slot
 // adjacency depends on maintainer scheduling, which determinism forbids
 // from influencing simulated results).
+//
+// oevet:charge read
+//
+//oevet:charge-ok the count<=0 guard returns before any device access: zero work, zero charge
 func (a *Arena) ReadPayloadsVerified(lo uint32, count int, key func(i int) uint64, serve func(i int, payload []byte)) error {
 	if count <= 0 {
 		return nil
@@ -125,6 +131,8 @@ func (a *Arena) ReadPayloadsVerified(lo uint32, count int, key func(i int) uint6
 // CheckRecord validates the record in slot against key without copying the
 // payload out — the scrubber's probe. It charges a full record read (the
 // scrub budget is what keeps this off the hot path).
+//
+// oevet:charge read
 func (a *Arena) CheckRecord(slot uint32, key uint64) error {
 	off := a.slotOffset(slot)
 	n := slotHeaderLen + a.payloadBytes
@@ -333,7 +341,11 @@ func (a *Arena) AdoptRetired(slot uint32) (int64, bool) {
 // Quarantine pulls slot out of circulation permanently: it is no longer
 // occupied, never enters the free list, and recovery will not hand it out
 // either. Used for slots whose media range is poisoned or refuses to hold
-// data.
+// data. If the slot held the only durable copy of live state the caller
+// owes an epoch fence; quarantining a freshly allocated (empty) slot does
+// not, and such call sites suppress in place.
+//
+// oevet:fence-need
 func (a *Arena) Quarantine(slot uint32) {
 	a.mu.Lock()
 	defer a.mu.Unlock()

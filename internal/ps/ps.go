@@ -11,6 +11,7 @@
 package ps
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -261,8 +262,10 @@ func (n *Node) adoptEngine(eng *core.Engine) {
 // past bumps the epoch itself (making the parked fence redundant —
 // applyPendingFenceLocked drops it on a crashed/closed node) and
 // rpc.Server.SetEpoch is an atomic store, valid even after server close.
+//
+// oevet:fence-obligated
 func (n *Node) integrityFence() {
-	n.pendingFence.Store(true)
+	n.parkFence()
 	if n.mu.TryLock() {
 		n.applyPendingFenceLocked()
 		n.mu.Unlock()
@@ -275,10 +278,35 @@ func (n *Node) integrityFence() {
 	}()
 }
 
+// parkFence parks the node's epoch-fence obligation in pendingFence for a
+// later applyPendingFenceLocked (or for any epoch bump, which subsumes it).
+// Parking must happen before any attempt on mu so the obligation cannot be
+// dropped between "loss observed" and "fence applied" — the exact shape of
+// the PR 5 dropped-fence bug.
+//
+// oevet:fence-park
+func (n *Node) parkFence() { n.pendingFence.Store(true) }
+
+// fenceEpochLocked bumps the node epoch, publishes it to the serving RPC
+// server, and clears any parked fence the bump subsumes (a bump re-fences
+// every client strictly harder than the scrub fence would have). Caller
+// holds mu.
+//
+// oevet:fence-apply
+func (n *Node) fenceEpochLocked() {
+	n.pendingFence.Store(false)
+	n.epoch++
+	if n.srv != nil {
+		n.srv.SetEpoch(n.epoch)
+	}
+}
+
 // applyPendingFenceLocked applies a parked integrity fence, if any. Caller
 // holds mu. On a crashed node the fence is dropped as redundant: the
 // restart/recovery path bumps the epoch itself, which re-fences every
 // client strictly harder than the scrub fence would have.
+//
+// oevet:fence-apply
 func (n *Node) applyPendingFenceLocked() {
 	if !n.pendingFence.Swap(false) {
 		return
@@ -286,8 +314,7 @@ func (n *Node) applyPendingFenceLocked() {
 	if n.crashed || n.srv == nil {
 		return
 	}
-	n.epoch++
-	n.srv.SetEpoch(n.epoch)
+	n.fenceEpochLocked()
 }
 
 // scrubRPC serves MsgScrub: one full integrity pass over the node's
@@ -295,16 +322,17 @@ func (n *Node) applyPendingFenceLocked() {
 // exactly like the background path.
 func (n *Node) scrubRPC() (psengine.ScrubReport, error) {
 	rep, err := n.box.Scrub()
-	if err != nil {
-		return rep, err
-	}
+	// Fence BEFORE surfacing any error: a pass that failed mid-way may
+	// already have restored or fenced entries (the report carries the
+	// partial counts), and state already lost must fence the epoch even
+	// when the surrounding operation fails.
 	if rep.Restored+rep.Fenced > 0 {
-		n.pendingFence.Store(true)
+		n.parkFence()
 		n.mu.Lock()
 		n.applyPendingFenceLocked()
 		n.mu.Unlock()
 	}
-	return rep, nil
+	return rep, err
 }
 
 // LastRecoverInfo reports the most recent recovery's outcome (zero value
@@ -367,7 +395,7 @@ func (n *Node) Crash() error {
 	// Drain background maintenance, then drop whatever the "power loss"
 	// catches un-persisted. Records and checkpoint IDs were Persisted on
 	// write, so the surviving image is exactly the durable state.
-	if err := n.box.Close(); err != nil && err != psengine.ErrClosed {
+	if err := n.box.Close(); err != nil && !errors.Is(err, psengine.ErrClosed) {
 		_ = err // the engine state is discarded either way
 	}
 	n.dev.Crash()
@@ -393,8 +421,9 @@ func (n *Node) Restart() (int64, error) {
 	n.lastRecover = eng.RecoverInfo()
 	n.box.set(eng)
 	// This bump subsumes any fence parked against the old engine's state.
-	n.pendingFence.Store(false)
-	n.epoch++
+	// (It lands on the closed old server — harmless — and the new server
+	// below starts at the bumped epoch via serverOptions.)
+	n.fenceEpochLocked()
 	srv, err := rpc.ServeOpts(n.addr, n.box, n.serverOptions())
 	if err != nil {
 		eng.Close()
@@ -418,20 +447,19 @@ func (n *Node) rollbackTo(target int64) error {
 		return fmt.Errorf("ps: rollback of a crashed node")
 	}
 	old := n.box.get()
-	if err := old.Close(); err != nil && err != psengine.ErrClosed {
+	if err := old.Close(); err != nil && !errors.Is(err, psengine.ErrClosed) {
 		return fmt.Errorf("ps: rollback: draining engine: %w", err)
 	}
 	eng, _, err := core.RecoverTo(n.cfg.Store, n.dev, target)
 	if err != nil {
+		//oevet:fence-ok recovery failed before any engine was adopted: the old engine is drained and every request gets ErrClosed, a stronger barrier than an epoch bump
 		return fmt.Errorf("ps: rollback to %d: %w", target, err)
 	}
 	n.adoptEngine(eng)
 	n.lastRecover = eng.RecoverInfo()
 	n.box.set(eng)
 	// This bump subsumes any fence parked against the old engine's state.
-	n.pendingFence.Store(false)
-	n.epoch++
-	n.srv.SetEpoch(n.epoch)
+	n.fenceEpochLocked()
 	return nil
 }
 

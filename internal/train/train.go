@@ -254,6 +254,7 @@ func (tr *Trainer) Run(steps int) (EpochStats, error) {
 		replays++
 		commit, rerr := tr.rewind(rec, &out)
 		if rerr != nil {
+			//oevet:errwrap-ok the superseded recoverable error is cited as context; the live rewind failure is wrapped
 			return out, fmt.Errorf("train: replay %d (after %v): %w", replays, err, rerr)
 		}
 		s = int(commit + 1 - cfg.StartBatch)

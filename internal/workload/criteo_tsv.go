@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -106,7 +107,7 @@ func (c *CriteoTSV) NextBatch(n int) ([]Sample, error) {
 	out := make([]Sample, 0, n)
 	for len(out) < n {
 		s, err := c.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {
