@@ -8,11 +8,20 @@
 //	oectl -nodes ... -dim 64 drive 4 256
 //	oectl -nodes ... scrub
 //	oectl -nodes ... ping
+//	oectl -nodes ... -dim 64 serve-bench -duration 10s -conns 8
 //
 // drive [batches [keys]] runs the synchronous batch protocol
 // (pull/end-pull/push/end-batch, tiny constant gradients) so a live
 // cluster has real persisted state to inspect with stats, checkpoint and
 // scrub — a smoke/load driver, not a trainer.
+//
+// serve-bench fires a flash-crowd embedding-bag workload at nodes started
+// with `oeps -serve`: each request gathers -tables × -batch bags of -bag
+// keys drawn from a rotating Zipf-like hot set (internal/workload
+// FlashCrowd), and the tool prints achieved QPS and client-side p50/p99
+// latency. With -obs it additionally scrapes the node's serve_* counters
+// to show how many keys were served lock-free from the snapshot versus
+// the locked fallback paths.
 //
 // With -obs pointing at a node's -debug-addr, stats additionally scrapes
 // /metrics.json and pretty-prints the node's latency percentiles (pull,
@@ -29,12 +38,16 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"openembedding/internal/cluster"
 	"openembedding/internal/obs"
 	"openembedding/internal/rpc"
+	"openembedding/internal/workload"
 )
 
 func main() {
@@ -46,7 +59,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "oectl: need a command: ping|stats|pull|checkpoint|completed|drive|scrub")
+		fmt.Fprintln(os.Stderr, "oectl: need a command: ping|stats|pull|checkpoint|completed|drive|scrub|serve-bench")
 		os.Exit(2)
 	}
 	addrs := strings.Split(*nodes, ",")
@@ -184,9 +197,135 @@ func main() {
 				log.Fatalf("oectl: obs scrape: %v", err)
 			}
 		}
+	case "serve-bench":
+		serveBench(*dim, addrs, *obsURL, args[1:])
 	default:
 		log.Fatalf("oectl: unknown command %q", args[0])
 	}
+}
+
+// serveBench drives the flash-crowd bag-gather workload and reports
+// throughput and client-observed latency percentiles.
+func serveBench(dim int, addrs []string, obsURL string, args []string) {
+	fs := flag.NewFlagSet("serve-bench", flag.ExitOnError)
+	var (
+		dur      = fs.Duration("duration", 10*time.Second, "how long to drive load")
+		conns    = fs.Int("conns", 4, "concurrent client connections")
+		tables   = fs.Int("tables", 26, "sparse fields per request (embedding tables)")
+		batch    = fs.Int("batch", 128, "samples per request")
+		bagSize  = fs.Int("bag", 1, "keys per bag")
+		keyspace = fs.Int("keys", 1<<20, "key-space size")
+		hot      = fs.Int("hot", 4096, "flash-crowd hot-set size")
+		hotShare = fs.Float64("hot-share", 0.9, "fraction of draws hitting the hot set")
+		rotate   = fs.Duration("rotate", 5*time.Second, "hot-set rotation period")
+		seed     = fs.Uint64("seed", 42, "workload seed")
+		mean     = fs.Bool("mean", false, "mean-pool bags instead of sum")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	bags := *tables * *batch
+	keysPer := bags * *bagSize
+
+	type workerOut struct {
+		reqs int
+		lats []time.Duration
+		err  error
+	}
+	outs := make([]workerOut, *conns)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(*dur)
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := cluster.Dial(dim, addrs)
+			if err != nil {
+				outs[w].err = err
+				return
+			}
+			defer cl.Close()
+			// Per-worker seed: the crowd itself is shared (same seed,
+			// window), but draw sequences must differ or every worker
+			// requests identical bags.
+			fc := workload.NewFlashCrowd(*keyspace, *hot, *hotShare, *rotate, *seed+uint64(w)<<32)
+			offsets := make([]uint32, bags+1)
+			for b := range offsets {
+				offsets[b] = uint32(b * *bagSize)
+			}
+			keys := make([]uint64, keysPer)
+			out := make([]float32, bags*dim)
+			start := time.Now()
+			for {
+				now := time.Since(start)
+				if time.Now().After(deadline) {
+					return
+				}
+				fc.Advance(now)
+				for i := range keys {
+					keys[i] = fc.Sample()
+				}
+				t0 := time.Now()
+				if err := cl.PullBags(*mean, offsets, keys, out); err != nil {
+					outs[w].err = err
+					return
+				}
+				outs[w].reqs++
+				outs[w].lats = append(outs[w].lats, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var reqs int
+	var lats []time.Duration
+	for _, o := range outs {
+		if o.err != nil {
+			log.Fatalf("oectl: serve-bench: %v", o.err)
+		}
+		reqs += o.reqs
+		lats = append(lats, o.lats...)
+	}
+	if reqs == 0 {
+		log.Fatal("oectl: serve-bench: no requests completed")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	qps := float64(reqs) / dur.Seconds()
+	fmt.Printf("serve-bench: %d conn(s) × %s against %d node(s): %d tables × %d samples × %d key(s)/bag (%d keys/req)\n",
+		*conns, dur, len(addrs), *tables, *batch, *bagSize, keysPer)
+	fmt.Printf("requests=%d QPS=%.0f bags/s=%.0f keys/s=%.0f\n",
+		reqs, qps, qps*float64(bags), qps*float64(keysPer))
+	fmt.Printf("request latency p50=%s p99=%s max=%s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	if obsURL != "" {
+		fmt.Println()
+		if err := scrapeServe(obsURL); err != nil {
+			log.Fatalf("oectl: obs scrape: %v", err)
+		}
+	}
+}
+
+// scrapeServe fetches <base>/metrics.json and prints the node's serving
+// counters, including the lock-free snapshot hit rate.
+func scrapeServe(base string) error {
+	snap, err := fetchSnapshot(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node serving counters (%s):\n", base)
+	for _, name := range []string{
+		"serve_requests", "serve_keys", "serve_snap_hits",
+		"serve_dram_fallback", "serve_pmem_fallback", "serve_init_served",
+		"serve_refreshes",
+	} {
+		fmt.Printf("%-26s %d\n", name, snap.Counters[name])
+	}
+	if keys := snap.Counters["serve_keys"]; keys > 0 {
+		fmt.Printf("%-26s %.2f%%\n", "snapshot hit rate", 100*float64(snap.Counters["serve_snap_hits"])/float64(keys))
+	}
+	return nil
 }
 
 // scrapeObs fetches <base>/metrics.json and pretty-prints it.

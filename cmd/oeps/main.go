@@ -5,8 +5,12 @@
 //	     -cache 131072 -pmem-image /var/lib/oeps/shard0.img \
 //	     -debug-addr :7071
 //
-// With -pmem-image, the node recovers from an existing image on start and
-// saves the durable image on shutdown (SIGINT/SIGTERM). With -debug-addr,
+// With -serve (pmem-oe only), the node also answers online-inference
+// bag-gather requests (MsgPullBag) over the engine's lock-free snapshot
+// path, refreshing the hot set every -serve-refresh; drive load at it with
+// `oectl serve-bench`. With -pmem-image, the node recovers from an
+// existing image on start and saves the durable image on shutdown
+// (SIGINT/SIGTERM). With -debug-addr,
 // the node serves its observability endpoints over HTTP: /metrics
 // (Prometheus-style text), /metrics.json, and /debug/obs (Chrome
 // trace_event JSON — load it in chrome://tracing or ui.perfetto.dev).
@@ -21,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"openembedding/internal/obs"
 	"openembedding/internal/optim"
@@ -42,8 +47,13 @@ func main() {
 		image     = flag.String("pmem-image", "", "PMem image file (recover on start, save on stop)")
 		ckptDir   = flag.String("checkpoint-dir", "", "incremental-checkpoint directory (baseline engines)")
 		traceCap  = flag.Int("trace-spans", obs.DefaultTraceCapacity, "span ring capacity for /debug/obs (with -debug-addr)")
+		serveBags = flag.Bool("serve", false, "enable the online inference tier: answer pull-bag gathers over the lock-free snapshot path (pmem-oe only)")
+		serveRef  = flag.Duration("serve-refresh", 250*time.Millisecond, "hot-set snapshot refresh interval with -serve; 0 disables the background refresher")
 	)
 	flag.Parse()
+	if *serveBags && *engine != "pmem-oe" {
+		log.Fatalf("oeps: -serve requires -engine pmem-oe (got %q)", *engine)
+	}
 
 	opt, err := optim.ByName(*optName, float32(*lr))
 	if err != nil {
@@ -68,6 +78,7 @@ func main() {
 		CheckpointDir: *ckptDir,
 		Obs:           reg,
 		Spans:         spans,
+		Serve:         *serveBags,
 	})
 	if err != nil {
 		log.Fatalf("oeps: %v", err)
@@ -77,6 +88,31 @@ func main() {
 		fmt.Printf(" (recovered to checkpoint %d)", node.RecoveredBatch)
 	}
 	fmt.Println()
+
+	// The refresher re-fetches the handler each tick so it follows the
+	// node across rollback-driven engine swaps instead of pinning the
+	// handler of a retired engine.
+	var stopRefresh chan struct{}
+	if *serveBags && *serveRef > 0 {
+		stopRefresh = make(chan struct{})
+		go func() {
+			t := time.NewTicker(*serveRef)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopRefresh:
+					return
+				case <-t.C:
+					if h := node.ServeHandler(); h != nil {
+						h.Refresh() //nolint:errcheck // best-effort; the next tick retries
+					}
+				}
+			}
+		}()
+		fmt.Printf("oeps: bag serving enabled (refresh every %s)\n", *serveRef)
+	} else if *serveBags {
+		fmt.Println("oeps: bag serving enabled (background refresh disabled)")
+	}
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
@@ -93,6 +129,9 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("oeps: shutting down")
+	if stopRefresh != nil {
+		close(stopRefresh)
+	}
 	if debugSrv != nil {
 		debugSrv.Close()
 	}

@@ -56,6 +56,7 @@ type Client struct {
 	straggler *obs.Histogram
 	pullNS    *obs.Histogram
 	pushNS    *obs.Histogram
+	bagNS     *obs.Histogram
 	replays   *obs.Counter
 	reg       *obs.Registry
 }
@@ -78,6 +79,7 @@ func DialOpts(dim int, addrs []string, opts Options) (*Client, error) {
 		c.straggler = reg.Histogram("cluster_straggler_ns")
 		c.pullNS = reg.Histogram("cluster_pull_ns")
 		c.pushNS = reg.Histogram("cluster_push_ns")
+		c.bagNS = reg.Histogram("cluster_pullbag_ns")
 		c.replays = reg.Counter("cluster_replays")
 	}
 	for n, a := range addrs {
@@ -217,6 +219,98 @@ func (c *Client) Pull(batch int64, keys []uint64, dst []float32) error {
 		c.pullNS.Observe(c.reg.Now() - start)
 	}
 	return err
+}
+
+// PullBags gathers pooled embedding bags across the cluster (the serving
+// tier's read path): bag b is keys[offsets[b]:offsets[b+1]], pooled into
+// out[b*dim:(b+1)*dim] — sum, or mean when mean is set. Each bag's keys
+// are partitioned to their owning nodes, every contacted node pools its
+// share server-side (always sum mode on the wire), and the partial sums
+// are combined here in node-index order — a deterministic float-addition
+// order, so repeated gathers of the same state agree bit-for-bit. Mean is
+// applied client-side over each bag's full key count.
+func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64, out []float32) error {
+	if err := rpc.ValidateBagOffsets(offsets, len(keys)); err != nil {
+		return err
+	}
+	bags := len(offsets) - 1
+	if len(out) != bags*c.dim {
+		return fmt.Errorf("cluster: out has %d floats, want %d (%d bags x dim %d)",
+			len(out), bags*c.dim, bags, c.dim)
+	}
+	var start time.Duration
+	if c.reg != nil {
+		start = c.reg.Now()
+	}
+	nn := len(c.nodes)
+	nodeKeys := make([][]uint64, nn)
+	nodeOffs := make([][]uint32, nn)
+	for n := range nodeOffs {
+		nodeOffs[n] = make([]uint32, 1, bags+1)
+	}
+	for b := 0; b < bags; b++ {
+		for _, k := range keys[offsets[b]:offsets[b+1]] {
+			n := Partition(k, nn)
+			nodeKeys[n] = append(nodeKeys[n], k)
+		}
+		for n := range nodeOffs {
+			nodeOffs[n] = append(nodeOffs[n], uint32(len(nodeKeys[n])))
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, nn)
+	parts := make([][]float32, nn)
+	for n := 0; n < nn; n++ {
+		if len(nodeKeys[n]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			vals, err := c.nodes[n].PullBags(false, nodeOffs[n], nodeKeys[n])
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			if len(vals) != bags*c.dim {
+				errs[n] = fmt.Errorf("returned %d floats for %d bags", len(vals), bags)
+				return
+			}
+			parts[n] = vals
+		}(n)
+	}
+	wg.Wait()
+	for n, err := range errs {
+		if err != nil {
+			return c.nodeErr(n, err)
+		}
+	}
+	clear(out)
+	for n := 0; n < nn; n++ {
+		if parts[n] == nil {
+			continue
+		}
+		for i, v := range parts[n] {
+			out[i] += v
+		}
+	}
+	if mean {
+		for b := 0; b < bags; b++ {
+			cnt := offsets[b+1] - offsets[b]
+			if cnt == 0 {
+				continue
+			}
+			inv := 1 / float32(cnt)
+			row := out[b*c.dim : (b+1)*c.dim]
+			for i := range row {
+				row[i] *= inv
+			}
+		}
+	}
+	if c.reg != nil {
+		c.bagNS.Observe(c.reg.Now() - start)
+	}
+	return nil
 }
 
 // Push routes gradients to the owning nodes.

@@ -76,6 +76,10 @@ type Engine struct {
 
 	closed atomic.Bool
 
+	// serveOn gates the serving tier (serve.go): when set, maintenance
+	// rounds republish per-shard hot-set snapshots for ServeRead.
+	serveOn atomic.Bool
+
 	// fanout bounds the goroutines Pull/Push spawn for per-shard sublists;
 	// when no token is free the caller runs the sublist inline.
 	fanout chan struct{}

@@ -64,6 +64,13 @@ type entry struct {
 
 	// node links the entry into the LRU list while cached.
 	node cache.Node[*entry]
+
+	// snapEpoch/snapRow locate this entry's row in its shard's serve
+	// snapshot (serve.go): valid only while snapEpoch matches the published
+	// snapshot's epoch. Written by the rebuild under the exclusive shard
+	// lock; read by push under the entry's stripe to mark the row dirty.
+	snapEpoch uint64
+	snapRow   int32
 }
 
 // inDRAM reports whether the entry currently has a DRAM copy.

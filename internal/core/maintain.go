@@ -185,6 +185,7 @@ func (s *shard) runMaintenance(batch int64, recs []accessRec) error {
 				s.lru.MoveToFront(&ent.node)
 			} else {
 				s.lru.PushFront(&ent.node) // first-epoch entry born in DRAM
+				s.snapStale = true
 			}
 		} else {
 			// Alg. 2 lines 18-21: promote the missed entry. The pull that
@@ -195,6 +196,7 @@ func (s *shard) runMaintenance(batch int64, recs []accessRec) error {
 			}
 			ent.version = batch
 			s.lru.PushFront(&ent.node)
+			s.snapStale = true
 		}
 		// With the cache disabled, the batch's working set stays in DRAM
 		// until EndBatch (a per-batch staging buffer): pushes still land in
@@ -215,6 +217,10 @@ func (s *shard) runMaintenance(batch int64, recs []accessRec) error {
 			return err
 		}
 	}
+	// Serving mode: republish this shard's hot-set snapshot while the
+	// exclusive lock is already held, so serve reads see the batch's pushes
+	// at the next batch boundary (serve.go).
+	s.rebuildSnapLocked()
 	return nil
 }
 
@@ -257,6 +263,7 @@ func (s *shard) evictLocked(victim *entry) error {
 	}
 	s.lru.Remove(&victim.node)
 	victim.buf = nil
+	s.snapStale = true
 	s.eng.evictions.Add(1)
 	s.evictObs.Add(1)
 	s.eng.cfg.Meter.Charge(simclock.Compute, lruOpCost)
@@ -368,11 +375,13 @@ func (e *Engine) EndBatch(batch int64) error {
 			if ent.inDRAM() && !ent.node.InList() {
 				ent.version = batch
 				s.lru.PushFront(&ent.node)
+				s.snapStale = true
 			}
 		}
 		if err := s.enforceCapacityLocked(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		s.rebuildSnapLocked()
 		s.mu.Unlock()
 	}
 	err := firstErr

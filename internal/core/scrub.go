@@ -262,6 +262,7 @@ func (s *shard) scrubEntryLocked(ent *entry, targets []int64, rep *psengine.Scru
 	// is reborn from its deterministic initializer on first touch.
 	delete(s.index, ent.key)
 	s.scrubKeysStale = true
+	s.snapStale = true
 	if ent.node.InList() {
 		s.lru.Remove(&ent.node)
 	}

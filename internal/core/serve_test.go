@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"openembedding/internal/optim"
+	"openembedding/internal/psengine"
+)
+
+// TestServeReadTiers exercises every ServeRead tier and checks the values
+// each returns against the engine's own Pull.
+func TestServeReadTiers(t *testing.T) {
+	dim := 8
+	e := newTestEngine(t, testConfig(dim, 256, 16))
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	want := runBatch(t, e, 0, keys, nil)
+	e.EnableServeSnapshots()
+	if !e.ServeSnapshotsEnabled() {
+		t.Fatal("serving not enabled")
+	}
+
+	// Every trained key must serve its pulled value, from some tier.
+	dst := make([]float32, dim)
+	var bySource [4]int
+	for i, k := range keys {
+		src, err := e.ServeRead(k, dst)
+		if err != nil {
+			t.Fatalf("serve %d: %v", k, err)
+		}
+		bySource[src]++
+		for j := 0; j < dim; j++ {
+			if dst[j] != want[i*dim+j] {
+				t.Fatalf("key %d served %v, pulled %v (source %d)", k, dst[:dim], want[i*dim:(i+1)*dim], src)
+			}
+		}
+	}
+	if bySource[ServeSnap] == 0 {
+		t.Fatal("no key served from the snapshot")
+	}
+	if bySource[ServePMem] == 0 {
+		t.Fatal("no key served from PMem (cache holds 16 of 64; evicted keys must fall back)")
+	}
+	if bySource[ServeInit] != 0 {
+		t.Fatal("trained key served from the initializer")
+	}
+
+	// A PMem-served key is promoted by the next refresh and then serves
+	// lock-free.
+	// Keep the highest cold key: the refresh promotes drained keys in
+	// sorted order, so the highest lands most-recently-used and survives
+	// the capacity re-enforcement that follows promotion.
+	var cold uint64
+	for _, k := range keys {
+		if src, _ := e.ServeRead(k, dst); src == ServePMem {
+			cold = k
+		}
+	}
+	if cold == 0 {
+		t.Fatal("no cold key found")
+	}
+	if err := e.RefreshServeSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	if src, _ := e.ServeRead(cold, dst); src != ServeSnap {
+		t.Fatalf("key %d served from %d after refresh, want snapshot", cold, src)
+	}
+
+	// A push dirties the served row: the next read falls back (post-push
+	// value), and the batch boundary re-publishes it to the snapshot.
+	hot := cold
+	pre := make([]float32, dim)
+	if _, err := e.ServeRead(hot, pre); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, dim)
+	if err := e.Pull(1, []uint64{hot}, buf); err != nil {
+		t.Fatal(err)
+	}
+	e.EndPullPhase(1)
+	e.WaitMaintenance()
+	if err := e.Push(1, []uint64{hot}, constGrads(1, dim, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	src, err := e.ServeRead(hot, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src == ServeSnap {
+		t.Fatal("dirty key still served from the snapshot")
+	}
+	for j := 0; j < dim; j++ {
+		if want := pre[j] - 0.1; dst[j] != want { // SGD lr=0.1, g=1
+			t.Fatalf("dirty fallback served %v, want %v", dst[j], want)
+		}
+	}
+	if err := e.EndBatch(1); err != nil {
+		t.Fatal(err)
+	}
+	if src, _ := e.ServeRead(hot, dst); src != ServeSnap {
+		t.Fatalf("pushed key served from %d after batch end, want snapshot", src)
+	}
+	for j := 0; j < dim; j++ {
+		if want := pre[j] - 0.1; dst[j] != want {
+			t.Fatalf("snapshot row %v after push, want %v", dst[j], want)
+		}
+	}
+}
+
+// TestServeInitDoesNotCreateEntries: serving an unknown key answers the
+// deterministic initializer row and must not mutate training state.
+func TestServeInitDoesNotCreateEntries(t *testing.T) {
+	dim := 8
+	e := newTestEngine(t, testConfig(dim, 128, 32))
+	runBatch(t, e, 0, []uint64{1, 2, 3}, nil)
+	e.EnableServeSnapshots()
+	before := e.Stats().Entries
+
+	dst := make([]float32, dim)
+	src, err := e.ServeRead(999, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != ServeInit {
+		t.Fatalf("unknown key served from %d, want initializer", src)
+	}
+	if got := e.Stats().Entries; got != before {
+		t.Fatalf("serve created entries: %d -> %d", before, got)
+	}
+	// The served row must equal what training materializes for that key.
+	want := runBatch(t, e, 1, []uint64{999}, nil)
+	for j := 0; j < dim; j++ {
+		if dst[j] != want[j] {
+			t.Fatalf("init row %v, trained first pull %v", dst[:dim], want[:dim])
+		}
+	}
+}
+
+// TestServeReadZeroAllocs pins the serve fast path at zero heap
+// allocations per read — the property the oevet allocfree analyzer
+// enforces statically and BENCH_pr8.json tracks in CI.
+func TestServeReadZeroAllocs(t *testing.T) {
+	dim := 16
+	e := newTestEngine(t, testConfig(dim, 256, 128))
+	keys := make([]uint64, 32)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	runBatch(t, e, 0, keys, constGrads(len(keys), dim, 1.0))
+	e.EnableServeSnapshots()
+
+	dst := make([]float32, dim)
+	// All keys are cache-resident and clean: every read must be a snapshot
+	// hit before the allocation count means anything.
+	for _, k := range keys {
+		if src, err := e.ServeRead(k, dst); err != nil || src != ServeSnap {
+			t.Fatalf("key %d: source %d err %v, want clean snapshot hit", k, src, err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		k := keys[i%len(keys)]
+		i++
+		if _, err := e.ServeRead(k, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ServeRead fast path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestServeNoTornReads is the pinned interleave test: a serve-path read
+// concurrent with pushes of the same keys must return a complete pre- or
+// post-push row bit-exactly — never a torn mix — whichever tier serves it.
+// SGD with a constant gradient makes every legal row enumerable: after m
+// pushes the row is exactly w0 - m*lr (computed element-wise in float32),
+// so any observed row must bit-match one of the precomputed versions.
+func TestServeNoTornReads(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		shards := shards
+		t.Run(map[int]string{1: "shards=1", 8: "shards=8"}[shards], func(t *testing.T) {
+			t.Parallel()
+			const (
+				dim     = 8
+				nkeys   = 32
+				batches = 300
+				reads   = 30_000 // per reader
+				readers = 4
+				lr      = 0.5 // lr*g = 0.5: exactly representable, like the engine's own op
+			)
+			e := newTestEngine(t, psengine.Config{
+				Dim:          dim,
+				Optimizer:    optim.NewSGD(lr),
+				Capacity:     4096,
+				CacheEntries: 256,
+				Shards:       shards,
+			})
+			keys := make([]uint64, nkeys)
+			for i := range keys {
+				keys[i] = uint64(i*977 + 13) // spread across shards
+			}
+			w0 := runBatch(t, e, 0, keys, nil)
+
+			// expect[k][m] is the exact row after m pushes, replicating
+			// optim.SGD.Apply's float32 arithmetic; verIdx[k] maps element
+			// 0's bit pattern to the candidate versions, so a read verifies
+			// in O(1).
+			expect := make([][][]float32, nkeys)
+			verIdx := make([]map[uint32][]int, nkeys)
+			for ki := range keys {
+				vers := make([][]float32, batches+1)
+				vers[0] = append([]float32(nil), w0[ki*dim:(ki+1)*dim]...)
+				for m := 1; m <= batches; m++ {
+					row := append([]float32(nil), vers[m-1]...)
+					for i := range row {
+						row[i] -= lr * 1.0
+					}
+					vers[m] = row
+				}
+				expect[ki] = vers
+				idx := make(map[uint32][]int, batches+1)
+				for m, row := range vers {
+					b := math.Float32bits(row[0])
+					idx[b] = append(idx[b], m)
+				}
+				verIdx[ki] = idx
+			}
+			matches := func(ki int, row []float32) bool {
+				for _, m := range verIdx[ki][math.Float32bits(row[0])] {
+					ver := expect[ki][m]
+					same := true
+					for i := range row {
+						if math.Float32bits(row[i]) != math.Float32bits(ver[i]) {
+							same = false
+							break
+						}
+					}
+					if same {
+						return true
+					}
+				}
+				return false
+			}
+
+			e.EnableServeSnapshots()
+			done := make(chan struct{})
+			var bySource [4]atomic.Int64
+			var started sync.WaitGroup // writer waits for first reads
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				started.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					var startOnce sync.Once
+					defer startOnce.Do(started.Done) // also on early error exit
+					rng := rand.New(rand.NewSource(int64(r + 1)))
+					dst := make([]float32, dim)
+					// Readers run for the writer's whole push sequence (so
+					// reads genuinely interleave with pushes of the same
+					// keys) and for at least `reads` iterations.
+					for n := 0; ; n++ {
+						select {
+						case <-done:
+							if n >= reads {
+								return
+							}
+						default:
+						}
+						ki := rng.Intn(nkeys)
+						src, err := e.ServeRead(keys[ki], dst)
+						if err != nil {
+							t.Errorf("reader %d: %v", r, err)
+							return
+						}
+						bySource[src].Add(1)
+						if !matches(ki, dst) {
+							t.Errorf("reader %d: torn row for key %d (source %d): %v",
+								r, keys[ki], src, append([]float32(nil), dst...))
+							return
+						}
+						startOnce.Do(started.Done)
+					}
+				}(r)
+			}
+			started.Wait()
+
+			// A refresher churns snapshot republication alongside training.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+						if err := e.RefreshServeSnapshots(); err != nil {
+							t.Errorf("refresh: %v", err)
+							return
+						}
+					}
+				}
+			}()
+
+			grads := constGrads(nkeys, dim, 1.0)
+			buf := make([]float32, nkeys*dim)
+			dst := make([]float32, dim)
+			for b := int64(1); b <= batches; b++ {
+				if err := e.Pull(b, keys, buf); err != nil {
+					t.Fatalf("pull %d: %v", b, err)
+				}
+				e.EndPullPhase(b)
+				if err := e.Push(b, keys, grads); err != nil {
+					t.Fatalf("push %d: %v", b, err)
+				}
+				// Deterministic dirty-window reads: the rows are pushed but
+				// not yet republished, so these land on the locked fallback
+				// path (on a single-core scheduler the concurrent readers
+				// alone might never catch this window).
+				ki := int(b) % nkeys
+				src, err := e.ServeRead(keys[ki], dst)
+				if err != nil {
+					t.Fatalf("dirty-window read %d: %v", b, err)
+				}
+				bySource[src].Add(1)
+				if !matches(ki, dst) {
+					t.Fatalf("dirty-window read of key %d (source %d) torn: %v", keys[ki], src, dst)
+				}
+				if err := e.EndBatch(b); err != nil {
+					t.Fatalf("end %d: %v", b, err)
+				}
+			}
+			close(done)
+			wg.Wait()
+
+			if bySource[ServeSnap].Load() == 0 {
+				t.Error("no read ever hit the lock-free snapshot path")
+			}
+			if bySource[ServeDRAM].Load()+bySource[ServePMem].Load() == 0 {
+				t.Error("no read ever exercised the locked fallback path")
+			}
+			if bySource[ServeInit].Load() != 0 {
+				t.Error("trained key served from the initializer")
+			}
+			t.Logf("reads: snap=%d dram=%d pmem=%d",
+				bySource[ServeSnap].Load(), bySource[ServeDRAM].Load(), bySource[ServePMem].Load())
+		})
+	}
+}

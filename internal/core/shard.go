@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openembedding/internal/cache"
@@ -91,6 +92,19 @@ type shard struct {
 	// evictObs counts this shard's LRU evictions for the obs registry
 	// (nil, and therefore free, when obs is disabled).
 	evictObs *obs.Counter
+
+	// snap is the shard's published serve snapshot (serve.go): loaded
+	// lock-free by serving threads, stored only under the exclusive lock.
+	// snapStale (guarded by mu) records a hot-set membership change since
+	// the last publication and forces the next rebuild to be full;
+	// snapEpoch (guarded by mu) numbers full rebuilds.
+	snap      atomic.Pointer[shardSnap]
+	snapStale bool
+	snapEpoch uint64
+
+	// serveQ collects keys the serve fallback read from PMem, awaiting
+	// promotion by RefreshServeSnapshots. Internally locked leaf.
+	serveQ serveQueue
 }
 
 // fanOutRow copies the row already written at position i of dst to every
@@ -338,6 +352,7 @@ func (s *shard) push(batch int64, keys []uint64, idxs []int32, grads []float32, 
 		}
 		ent.dirty = true
 		ent.dataVersion = batch
+		s.markServeDirty(ent)
 		stripe.Unlock()
 		start = end
 	}

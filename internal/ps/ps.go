@@ -28,6 +28,7 @@ import (
 	"openembedding/internal/pmem"
 	"openembedding/internal/psengine"
 	"openembedding/internal/rpc"
+	"openembedding/internal/serve"
 )
 
 // NodeConfig configures one PS node.
@@ -69,6 +70,12 @@ type NodeConfig struct {
 	// Spans is the node's span ring, handed to the engine; ObsHandler dumps
 	// it as Chrome trace JSON. Nil disables tracing.
 	Spans *obs.Tracer
+	// Serve enables the online inference tier on a pmem-oe node: the RPC
+	// server answers MsgPullBag through a serve.Handler over the engine's
+	// lock-free snapshot path (DESIGN.md §14). The handler survives
+	// Crash/Restart/rollback engine swaps — it is re-wired to whichever
+	// engine currently backs the node.
+	Serve bool
 }
 
 // Node is one running parameter-server node.
@@ -101,6 +108,30 @@ type Node struct {
 	// must never be dropped: integrityFence sets this BEFORE trying mu and
 	// every applier clears it under mu (applyPendingFenceLocked).
 	pendingFence atomic.Bool
+
+	// bagSrv is the node's stable MsgPullBag endpoint (nil unless
+	// cfg.Serve): the rpc server holds it across engine swaps, and
+	// adoptEngine repoints it at a fresh serve.Handler for each adopted
+	// engine.
+	bagSrv *nodeBagServer
+}
+
+// nodeBagServer adapts the node's current serve.Handler to rpc.BagServer
+// behind an atomic pointer, so the RPC server's hook stays valid across
+// Crash/Restart/rollback engine swaps.
+type nodeBagServer struct {
+	dim int
+	h   atomic.Pointer[serve.Handler]
+}
+
+func (b *nodeBagServer) Dim() int { return b.dim }
+
+func (b *nodeBagServer) PullBags(mean bool, offsets []uint32, keys []uint64, out []float32) error {
+	h := b.h.Load()
+	if h == nil {
+		return errors.New("ps: serving unavailable")
+	}
+	return h.PullBags(mean, offsets, keys, out)
 }
 
 // StartNode builds the engine (recovering from an existing PMem image when
@@ -229,6 +260,9 @@ func (n *Node) serverOptions() rpc.ServerOptions {
 	if n.cfg.Engine == "pmem-oe" {
 		opts.Rollback = n.rollbackTo
 		opts.Scrub = n.scrubRPC
+		if n.bagSrv != nil {
+			opts.Bags = n.bagSrv
+		}
 	}
 	return opts
 }
@@ -247,6 +281,22 @@ func (n *Node) armMediaFaults() {
 // recovery protocol before touching the regressed state.
 func (n *Node) adoptEngine(eng *core.Engine) {
 	eng.SetIntegrityNotify(n.integrityFence)
+	if n.cfg.Serve {
+		if n.bagSrv == nil {
+			n.bagSrv = &nodeBagServer{dim: n.cfg.Store.Dim}
+		}
+		n.bagSrv.h.Store(serve.New(eng, n.cfg.Obs))
+	}
+}
+
+// ServeHandler returns the node's current serving handler (nil unless the
+// node was started with NodeConfig.Serve). The handle is engine-specific:
+// after a Crash/Restart or rollback, fetch it again.
+func (n *Node) ServeHandler() *serve.Handler {
+	if n.bagSrv == nil {
+		return nil
+	}
+	return n.bagSrv.h.Load()
 }
 
 // integrityFence records and (when possible, immediately) applies an epoch

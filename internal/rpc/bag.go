@@ -1,0 +1,56 @@
+package rpc
+
+import "fmt"
+
+// BagServer is the hook a node installs (ServerOptions.Bags) to serve
+// MsgPullBag requests: a multi-sample embedding-bag gather with
+// server-side pooling. PullBags pools each bag keys[offsets[i]:
+// offsets[i+1]] into out[i*Dim():(i+1)*Dim()] (sum, or mean when mean is
+// set; an empty bag pools to the zero vector). The offsets slice has
+// already been validated against keys by the server.
+type BagServer interface {
+	Dim() int
+	PullBags(mean bool, offsets []uint32, keys []uint64, out []float32) error
+}
+
+// ValidateBagOffsets checks a bag-offsets array against its key list:
+// at least one entry, offsets[0] == 0, non-decreasing, and the final
+// offset equal to len(keys). Zero-length bags are legal.
+func ValidateBagOffsets(offsets []uint32, nkeys int) error {
+	if len(offsets) == 0 {
+		return fmt.Errorf("rpc: bag offsets empty")
+	}
+	if offsets[0] != 0 {
+		return fmt.Errorf("rpc: bag offsets must start at 0, got %d", offsets[0])
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return fmt.Errorf("rpc: bag offsets decrease at %d (%d < %d)", i, offsets[i], offsets[i-1])
+		}
+	}
+	if last := offsets[len(offsets)-1]; int(last) != nkeys {
+		return fmt.Errorf("rpc: bag offsets end at %d, want %d keys", last, nkeys)
+	}
+	return nil
+}
+
+// PullBags gathers pooled embedding bags from the server: bag i is
+// keys[offsets[i]:offsets[i+1]], pooled server-side (sum, or mean when
+// mean is set) so the response carries one dim-sized row per bag.
+// Read-only and idempotent — exempt from epoch fencing and sequence
+// dedup, like Pull.
+func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64) ([]float32, error) {
+	b := NewBuffer(MsgPullBag, 0)
+	if mean {
+		b.PutU8(1)
+	} else {
+		b.PutU8(0)
+	}
+	b.PutU32s(offsets)
+	b.PutKeys(keys)
+	r, err := c.do(b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return r.Floats()
+}

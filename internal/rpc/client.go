@@ -539,6 +539,8 @@ func msgName(t byte) string {
 		return "rollback"
 	case MsgScrub:
 		return "scrub"
+	case MsgPullBag:
+		return "pull-bag"
 	default:
 		return fmt.Sprintf("msg-0x%02x", t)
 	}

@@ -47,6 +47,16 @@ const (
 	// the scrub report's six counters. Exempt from epoch fencing: scrubbing
 	// is an admin/repair operation, like Rollback and Stats.
 	MsgScrub
+	// MsgPullBag is the serving tier's multi-sample embedding-bag gather
+	// (DESIGN.md §14): one request carries a pooling mode byte (0 = sum,
+	// 1 = mean), a count-prefixed uint32 offsets array (bags+1 entries,
+	// offsets[0] == 0, non-decreasing, last == len(keys); a zero-length bag
+	// pools to the zero vector) and the concatenated key list. The response
+	// is MsgData with bags×dim pooled floats — the server does the pooling,
+	// so only one row per bag crosses the wire. Exempt from epoch fencing
+	// and dedup: serving is read-only and eventually consistent, decoupled
+	// from the training epoch protocol.
+	MsgPullBag
 
 	MsgOK   byte = 0x80
 	MsgErr  byte = 0x81
@@ -146,6 +156,20 @@ func (p *Buffer) PutFloats(vals []float32) {
 	}
 }
 
+// PutU8 appends one raw byte (e.g. a pooling-mode flag).
+func (p *Buffer) PutU8(v byte) { p.b = append(p.b, v) }
+
+// PutU32s appends a count-prefixed uint32 list (e.g. bag offsets).
+func (p *Buffer) PutU32s(vals []uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(vals)))
+	p.b = append(p.b, tmp[:]...)
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		p.b = append(p.b, tmp[:]...)
+	}
+}
+
 // PutString appends a count-prefixed string.
 func (p *Buffer) PutString(s string) {
 	var tmp [4]byte
@@ -218,6 +242,33 @@ func (r *Reader) Floats() ([]float32, error) {
 	vals := make([]float32, n)
 	for i := range vals {
 		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
+	}
+	return vals, nil
+}
+
+// U8 consumes one raw byte.
+func (r *Reader) U8() (byte, error) {
+	if r.off+1 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+// U32s consumes a count-prefixed uint32 list.
+func (r *Reader) U32s() ([]uint32, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+4*n > len(r.b) {
+		return nil, ErrTruncated
+	}
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint32(r.b[r.off:])
 		r.off += 4
 	}
 	return vals, nil

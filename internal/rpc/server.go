@@ -33,6 +33,10 @@ type ServerOptions struct {
 	// Scrub, when set, serves MsgScrub by running one full integrity pass
 	// over the node's persisted records. Nil rejects scrub requests.
 	Scrub func() (psengine.ScrubReport, error)
+	// Bags, when set, serves MsgPullBag (the serving tier's pooled
+	// embedding-bag gather). Nil rejects bag requests with MsgErr; the
+	// connection stays alive either way.
+	Bags BagServer
 	// Obs, when set, receives server metrics: rpc_server_pull_ns /
 	// rpc_server_push_ns / rpc_server_other_ns request-service histograms,
 	// rpc_server_bytes_in/out, rpc_server_requests, the rpc_server_conns
@@ -77,6 +81,7 @@ type Server struct {
 	label    string
 	rollback func(target int64) error
 	scrub    func() (psengine.ScrubReport, error)
+	bags     BagServer
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -118,6 +123,7 @@ func ServeOpts(addr string, engine psengine.Engine, opts ServerOptions) (*Server
 		label:    opts.Label,
 		rollback: opts.Rollback,
 		scrub:    opts.Scrub,
+		bags:     opts.Bags,
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.epoch.Store(opts.Epoch)
@@ -429,6 +435,8 @@ func (s *Server) handle(body []byte) []byte {
 			out.PutI64(v)
 		}
 		return out.Bytes()
+	case MsgPullBag:
+		return s.handlePullBag(r)
 	case MsgStats:
 		st := s.engine.Stats()
 		out := &Buffer{b: []byte{MsgData}}
@@ -442,6 +450,48 @@ func (s *Server) handle(body []byte) []byte {
 	default:
 		return ErrBody(fmt.Errorf("unknown message type 0x%02x", t))
 	}
+}
+
+// handlePullBag serves one MsgPullBag body (type and batch already
+// consumed). Malformed bags — bad pooling mode, truncated or inconsistent
+// offsets, offsets past the end of the key list — are answered with
+// MsgErr; the connection stays alive (serveConn only drops a connection on
+// transport failure, never on an application error).
+func (s *Server) handlePullBag(r *Reader) []byte {
+	if s.bags == nil {
+		return ErrBody(fmt.Errorf("bag serving unsupported by this node"))
+	}
+	mode, err := r.U8()
+	if err != nil {
+		return ErrBody(err)
+	}
+	if mode > 1 {
+		return ErrBody(fmt.Errorf("rpc: bad pooling mode %d", mode))
+	}
+	offsets, err := r.U32s()
+	if err != nil {
+		return ErrBody(err)
+	}
+	keys, err := r.Keys()
+	if err != nil {
+		return ErrBody(err)
+	}
+	if err := ValidateBagOffsets(offsets, len(keys)); err != nil {
+		return ErrBody(err)
+	}
+	dim := s.bags.Dim()
+	bags := len(offsets) - 1
+	if 4*bags*dim > MaxFrame {
+		return ErrBody(fmt.Errorf("rpc: bag response %d floats exceeds frame limit", bags*dim))
+	}
+	out := make([]float32, bags*dim)
+	if err := s.bags.PullBags(mode == 1, offsets, keys, out); err != nil {
+		return errResp(err)
+	}
+	resp := &Buffer{b: make([]byte, 0, 1+4+4*len(out))}
+	resp.b = append(resp.b, MsgData)
+	resp.PutFloats(out)
+	return resp.Bytes()
 }
 
 // Close stops accepting, closes live connections and waits for handlers.

@@ -1,0 +1,218 @@
+// Package serve is the online inference tier (DESIGN.md §14): it answers
+// embedding-bag gather requests against a live PMem-OE engine while
+// training keeps running.
+//
+// The handler implements rpc.BagServer: one MsgPullBag request carries
+// every sparse field of a batch (e.g. 26 Criteo tables × 128 samples) as
+// offset-delimited key bags, and the handler pools each bag server-side
+// (sum or mean) so only one dim-sized row per bag crosses the wire back —
+// the embedding-bag shape that dominates DLRM inference latency.
+//
+// Reads go through the engine's lock-free snapshot path
+// (core.Engine.ServeRead): clean hot keys are served from an immutable
+// per-shard snapshot with no shard mutex and no push stripe, and the
+// steady-state request performs zero heap allocations (pinned by
+// TestPullBagsZeroAllocs and the oevet allocfree analyzer). Cold, dirty or
+// unknown keys fall back to the engine's locked path; keys the fallback
+// read from PMem are promoted into the hot set by the next Refresh.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openembedding/internal/core"
+	"openembedding/internal/obs"
+)
+
+// Handler serves pooled embedding-bag reads from one engine. Safe for
+// concurrent use by any number of connections.
+type Handler struct {
+	eng *core.Engine
+	dim int
+
+	// scratchPool recycles per-request row buffers and the obs sampling
+	// tick so the steady-state request allocates nothing.
+	scratchPool sync.Pool
+
+	// refreshing single-flights Refresh: concurrent triggers collapse into
+	// the one in flight.
+	refreshing atomic.Bool
+
+	// metrics (all nil, and free, when the registry is nil):
+	//
+	//	serve_bag_ns        request latency histogram (sampled 1-in-8)
+	//	serve_requests      bag-gather requests served
+	//	serve_keys          keys gathered across all bags
+	//	serve_snap_hits     keys served lock-free from the snapshot
+	//	serve_dram_fallback keys served from the DRAM cache under the stripe
+	//	serve_pmem_fallback keys served by a verified PMem read
+	//	serve_init_served   unknown keys served from the initializer
+	//	serve_refreshes     hot-set refresh passes completed
+	reg          *obs.Registry
+	bagNS        *obs.Histogram
+	requests     *obs.Counter
+	keysServed   *obs.Counter
+	snapHits     *obs.Counter
+	dramFallback *obs.Counter
+	pmemFallback *obs.Counter
+	initServed   *obs.Counter
+	refreshes    *obs.Counter
+}
+
+// bagScratch is one request's reusable state.
+type bagScratch struct {
+	row  []float32
+	tick uint8
+}
+
+// New returns a handler over eng, enabling the engine's serve snapshots.
+// reg may be nil (metrics disabled).
+func New(eng *core.Engine, reg *obs.Registry) *Handler {
+	h := &Handler{eng: eng, dim: eng.Dim(), reg: reg}
+	dim := h.dim
+	h.scratchPool.New = func() any {
+		return &bagScratch{row: make([]float32, dim)}
+	}
+	if reg != nil {
+		h.bagNS = reg.Histogram("serve_bag_ns")
+		h.requests = reg.Counter("serve_requests")
+		h.keysServed = reg.Counter("serve_keys")
+		h.snapHits = reg.Counter("serve_snap_hits")
+		h.dramFallback = reg.Counter("serve_dram_fallback")
+		h.pmemFallback = reg.Counter("serve_pmem_fallback")
+		h.initServed = reg.Counter("serve_init_served")
+		h.refreshes = reg.Counter("serve_refreshes")
+	}
+	eng.EnableServeSnapshots()
+	return h
+}
+
+// Dim implements rpc.BagServer.
+func (h *Handler) Dim() int { return h.dim }
+
+// PullBags implements rpc.BagServer: bag b is keys[offsets[b]:
+// offsets[b+1]], pooled into out[b*dim:(b+1)*dim] — sum, or mean when
+// mean is set; an empty bag pools to the zero vector. The caller
+// guarantees offsets are valid (rpc.ValidateBagOffsets) and len(out) ==
+// (len(offsets)-1)*dim.
+//
+// The first key of a bag is read straight into the output row; the rest
+// land in the pooled scratch row and are vector-added, so pooling itself
+// allocates nothing. Per-source tallies accumulate in locals and fold
+// into the counters once per request.
+//
+// oevet:hotpath
+func (h *Handler) PullBags(mean bool, offsets []uint32, keys []uint64, out []float32) error {
+	dim := h.dim
+	sc := h.scratchPool.Get().(*bagScratch)
+	var start time.Duration
+	sampled := false
+	if h.reg != nil {
+		if sc.tick++; sc.tick&7 == 0 {
+			start = h.reg.Now()
+			sampled = true
+		}
+	}
+	var snap, dram, pm, ini int64
+	bags := len(offsets) - 1
+	for b := 0; b < bags; b++ {
+		lo, hi := int(offsets[b]), int(offsets[b+1])
+		dst := out[b*dim : (b+1)*dim]
+		if lo == hi {
+			clear(dst) // empty bag: the zero vector
+			continue
+		}
+		src, err := h.eng.ServeRead(keys[lo], dst)
+		if err != nil {
+			h.scratchPool.Put(sc)
+			return err
+		}
+		switch src {
+		case core.ServeSnap:
+			snap++
+		case core.ServeDRAM:
+			dram++
+		case core.ServePMem:
+			pm++
+		default:
+			ini++
+		}
+		for j := lo + 1; j < hi; j++ {
+			src, err := h.eng.ServeRead(keys[j], sc.row)
+			if err != nil {
+				h.scratchPool.Put(sc)
+				return err
+			}
+			switch src {
+			case core.ServeSnap:
+				snap++
+			case core.ServeDRAM:
+				dram++
+			case core.ServePMem:
+				pm++
+			default:
+				ini++
+			}
+			row := sc.row
+			for i := range dst {
+				dst[i] += row[i]
+			}
+		}
+		if mean {
+			inv := 1 / float32(hi-lo)
+			for i := range dst {
+				dst[i] *= inv
+			}
+		}
+	}
+	h.requests.Add(1)
+	h.keysServed.Add(int64(len(keys)))
+	h.snapHits.Add(snap)
+	h.dramFallback.Add(dram)
+	h.pmemFallback.Add(pm)
+	h.initServed.Add(ini)
+	if sampled {
+		h.bagNS.Observe(h.reg.Now() - start)
+	}
+	h.scratchPool.Put(sc)
+	return nil
+}
+
+// Refresh runs one hot-set refresh pass: keys the fallback path read from
+// PMem are promoted into the DRAM cache and every shard's snapshot is
+// republished. Single-flighted — a call that finds a refresh already in
+// progress returns nil immediately.
+func (h *Handler) Refresh() error {
+	if !h.refreshing.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer h.refreshing.Store(false)
+	if err := h.eng.RefreshServeSnapshots(); err != nil {
+		return err
+	}
+	h.refreshes.Add(1)
+	return nil
+}
+
+// StartRefresher runs Refresh every interval on a background goroutine
+// until the returned stop function is called. Refresh errors are folded
+// into the engine's metric set by the engine itself; the loop keeps going.
+func (h *Handler) StartRefresher(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				h.Refresh() //nolint:errcheck // refresh is best-effort; the next tick retries
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"openembedding/internal/obs"
+	"openembedding/internal/simclock"
+	"openembedding/internal/workload"
+)
+
+// soakSeed is fixed by default so CI is reproducible; OE_CHAOS_SEED
+// overrides it (the CI serving-soak job sweeps a small seed matrix).
+func soakSeed(t *testing.T) uint64 {
+	t.Helper()
+	if s := os.Getenv("OE_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("OE_CHAOS_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return 1
+}
+
+// soakResult is what one soak run measures.
+type soakResult struct {
+	requests int
+	elapsed  time.Duration
+	bagNS    obs.HistSnapshot
+	snapRate float64 // fraction of keys served lock-free
+	windows  uint64  // flash-crowd rotations covered
+}
+
+// runFlashCrowdSoak drives a flash-crowd bag-gather workload at a handler
+// while training keeps pushing and the hot set rotates mid-run. The
+// workload's virtual clock (rotation) advances deterministically per
+// request; request latency is measured on the wall clock by the handler's
+// own serve_bag_ns histogram.
+func runFlashCrowdSoak(t testing.TB, seed uint64, rounds int) soakResult {
+	const (
+		dim      = 16
+		keyspace = 8192
+		tables   = 8
+		batch    = 16
+		bagSize  = 2
+		hot      = 256
+		rotate   = 2 * time.Second // virtual
+		tick     = 2 * time.Millisecond
+	)
+	e := newTestEngine(t, dim, keyspace, 2048, 4)
+
+	// Pre-train the whole key space so every serve hits real trained rows.
+	all := make([]uint64, keyspace)
+	for i := range all {
+		all[i] = uint64(i)
+	}
+	var b int64
+	for lo := 0; lo < keyspace; lo += 512 {
+		train(t, e, b, all[lo:lo+512], 1.0)
+		b++
+	}
+
+	reg := obs.NewRegistry()
+	h := New(e, reg)
+
+	fc := workload.NewFlashCrowd(keyspace, hot, 0.9, rotate, seed)
+	trainFC := workload.NewFlashCrowd(keyspace, hot, 0.9, rotate, seed+1)
+	clock := simclock.NewClock()
+
+	const bags = tables * batch
+	offsets := make([]uint32, bags+1)
+	for i := range offsets {
+		offsets[i] = uint32(i * bagSize)
+	}
+	keys := make([]uint64, bags*bagSize)
+	out := make([]float32, bags*dim)
+	trainKeys := make([]uint64, 0, 64)
+	grads := make([]float32, 64*dim)
+	for i := range grads {
+		grads[i] = 1
+	}
+
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		now := clock.Advance(tick)
+		fc.Advance(now)
+		for i := range keys {
+			keys[i] = fc.Sample()
+		}
+		if err := h.PullBags(r%2 == 1, offsets, keys, out); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		// Interleave training pushes on the same rotating crowd, plus the
+		// refresh cadence that re-publishes snapshots.
+		if r%10 == 5 {
+			trainFC.Advance(now)
+			seen := make(map[uint64]bool, 64)
+			trainKeys = trainKeys[:0]
+			for len(trainKeys) < 64 {
+				k := trainFC.Sample()
+				if !seen[k] {
+					seen[k] = true
+					trainKeys = append(trainKeys, k)
+				}
+			}
+			dst := make([]float32, len(trainKeys)*dim)
+			if err := e.Pull(b, trainKeys, dst); err != nil {
+				t.Fatalf("train pull %d: %v", b, err)
+			}
+			e.EndPullPhase(b)
+			if err := e.Push(b, trainKeys, grads[:len(trainKeys)*dim]); err != nil {
+				t.Fatalf("train push %d: %v", b, err)
+			}
+			if err := e.EndBatch(b); err != nil {
+				t.Fatalf("train end %d: %v", b, err)
+			}
+			b++
+		}
+		if r%50 == 25 {
+			if err := h.Refresh(); err != nil {
+				t.Fatalf("refresh: %v", err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	served := reg.Counter("serve_keys").Value()
+	res := soakResult{
+		requests: rounds,
+		elapsed:  elapsed,
+		bagNS:    reg.Histogram("serve_bag_ns").Snapshot(),
+		windows:  fc.Window() + 1,
+	}
+	if served > 0 {
+		res.snapRate = float64(reg.Counter("serve_snap_hits").Value()) / float64(served)
+	}
+	if got := reg.Counter("serve_init_served").Value(); got != 0 {
+		t.Fatalf("%d keys served from the initializer; the whole key space is trained", got)
+	}
+	return res
+}
+
+// TestServeFlashCrowdSoak is the serving soak gate: a rotating flash-crowd
+// workload against a live training engine must finish with sane latency
+// percentiles, a dominant lock-free hit rate, and at least one hot-set
+// rotation survived mid-run.
+func TestServeFlashCrowdSoak(t *testing.T) {
+	seed := soakSeed(t)
+	t.Logf("soak seed = %d (set OE_CHAOS_SEED to override)", seed)
+	rounds := 3000
+	if testing.Short() {
+		rounds = 600
+	}
+	res := runFlashCrowdSoak(t, seed, rounds)
+
+	qps := float64(res.requests) / res.elapsed.Seconds()
+	t.Logf("%d requests in %s (%.0f QPS), bag p50=%s p99=%s max=%s, snap hit rate %.1f%%, %d crowd windows",
+		res.requests, res.elapsed.Round(time.Millisecond), qps,
+		time.Duration(res.bagNS.P50), time.Duration(res.bagNS.P99), time.Duration(res.bagNS.Max),
+		100*res.snapRate, res.windows)
+
+	if res.bagNS.Count == 0 {
+		t.Fatal("latency histogram empty: the 1-in-8 sampler never fired")
+	}
+	// Latency gates are sanity bounds, not performance claims: shared CI
+	// runners are noisy, so only order-of-magnitude failures trip them.
+	if p99 := time.Duration(res.bagNS.P99); p99 > 250*time.Millisecond {
+		t.Errorf("bag-gather p99 = %s, want < 250ms", p99)
+	}
+	if p50 := time.Duration(res.bagNS.P50); p50 > 50*time.Millisecond {
+		t.Errorf("bag-gather p50 = %s, want < 50ms", p50)
+	}
+	// The lock-free path must carry the load: 90% of traffic targets a hot
+	// set that refreshes keep snapshot-resident.
+	if res.snapRate < 0.5 {
+		t.Errorf("snapshot hit rate %.1f%%, want >= 50%%", 100*res.snapRate)
+	}
+	// The virtual clock must have rotated the crowd mid-run: 3000 rounds ×
+	// 2ms = 6 virtual seconds over a 2s rotation period.
+	if res.windows < 2 {
+		t.Errorf("flash crowd never rotated (windows = %d)", res.windows)
+	}
+}
+
+// TestServeSoakValuesMatchEngine spot-checks that soak-style pooled reads
+// agree with per-key engine reads after the crowd has rotated and training
+// has moved the rows.
+func TestServeSoakValuesMatchEngine(t *testing.T) {
+	const dim = 8
+	e := newTestEngine(t, dim, 1024, 256, 2)
+	keys := make([]uint64, 512)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	for lo := 0; lo < len(keys); lo += 128 {
+		train(t, e, int64(lo/128), keys[lo:lo+128], 1.0)
+	}
+	h := New(e, obs.NewRegistry())
+
+	fc := workload.NewFlashCrowd(len(keys), 32, 0.8, time.Second, soakSeed(t))
+	fc.Advance(1500 * time.Millisecond) // second window: rotated crowd
+	offsets := []uint32{0, 2, 5, 5, 9}
+	bagKeys := make([]uint64, 9)
+	for i := range bagKeys {
+		bagKeys[i] = fc.Sample()
+	}
+	out := make([]float32, (len(offsets)-1)*dim)
+	if err := h.PullBags(true, offsets, bagKeys, out); err != nil {
+		t.Fatal(err)
+	}
+	want := poolRef(t, e, true, offsets, bagKeys)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// The generator must be bit-deterministic under a fixed seed: same seed +
+// same Advance/Sample sequence → same trace, per the faultdet rules.
+func TestFlashCrowdDeterministic(t *testing.T) {
+	mk := func() *FlashCrowd {
+		return NewFlashCrowd(1<<16, 64, 0.9, time.Second, 42)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10_000; i++ {
+		now := time.Duration(i) * 700 * time.Microsecond
+		if ka, kb := a.SampleAt(now), b.SampleAt(now); ka != kb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, ka, kb)
+		}
+	}
+}
+
+// Different seeds must give different crowds (sanity that the seed is
+// actually wired through the hash).
+func TestFlashCrowdSeedSensitivity(t *testing.T) {
+	a := NewFlashCrowd(1<<16, 64, 0.9, time.Second, 1)
+	b := NewFlashCrowd(1<<16, 64, 0.9, time.Second, 2)
+	same := 0
+	bs := make(map[uint64]struct{})
+	for _, k := range b.HotSet() {
+		bs[k] = struct{}{}
+	}
+	for _, k := range a.HotSet() {
+		if _, ok := bs[k]; ok {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("seeds 1 and 2 produced identical hot sets")
+	}
+}
+
+// The hot set must hold exactly `hot` distinct keys and absorb roughly
+// hotShare of the draws.
+func TestFlashCrowdHotShare(t *testing.T) {
+	f := NewFlashCrowd(1<<20, 128, 0.8, time.Minute, 7)
+	hs := f.HotSet()
+	if len(hs) != 128 {
+		t.Fatalf("hot set size %d, want 128", len(hs))
+	}
+	seen := make(map[uint64]struct{}, len(hs))
+	for _, k := range hs {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("duplicate hot key %d", k)
+		}
+		if k >= 1<<20 {
+			t.Fatalf("hot key %d outside key space", k)
+		}
+		seen[k] = struct{}{}
+	}
+	const draws = 200_000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if _, ok := seen[f.Sample()]; ok {
+			hits++
+		}
+	}
+	share := float64(hits) / draws
+	// Uniform draws land in the tiny hot set with probability ~2^-13, so
+	// the observed share is essentially the hot share.
+	if share < 0.78 || share > 0.82 {
+		t.Fatalf("hot share %.3f, want ≈0.80", share)
+	}
+}
+
+// Rotation: advancing past the window boundary must swap the crowd; within
+// a window it must not.
+func TestFlashCrowdRotation(t *testing.T) {
+	f := NewFlashCrowd(1<<20, 64, 1.0, time.Second, 9)
+	w0 := f.HotSet()
+	f.Advance(900 * time.Millisecond)
+	mid := f.HotSet()
+	for i := range w0 {
+		if w0[i] != mid[i] {
+			t.Fatal("hot set changed within a rotation window")
+		}
+	}
+	f.Advance(1100 * time.Millisecond)
+	w1 := f.HotSet()
+	if f.Window() != 1 {
+		t.Fatalf("window = %d, want 1", f.Window())
+	}
+	set0 := make(map[uint64]struct{}, len(w0))
+	for _, k := range w0 {
+		set0[k] = struct{}{}
+	}
+	overlap := 0
+	for _, k := range w1 {
+		if _, ok := set0[k]; ok {
+			overlap++
+		}
+	}
+	// 64 keys from 2^20: windows should be essentially disjoint.
+	if overlap > 8 {
+		t.Fatalf("windows 0 and 1 share %d of 64 keys", overlap)
+	}
+	// All traffic is hot (hotShare=1): every draw must come from the new crowd.
+	set1 := make(map[uint64]struct{}, len(w1))
+	for _, k := range w1 {
+		set1[k] = struct{}{}
+	}
+	for i := 0; i < 1000; i++ {
+		k := f.Sample()
+		if _, ok := set1[k]; !ok {
+			t.Fatalf("draw %d key %d not in the rotated hot set", i, k)
+		}
+	}
+}
+
+// Advance must be monotone: a stale (earlier) timestamp cannot rewind the
+// clock and resurrect an old crowd.
+func TestFlashCrowdMonotoneClock(t *testing.T) {
+	f := NewFlashCrowd(1<<16, 16, 1.0, time.Second, 3)
+	f.Advance(2500 * time.Millisecond)
+	w := f.Window()
+	f.Advance(100 * time.Millisecond) // stale
+	if f.Window() != w {
+		t.Fatalf("window rewound from %d to %d", w, f.Window())
+	}
+}
