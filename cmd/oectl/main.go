@@ -8,7 +8,22 @@
 //	oectl -nodes ... -dim 64 drive 4 256
 //	oectl -nodes ... scrub
 //	oectl -nodes ... ping
+//	oectl -nodes ... ring
+//	oectl -nodes ... join 41 127.0.0.1:7073
+//	oectl -nodes ... leave 41 2
 //	oectl -nodes ... -dim 64 serve-bench -duration 10s -conns 8
+//
+// ping probes every node with the health RPC and prints its epoch,
+// round-trip time and whether it serves bag reads. ring samples the
+// consistent-hash placement and prints each node's key share at the
+// current ownership epoch.
+//
+// join <batch> <addr> live-migrates the joining node's ring share to it
+// (checkpoint copy, delta replay, verify, epoch flip) and prints the
+// migration counters; batch is the last sealed batch, and the cluster
+// must be quiesced (no concurrent training) for the duration. leave
+// <batch> <node> is the inverse: it drains the leaving node's share to
+// the survivors and retires it.
 //
 // drive [batches [keys]] runs the synchronous batch protocol
 // (pull/end-pull/push/end-batch, tiny constant gradients) so a live
@@ -59,7 +74,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "oectl: need a command: ping|stats|pull|checkpoint|completed|drive|scrub|serve-bench")
+		fmt.Fprintln(os.Stderr, "oectl: need a command: ping|ring|join|leave|stats|pull|checkpoint|completed|drive|scrub|serve-bench")
 		os.Exit(2)
 	}
 	addrs := strings.Split(*nodes, ",")
@@ -69,14 +84,77 @@ func main() {
 		for _, a := range addrs {
 			c, err := rpc.Dial(a)
 			if err != nil {
-				log.Fatalf("oectl: %v", err)
+				fmt.Printf("%-21s DOWN  (%v)\n", a, err)
+				continue
 			}
-			if err := c.Ping(); err != nil {
-				log.Fatalf("oectl: ping %s: %v", a, err)
-			}
+			h, err := c.PingInfo()
 			c.Close()
-			fmt.Printf("%s: ok\n", a)
+			if err != nil {
+				fmt.Printf("%-21s DOWN  (%v)\n", a, err)
+				continue
+			}
+			serving := "training-only"
+			if h.Serving {
+				serving = "serving"
+			}
+			fmt.Printf("%-21s ok    epoch=%d rtt=%s %s\n", a, h.Epoch, h.RTT.Round(time.Microsecond), serving)
 		}
+	case "ring":
+		cl := dial(*dim, addrs)
+		defer cl.Close()
+		const sample = 100_000
+		counts := make([]int, cl.Nodes())
+		for k := uint64(0); k < sample; k++ {
+			counts[cl.Owner(k)]++
+		}
+		fmt.Printf("placement epoch=%d nodes=%d (%d-key sample)\n", cl.Epoch(), cl.Nodes(), sample)
+		for i, a := range addrs {
+			fmt.Printf("node %d %-21s %5.1f%% of keys\n", i, a, 100*float64(counts[i])/sample)
+		}
+	case "join":
+		if len(args) != 3 {
+			log.Fatal("oectl: join needs <last-sealed-batch> <addr>")
+		}
+		batch, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("oectl: bad batch %q", args[1])
+		}
+		reg := obs.NewRegistry()
+		cl, err := cluster.DialOpts(*dim, addrs, cluster.Options{Obs: reg})
+		if err != nil {
+			log.Fatalf("oectl: %v", err)
+		}
+		defer cl.Close()
+		start := time.Now()
+		if err := cl.Join(batch, args[2]); err != nil {
+			log.Fatalf("oectl: join: %v", err)
+		}
+		fmt.Printf("joined %s: cluster now %d node(s) at epoch %d\n", args[2], cl.Nodes(), cl.Epoch())
+		printMigrationCounters(reg, time.Since(start))
+	case "leave":
+		if len(args) != 3 {
+			log.Fatal("oectl: leave needs <last-sealed-batch> <node-index>")
+		}
+		batch, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("oectl: bad batch %q", args[1])
+		}
+		node, err := strconv.Atoi(args[2])
+		if err != nil {
+			log.Fatalf("oectl: bad node index %q", args[2])
+		}
+		reg := obs.NewRegistry()
+		cl, err := cluster.DialOpts(*dim, addrs, cluster.Options{Obs: reg})
+		if err != nil {
+			log.Fatalf("oectl: %v", err)
+		}
+		defer cl.Close()
+		start := time.Now()
+		if err := cl.Leave(batch, node); err != nil {
+			log.Fatalf("oectl: leave: %v", err)
+		}
+		fmt.Printf("node %d left: cluster now %d node(s) at epoch %d\n", node, cl.Nodes(), cl.Epoch())
+		printMigrationCounters(reg, time.Since(start))
 	case "stats":
 		cl := dial(*dim, addrs)
 		defer cl.Close()
@@ -305,6 +383,16 @@ func serveBench(dim int, addrs []string, obsURL string, args []string) {
 			log.Fatalf("oectl: obs scrape: %v", err)
 		}
 	}
+}
+
+// printMigrationCounters prints the cluster_* migration counters a join or
+// leave recorded in this process's registry (the coordinator is the
+// counting side; a trainer's -obs endpoint exposes the same names).
+func printMigrationCounters(reg *obs.Registry, wall time.Duration) {
+	for _, name := range []string{"cluster_migrations", "cluster_migrated_keys"} {
+		fmt.Printf("%-26s %d\n", name, reg.Counter(name).Value())
+	}
+	fmt.Printf("%-26s %s\n", "wall time", wall.Round(time.Millisecond))
 }
 
 // scrapeServe fetches <base>/metrics.json and prints the node's serving

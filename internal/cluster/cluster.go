@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openembedding/internal/faultinject"
@@ -17,10 +18,26 @@ import (
 
 // Partition returns the node index owning key among n nodes: the same
 // multiplicative hash the engines use for shard selection, reduced modulo
-// the node count.
+// the node count. This is the legacy fixed-membership placement
+// (PlacementModulo); the default placement is the consistent-hash ring
+// (ring.go), which moves only ~1/N of keys on membership change.
 func Partition(key uint64, n int) int {
 	return int((key * 0x9e3779b97f4a7c15) >> 32 % uint64(n))
 }
+
+// Placement selects the key-placement scheme.
+type Placement int
+
+const (
+	// PlacementRing (the default) places keys on a consistent-hash ring
+	// with virtual nodes, versioned by an ownership epoch; membership can
+	// change live (Join/Leave) and reads fail over to R=2 replicas.
+	PlacementRing Placement = iota
+	// PlacementModulo is the legacy fixed-membership modulo placement:
+	// no migration, no replicas, bit-compatible with pre-elasticity
+	// deployments and BENCH series.
+	PlacementModulo
+)
 
 // Options configures a cluster Client.
 type Options struct {
@@ -42,23 +59,59 @@ type Options struct {
 	// Spans, when set, records per-batch cluster spans: cluster.pull /
 	// cluster.push parents with per-node cluster.node children.
 	Spans *obs.Tracer
+	// Placement selects key placement: PlacementRing (default, elastic)
+	// or PlacementModulo (legacy fixed membership).
+	Placement Placement
+	// HedgeDelay, when positive, arms hedged replica reads in PullBags:
+	// if a node's bag request has not answered within HedgeDelay, one
+	// hedged request is issued to the keys' replica nodes and the first
+	// success wins. Zero disables hedging; hard failures still fail over.
+	HedgeDelay time.Duration
 }
 
 // Client is a partitioned parameter-server client.
+//
+// Membership changes (Join/Leave, migrate.go) mutate the node tables and
+// must not race other calls on the same Client: the coordinator that
+// reshapes the cluster is the one training driver, so the methods here
+// stay lock-free. Concurrent serving frontends use their own Clients.
 type Client struct {
 	dim   int
 	nodes []*rpc.Client
 	addrs []string
 	spans *obs.Tracer
 
+	// ring is the ownership table under PlacementRing (nil under
+	// PlacementModulo). Stored atomically so concurrent PullBags readers
+	// observe a consistent ring while a Join/Leave flips the epoch.
+	ring atomic.Pointer[Ring]
+	// ids are the stable ring identities of c.nodes, index-aligned;
+	// nextID is the identity the next joiner receives. Identities are
+	// never reused, so a membership history replays to the same ring.
+	ids    []uint64
+	nextID uint64
+	// dialOpts reproduces DialOpts' per-node connection setup for nodes
+	// that join later.
+	dialOpts   Options
+	hedgeDelay time.Duration
+	// migrateHook, when set by tests, runs between migration copy rounds
+	// (round index, last sealed batch) and returns the new last sealed
+	// batch — the hook may train, forcing delta rounds.
+	migrateHook func(round int, batch int64) int64
+
 	// metrics (nil, and free, without Options.Obs)
-	fanWidth  *obs.Histogram
-	straggler *obs.Histogram
-	pullNS    *obs.Histogram
-	pushNS    *obs.Histogram
-	bagNS     *obs.Histogram
-	replays   *obs.Counter
-	reg       *obs.Registry
+	fanWidth    *obs.Histogram
+	straggler   *obs.Histogram
+	pullNS      *obs.Histogram
+	pushNS      *obs.Histogram
+	bagNS       *obs.Histogram
+	migrationNS *obs.Histogram
+	replays     *obs.Counter
+	migrations  *obs.Counter
+	migKeys     *obs.Counter
+	failovers   *obs.Counter
+	hedged      *obs.Counter
+	reg         *obs.Registry
 }
 
 // Dial connects to every node address with default options. dim must match
@@ -72,7 +125,13 @@ func DialOpts(dim int, addrs []string, opts Options) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no node addresses")
 	}
-	c := &Client{dim: dim, addrs: append([]string(nil), addrs...), spans: opts.Spans}
+	c := &Client{
+		dim:        dim,
+		addrs:      append([]string(nil), addrs...),
+		spans:      opts.Spans,
+		dialOpts:   opts,
+		hedgeDelay: opts.HedgeDelay,
+	}
 	if reg := opts.Obs; reg != nil {
 		c.reg = reg
 		c.fanWidth = reg.Histogram("cluster_fanout_width")
@@ -80,30 +139,77 @@ func DialOpts(dim int, addrs []string, opts Options) (*Client, error) {
 		c.pullNS = reg.Histogram("cluster_pull_ns")
 		c.pushNS = reg.Histogram("cluster_push_ns")
 		c.bagNS = reg.Histogram("cluster_pullbag_ns")
+		c.migrationNS = reg.Histogram("cluster_migration_ns")
 		c.replays = reg.Counter("cluster_replays")
+		c.migrations = reg.Counter("cluster_migrations")
+		c.migKeys = reg.Counter("cluster_migrated_keys")
+		c.failovers = reg.Counter("cluster_failovers")
+		c.hedged = reg.Counter("cluster_hedged_reads")
 	}
 	for n, a := range addrs {
-		ro := opts.RPC
-		if opts.Inject != nil {
-			ro.Inject = opts.Inject
-		}
-		if ro.Label == "" {
-			ro.Label = fmt.Sprintf("node%d", n)
-		}
-		// Distinct per-node jitter streams from one configured seed.
-		ro.Retry.Seed ^= uint64(n) * 0x9e3779b97f4a7c15
-		cl, err := rpc.DialOpts(a, ro)
+		cl, err := c.dialNode(a, n)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: node %d (%s): %w", n, a, err)
 		}
 		c.nodes = append(c.nodes, cl)
+		c.ids = append(c.ids, uint64(n))
+	}
+	c.nextID = uint64(len(addrs))
+	if opts.Placement == PlacementRing {
+		c.ring.Store(NewRing(c.ids))
 	}
 	return c, nil
 }
 
+// dialNode opens one per-node connection with the client's stored options:
+// a deterministic injector label ("node<i>") and a per-node retry jitter
+// seed, so seeded chaos runs replay identically even after joins.
+func (c *Client) dialNode(addr string, n int) (*rpc.Client, error) {
+	ro := c.dialOpts.RPC
+	if c.dialOpts.Inject != nil {
+		ro.Inject = c.dialOpts.Inject
+	}
+	if ro.Label == "" {
+		ro.Label = fmt.Sprintf("node%d", n)
+	}
+	// Distinct per-node jitter streams from one configured seed.
+	ro.Retry.Seed ^= uint64(n) * 0x9e3779b97f4a7c15
+	return rpc.DialOpts(addr, ro)
+}
+
+// ownerOf returns the node index owning key under the active placement.
+func (c *Client) ownerOf(key uint64) int {
+	if r := c.ring.Load(); r != nil {
+		return r.Owner(key)
+	}
+	return Partition(key, len(c.nodes))
+}
+
+// Epoch returns the current ownership epoch (0 under PlacementModulo,
+// which never changes membership).
+func (c *Client) Epoch() int64 {
+	if r := c.ring.Load(); r != nil {
+		return r.Epoch()
+	}
+	return 0
+}
+
 // Nodes returns the node count.
 func (c *Client) Nodes() int { return len(c.nodes) }
+
+// Owner returns the node index owning key under the active placement —
+// the exported view oectl ring uses to show the key distribution.
+func (c *Client) Owner(key uint64) int { return c.ownerOf(key) }
+
+// NodeHealth probes node n with the health RPC (fence-exempt) and reports
+// its epoch, serving status, and round-trip time.
+func (c *Client) NodeHealth(n int) (rpc.NodeHealth, error) {
+	if n < 0 || n >= len(c.nodes) {
+		return rpc.NodeHealth{}, fmt.Errorf("cluster: node %d out of range [0,%d)", n, len(c.nodes))
+	}
+	return c.nodes[n].PingInfo()
+}
 
 // Dim returns the embedding dimension.
 func (c *Client) Dim() int { return c.dim }
@@ -127,7 +233,7 @@ type plan struct {
 func (c *Client) plan(keys []uint64) plan {
 	p := plan{keys: make([][]uint64, len(c.nodes)), pos: make([][]int, len(c.nodes))}
 	for i, k := range keys {
-		n := Partition(k, len(c.nodes))
+		n := c.ownerOf(k)
 		p.keys[n] = append(p.keys[n], k)
 		p.pos[n] = append(p.pos[n], i)
 	}
@@ -229,6 +335,12 @@ func (c *Client) Pull(batch int64, keys []uint64, dst []float32) error {
 // are combined here in node-index order — a deterministic float-addition
 // order, so repeated gathers of the same state agree bit-for-bit. Mean is
 // applied client-side over each bag's full key count.
+//
+// Under PlacementRing a node that fails with a recoverable error is
+// failed over: its keys are regrouped by their per-key replica node
+// (failover.go) and re-read there, so one dead node costs latency, not
+// errors. With Options.HedgeDelay set, a node that is merely slow gets
+// one hedged replica read after the deadline.
 func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64, out []float32) error {
 	if err := rpc.ValidateBagOffsets(offsets, len(keys)); err != nil {
 		return err
@@ -242,6 +354,7 @@ func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64, out []floa
 	if c.reg != nil {
 		start = c.reg.Now()
 	}
+	ring := c.ring.Load()
 	nn := len(c.nodes)
 	nodeKeys := make([][]uint64, nn)
 	nodeOffs := make([][]uint32, nn)
@@ -250,7 +363,7 @@ func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64, out []floa
 	}
 	for b := 0; b < bags; b++ {
 		for _, k := range keys[offsets[b]:offsets[b+1]] {
-			n := Partition(k, nn)
+			n := c.ownerOf(k)
 			nodeKeys[n] = append(nodeKeys[n], k)
 		}
 		for n := range nodeOffs {
@@ -267,16 +380,7 @@ func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64, out []floa
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			vals, err := c.nodes[n].PullBags(false, nodeOffs[n], nodeKeys[n])
-			if err != nil {
-				errs[n] = err
-				return
-			}
-			if len(vals) != bags*c.dim {
-				errs[n] = fmt.Errorf("returned %d floats for %d bags", len(vals), bags)
-				return
-			}
-			parts[n] = vals
+			parts[n], errs[n] = c.bagRequest(ring, n, bags, nodeOffs[n], nodeKeys[n])
 		}(n)
 	}
 	wg.Wait()

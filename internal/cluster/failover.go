@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"openembedding/internal/rpc"
+)
+
+// Replicated bag reads (DESIGN.md §15): under PlacementRing every key has
+// a preferred owner and, with two or more nodes, a distinct replica
+// (Ring.Secondary) kept warm by SyncReplicas pushes into the replica's
+// serve overlay. PullBags prefers the owner; when the owner fails with a
+// recoverable error — or stays silent past Options.HedgeDelay — the
+// owner's keys are regrouped by their per-key replica and re-read there.
+// Training pushes remain single-owner: replicas serve reads only, and a
+// replica row is as stale as the last SyncReplicas that refreshed it.
+
+// bagRequest fetches one node's share of a PullBags fan-out: the partial
+// sums for all bags over nodeKeys, grouped under nodeOffs. Under
+// PlacementModulo (nil ring) it is a plain owner read with legacy error
+// semantics. Under PlacementRing it adds failover and optional hedging.
+func (c *Client) bagRequest(ring *Ring, n, bags int, offs []uint32, keys []uint64) ([]float32, error) {
+	if ring == nil || c.hedgeDelay <= 0 {
+		vals, err := c.bagNode(n, bags, offs, keys)
+		if err == nil || ring == nil || !rpc.IsRecoverable(err) {
+			return vals, err
+		}
+		c.failovers.Add(1)
+		return c.bagViaReplicas(ring, n, bags, offs, keys, err)
+	}
+	return c.bagHedged(ring, n, bags, offs, keys)
+}
+
+// bagNode issues the owner read to node n and validates the result shape.
+func (c *Client) bagNode(n, bags int, offs []uint32, keys []uint64) ([]float32, error) {
+	vals, err := c.nodes[n].PullBags(false, offs, keys)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != bags*c.dim {
+		return nil, fmt.Errorf("returned %d floats for %d bags", len(vals), bags)
+	}
+	return vals, nil
+}
+
+// bagViaReplicas re-reads node n's share from the keys' replica nodes:
+// keys are regrouped per replica (each key's Ring.Secondary), the replica
+// requests run sequentially in node-index order, and the partial sums are
+// added in that same order — so the substituted partial is bit-identical
+// to what a deterministic replica sum would produce, and the caller's
+// node-order accumulation stays deterministic. cause is the owner's
+// failure, returned when some key has no replica to fail over to.
+func (c *Client) bagViaReplicas(ring *Ring, n, bags int, offs []uint32, keys []uint64, cause error) ([]float32, error) {
+	nn := len(c.nodes)
+	repKeys := make([][]uint64, nn)
+	repOffs := make([][]uint32, nn)
+	for r := range repOffs {
+		repOffs[r] = make([]uint32, 1, bags+1)
+	}
+	for b := 0; b < bags; b++ {
+		for _, k := range keys[offs[b]:offs[b+1]] {
+			r := ring.Secondary(k)
+			if r < 0 || r == n || r >= nn {
+				return nil, fmt.Errorf("no replica for key %d: %w", k, cause)
+			}
+			repKeys[r] = append(repKeys[r], k)
+		}
+		for r := range repOffs {
+			repOffs[r] = append(repOffs[r], uint32(len(repKeys[r])))
+		}
+	}
+	acc := make([]float32, bags*c.dim)
+	for r := 0; r < nn; r++ {
+		if len(repKeys[r]) == 0 {
+			continue
+		}
+		vals, err := c.bagNode(r, bags, repOffs[r], repKeys[r])
+		if err != nil {
+			return nil, fmt.Errorf("replica node %d (%s): %w", r, c.addrs[r], err)
+		}
+		for i, v := range vals {
+			acc[i] += v
+		}
+	}
+	return acc, nil
+}
+
+// bagHedged races the owner read against one hedged replica read launched
+// after the hedge deadline. The first success wins; if both fail the
+// owner's error is returned. The owner finishing first (the steady state)
+// never pays for a replica round-trip.
+func (c *Client) bagHedged(ring *Ring, n, bags int, offs []uint32, keys []uint64) ([]float32, error) {
+	type res struct {
+		vals []float32
+		err  error
+	}
+	ch := make(chan res, 2)
+	go func() {
+		vals, err := c.bagNode(n, bags, offs, keys)
+		ch <- res{vals, err}
+	}()
+	timer := time.NewTimer(c.hedgeDelay)
+	defer timer.Stop()
+	outstanding := 1
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				return r.vals, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !hedged {
+				// Owner failed before the hedge deadline: hard failover.
+				if !rpc.IsRecoverable(r.err) {
+					return nil, r.err
+				}
+				c.failovers.Add(1)
+				return c.bagViaReplicas(ring, n, bags, offs, keys, r.err)
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			outstanding++
+			c.hedged.Add(1)
+			go func() {
+				vals, err := c.bagViaReplicas(ring, n, bags, offs, keys, fmt.Errorf("hedged past %v", c.hedgeDelay))
+				ch <- res{vals, err}
+			}()
+		}
+	}
+}

@@ -41,13 +41,20 @@ func startClusterOpts(t *testing.T, engine string, nodes int, opts Options) (*Cl
 	return c, ns
 }
 
-// keysForAllNodes returns count keys spread so every node owns at least one.
+// keysForAllNodes returns count keys spread so every node owns at least
+// one under the default ring placement (a fresh cluster's ring is
+// NewRing(0..nodes-1), so ownership is computable without a client).
 func keysForAllNodes(t *testing.T, nodes, count int) []uint64 {
 	t.Helper()
+	ids := make([]uint64, nodes)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	ring := NewRing(ids)
 	owned := make([]bool, nodes)
 	var keys []uint64
 	for k := uint64(0); len(keys) < count; k++ {
-		n := Partition(k, nodes)
+		n := ring.Owner(k)
 		if !owned[n] || len(keys) >= nodes {
 			owned[n] = true
 			keys = append(keys, k)

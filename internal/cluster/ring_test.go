@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"testing"
+
+	"openembedding/internal/rpc"
+)
+
+const ringSampleKeys = 100_000
+
+func ringIDs(n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	return ids
+}
+
+// TestRingDeterministic: two rings built from the same id list agree on
+// every owner, and a ring grown via joinPlan is the same placement as one
+// built directly from the combined id list — the property that lets a
+// restarted coordinator recompute an interrupted migration's exact plan.
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(ringIDs(5)), NewRing(ringIDs(5))
+	grown, _ := NewRing(ringIDs(4)).joinPlan(4)
+	for k := uint64(0); k < ringSampleKeys; k++ {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: owners differ across identical rings", k)
+		}
+		if a.Owner(k) != grown.Owner(k) {
+			t.Fatalf("key %d: grown ring disagrees with directly built ring", k)
+		}
+	}
+}
+
+// TestRingRemapBound pins the elasticity contract: growing N -> N+1 nodes
+// remaps at most 2/N of a 100k-key sample, and every remapped key moves TO
+// the new node (a join never shuffles keys between existing nodes).
+func TestRingRemapBound(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		old := NewRing(ringIDs(n))
+		grown, _ := old.joinPlan(uint64(n))
+		moved := 0
+		for k := uint64(0); k < ringSampleKeys; k++ {
+			a, b := old.Owner(k), grown.Owner(k)
+			if a == b {
+				continue
+			}
+			if b != n {
+				t.Fatalf("n=%d key %d moved %d -> %d, not to the new node", n, k, a, b)
+			}
+			moved++
+		}
+		if bound := 2 * ringSampleKeys / n; moved > bound {
+			t.Fatalf("n=%d: join remapped %d/%d keys, want <= %d (2/N)", n, moved, ringSampleKeys, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: join moved nothing", n)
+		}
+	}
+}
+
+// TestRingBalance: with 64 vnodes per node, every node's share of a 100k
+// key sample stays within a factor ~2 of fair.
+func TestRingBalance(t *testing.T) {
+	const n = 4
+	r := NewRing(ringIDs(n))
+	counts := make([]int, n)
+	for k := uint64(0); k < ringSampleKeys; k++ {
+		counts[r.Owner(k)]++
+	}
+	fair := ringSampleKeys / n
+	for i, c := range counts {
+		if c < fair/2 || c > 2*fair {
+			t.Fatalf("node %d owns %d keys, fair share %d (counts %v)", i, c, fair, counts)
+		}
+	}
+}
+
+// TestRingHashPinnedToWire pins cluster.KeyHash to rpc.KeyHash: the
+// coordinator's move plan and the server-side range predicates must select
+// exactly the same keys.
+func TestRingHashPinnedToWire(t *testing.T) {
+	for k := uint64(0); k < 10_000; k++ {
+		if KeyHash(k) != rpc.KeyHash(k) {
+			t.Fatalf("key %d: cluster hash %x != wire hash %x", k, KeyHash(k), rpc.KeyHash(k))
+		}
+	}
+}
+
+// TestRingReplicas: the secondary is a distinct node (or -1 on a
+// single-node ring), and Replicas returns the owner first.
+func TestRingReplicas(t *testing.T) {
+	r := NewRing(ringIDs(3))
+	var buf [2]int
+	for k := uint64(0); k < 10_000; k++ {
+		own, sec := r.Owner(k), r.Secondary(k)
+		if sec == own || sec < 0 || sec >= 3 {
+			t.Fatalf("key %d: owner %d secondary %d", k, own, sec)
+		}
+		reps := r.Replicas(k, 2, buf[:0])
+		if len(reps) != 2 || reps[0] != own || reps[1] != sec {
+			t.Fatalf("key %d: replicas %v, want [%d %d]", k, reps, own, sec)
+		}
+	}
+	if s := NewRing(ringIDs(1)).Secondary(7); s != -1 {
+		t.Fatalf("single-node secondary = %d, want -1", s)
+	}
+}
+
+// TestJoinPlanCoversExactly: the union of a join plan's intervals covers
+// precisely the keys the new node owns in the grown ring, each attributed
+// to the key's old owner as source.
+func TestJoinPlanCoversExactly(t *testing.T) {
+	old := NewRing(ringIDs(3))
+	grown, moves := old.joinPlan(3)
+	bySrc := make(map[int][]Interval)
+	for _, mv := range moves {
+		if mv.dst != 3 {
+			t.Fatalf("join move dst = %d, want 3", mv.dst)
+		}
+		bySrc[mv.src] = append(bySrc[mv.src], mv.ivs...)
+	}
+	for k := uint64(0); k < 20_000; k++ {
+		movesToNew := grown.Owner(k) == 3
+		covered := false
+		for src, ivs := range bySrc {
+			if ContainsKey(ivs, k) {
+				covered = true
+				if want := old.Owner(k); src != want {
+					t.Fatalf("key %d covered by source %d, old owner %d", k, src, want)
+				}
+			}
+		}
+		if covered != movesToNew {
+			t.Fatalf("key %d: covered=%v but moves-to-new=%v", k, covered, movesToNew)
+		}
+	}
+}
+
+// TestLeavePlanCoversExactly: a leave plan's intervals cover precisely the
+// leaving node's keys, each attributed to the key's new owner, and
+// newIndex maps the survivors in order.
+func TestLeavePlanCoversExactly(t *testing.T) {
+	old := NewRing(ringIDs(4))
+	leaving := 1
+	shrunk, moves, newIndex := old.leavePlan(leaving)
+	if newIndex[leaving] != -1 {
+		t.Fatalf("newIndex[leaving] = %d, want -1", newIndex[leaving])
+	}
+	byDst := make(map[int][]Interval)
+	for _, mv := range moves {
+		if mv.src != leaving {
+			t.Fatalf("leave move src = %d, want %d", mv.src, leaving)
+		}
+		byDst[mv.dst] = append(byDst[mv.dst], mv.ivs...)
+	}
+	for k := uint64(0); k < 20_000; k++ {
+		wasLeaving := old.Owner(k) == leaving
+		covered := false
+		for dstOld, ivs := range byDst {
+			if ContainsKey(ivs, k) {
+				covered = true
+				if want := newIndex[dstOld]; shrunk.Owner(k) != want {
+					t.Fatalf("key %d covered by old-dst %d (new %d), shrunk owner %d",
+						k, dstOld, want, shrunk.Owner(k))
+				}
+			}
+		}
+		if covered != wasLeaving {
+			t.Fatalf("key %d: covered=%v but was-leaving=%v", k, covered, wasLeaving)
+		}
+		if !wasLeaving && shrunk.Owner(k) != newIndex[old.Owner(k)] {
+			t.Fatalf("key %d: unmoved key changed owner %d -> %d", k, old.Owner(k), shrunk.Owner(k))
+		}
+	}
+}
+
+// TestModuloPlacementPinned: PlacementModulo routes exactly like the
+// legacy Partition function — the pinned pre-elasticity equivalence.
+func TestModuloPlacementPinned(t *testing.T) {
+	c, _ := startClusterOpts(t, "dram-ps", 3, Options{Placement: PlacementModulo})
+	if c.ring.Load() != nil {
+		t.Fatal("modulo placement built a ring")
+	}
+	if got := c.Epoch(); got != 0 {
+		t.Fatalf("modulo epoch = %d, want 0", got)
+	}
+	for k := uint64(0); k < 10_000; k++ {
+		if got, want := c.ownerOf(k), Partition(k, 3); got != want {
+			t.Fatalf("key %d: modulo owner %d, want Partition %d", k, got, want)
+		}
+	}
+	// Fixed membership: elastic operations refuse.
+	if err := c.Join(0, "127.0.0.1:1"); err == nil {
+		t.Fatal("modulo Join succeeded")
+	}
+	if err := c.Leave(0, 1); err == nil {
+		t.Fatal("modulo Leave succeeded")
+	}
+	if _, err := c.SyncReplicas([]uint64{1}); err == nil {
+		t.Fatal("modulo SyncReplicas succeeded")
+	}
+	// And the training path still works end to end.
+	keys := []uint64{1, 2, 3, 4, 5, 6}
+	dst := make([]float32, len(keys)*4)
+	if err := c.Pull(0, keys, dst); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"openembedding/internal/pmem"
+	"openembedding/internal/psengine"
+)
+
+// This file is the engine side of live resharding (DESIGN.md §15): a
+// migration source exports the entries whose ring positions are moving
+// (ExportRange), the target adopts them with immediate durability
+// (AdoptEntries), and after the ownership epoch flips the source drops the
+// moved range — index, cache, and every durable record (DropRange). All
+// three are cold administrative paths: they take shard locks exclusively
+// and never touch the pull/push hot path.
+
+// MigEntry is one migrating entry on the wire between ExportRange and
+// AdoptEntries: the key, the data version of the copied state (the batch
+// whose push it reflects), and the full DRAM image — weights followed by
+// optimizer state, EntryFloats floats.
+type MigEntry struct {
+	Key     uint64
+	Version int64
+	Data    []float32
+}
+
+// ExportRange returns up to max entries whose keys satisfy match, have key
+// > afterKey, and carry dataVersion >= since — in ascending key order, with
+// a more flag when the range continues past the page. afterKey is the
+// resume cursor (pass 0 for the first page; keys are never 0-biased, the
+// filter is strict). since narrows delta rounds to entries pushed at or
+// after a batch; pass a very negative since for the full copy.
+//
+// The export is a read: it does not change entry state, and the copy is
+// taken under each shard's exclusive lock so concurrent pushes cannot tear
+// a row. Entries resident only in PMem are read back through the verified
+// path, so a rotted record surfaces as an integrity error here instead of
+// migrating corruption.
+func (e *Engine) ExportRange(match func(key uint64) bool, since int64, afterKey uint64, max int) ([]MigEntry, bool, error) {
+	if e.closed.Load() {
+		return nil, false, psengine.ErrClosed
+	}
+	if max <= 0 {
+		return nil, false, fmt.Errorf("core: ExportRange: non-positive page size %d", max)
+	}
+	// Pass 1: collect candidate keys per shard (sorted within a shard, not
+	// across shards), then sort globally so paging is a total order on keys.
+	var cand []uint64
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, k := range s.scrubKeysLocked() {
+			if k <= afterKey || !match(k) {
+				continue
+			}
+			if ent := s.index[k]; ent != nil && ent.dataVersion >= since {
+				cand = append(cand, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+	slices.Sort(cand)
+	more := len(cand) > max
+	if more {
+		cand = cand[:max]
+	}
+	if len(cand) == 0 {
+		return nil, false, nil
+	}
+	// Pass 2: copy the selected entries, one shard lock acquisition per
+	// shard-contiguous run of the (key-sorted) page. An entry deleted between
+	// the passes is skipped — the caller's next delta round re-converges.
+	out := make([]MigEntry, 0, len(cand))
+	bufp := e.payloadPool.Get().(*[]byte)
+	defer e.payloadPool.Put(bufp)
+	for i := 0; i < len(cand); {
+		s := e.shardFor(cand[i])
+		j := i + 1
+		for j < len(cand) && e.shardFor(cand[j]) == s {
+			j++
+		}
+		s.mu.Lock()
+		for _, k := range cand[i:j] {
+			ent := s.index[k]
+			if ent == nil {
+				continue
+			}
+			data := make([]float32, e.cfg.EntryFloats())
+			if ent.inDRAM() {
+				copy(data, ent.buf)
+			} else {
+				if err := e.arena.ReadPayloadVerified(ent.slot, k, *bufp); err != nil {
+					s.mu.Unlock()
+					return nil, false, fmt.Errorf("core: export of key %d: %w", k, err)
+				}
+				pmem.DecodeFloats(data, *bufp)
+			}
+			out = append(out, MigEntry{Key: k, Version: ent.dataVersion, Data: data})
+		}
+		s.mu.Unlock()
+		i = j
+	}
+	return out, more, nil
+}
+
+// AdoptEntries installs migrated entries into this engine, overwriting any
+// existing state for the same keys, and flushes each adopted entry to PMem
+// before returning. The immediate flush is what makes a replayed migration
+// idempotent: adopted records are durable at their carried versions the
+// moment the RPC completes, independent of whether the seal checkpoint that
+// follows runs once or is skipped on a re-run.
+//
+// The caller (the node's adopt handler) fences its epoch afterwards, like
+// after a rollback: clients bound to the pre-migration ownership view must
+// rebind before their next fenced request.
+//
+// oevet:fence-need
+func (e *Engine) AdoptEntries(entries []MigEntry) error {
+	if e.closed.Load() {
+		return psengine.ErrClosed
+	}
+	floats := e.cfg.EntryFloats()
+	for _, me := range entries {
+		if len(me.Data) != floats {
+			return fmt.Errorf("core: adopt of key %d: %d floats, want %d", me.Key, len(me.Data), floats)
+		}
+	}
+	for i := 0; i < len(entries); {
+		s := e.shardFor(entries[i].Key)
+		j := i + 1
+		for j < len(entries) && e.shardFor(entries[j].Key) == s {
+			j++
+		}
+		// One locked region per run; errors accumulate and break so the
+		// shard still republishes a consistent snapshot before unlocking
+		// (the maintain.go idiom — no early unlock inside the region).
+		s.mu.Lock()
+		var runErr error
+		for _, me := range entries[i:j] {
+			ent := s.index[me.Key]
+			if ent == nil {
+				if n := e.entries.Add(1); n > int64(e.cfg.Capacity) {
+					e.entries.Add(-1)
+					runErr = fmt.Errorf("%w: %d entries", psengine.ErrCapacity, n-1)
+					break
+				}
+				ent = &entry{key: me.Key, version: me.Version, dataVersion: me.Version, slot: noSlot, dirty: true}
+				ent.node.Value = ent
+				ent.buf = make([]float32, floats)
+				s.index[me.Key] = ent
+				s.scrubKeysStale = true
+			} else if ent.ckptPending {
+				// The active checkpoint counted this entry's pre-adopt state;
+				// persist that state first so the checkpoint stays exact, then
+				// overwrite.
+				if runErr = s.flushLocked(ent); runErr != nil {
+					break
+				}
+			}
+			if !ent.inDRAM() {
+				ent.buf = make([]float32, floats)
+			}
+			copy(ent.buf, me.Data)
+			ent.dirty = true
+			ent.dataVersion = me.Version
+			if me.Version > ent.version {
+				ent.version = me.Version
+			}
+			if ent.node.InList() {
+				s.lru.MoveToFront(&ent.node)
+			} else {
+				s.lru.PushFront(&ent.node)
+			}
+			s.snapStale = true
+			// Durable immediately (see the function comment): the flush stamps
+			// the record with the carried data version and clears dirty.
+			if runErr = s.flushLocked(ent); runErr != nil {
+				break
+			}
+		}
+		if runErr == nil {
+			runErr = s.enforceCapacityLocked()
+		}
+		s.rebuildSnapLocked()
+		s.mu.Unlock()
+		if runErr != nil {
+			return runErr
+		}
+		i = j
+	}
+	return nil
+}
+
+// DropRange removes every entry whose key satisfies match — from the index,
+// the cache, and checkpoint accounting — and durably erases every arena
+// record (live, retired, or stale) carrying a matching key, so a later
+// recovery scan cannot resurrect moved keys on the old owner. Returns the
+// number of index entries dropped.
+//
+// The caller fences its epoch afterwards: dropping keys regresses this
+// node's served key set exactly like a rollback does.
+//
+// oevet:fence-need
+func (e *Engine) DropRange(match func(key uint64) bool) (int, error) {
+	if e.closed.Load() {
+		return 0, psengine.ErrClosed
+	}
+	// Settle in-flight maintenance first: a maintainer flushing a matching
+	// entry concurrently with the erase would write the record right back.
+	e.WaitMaintenance()
+	dropped := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, k := range s.scrubKeysLocked() {
+			if !match(k) {
+				continue
+			}
+			ent := s.index[k]
+			if ent == nil {
+				continue
+			}
+			if ent.ckptPending {
+				// The active checkpoint counted this entry; settle its
+				// completion accounting — the data is leaving this node.
+				ent.ckptPending = false
+				e.noteFlushed(true)
+			}
+			delete(s.index, k)
+			s.scrubKeysStale = true
+			s.snapStale = true
+			if ent.node.InList() {
+				s.lru.Remove(&ent.node)
+			}
+			ent.buf = nil
+			ent.slot = noSlot
+			e.entries.Add(-1)
+			dropped++
+		}
+		s.rebuildSnapLocked()
+		s.mu.Unlock()
+	}
+	if _, err := e.arena.EraseMatching(match); err != nil {
+		return dropped, fmt.Errorf("core: drop range: %w", err)
+	}
+	return dropped, nil
+}

@@ -389,6 +389,104 @@ func (a *Arena) ScanRange(lo, hi uint32, fn func(Record) error) error {
 	return nil
 }
 
+// EraseMatching durably erases every record whose key satisfies match,
+// wherever it lives — live slots, retired slots awaiting reclamation, and
+// records left behind in already-freed slots. Each matching slot's header
+// is zeroed and flushed, so the record fails its checksum on every future
+// scan and recovery can never resurrect it: this is what makes a migrated
+// key range *leave* its source node, rather than reappear on the next
+// rollback. Bookkeeping follows: erased live and retired slots return to
+// the free list. Quarantined slots and poisoned media are skipped (those
+// records are already unreadable). Returns the number of records erased.
+//
+// Charges: one stream read for the scan, plus per-erased-slot write (and,
+// under armed media faults, verify-read) charges from eraseSlotLocked — a
+// mixed profile, so no exactly-once charge contract applies.
+//
+// oevet:pmem-flush
+// oevet:pmem-integrity
+func (a *Arena) EraseMatching(match func(key uint64) bool) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// One sequential pass over the written prefix, like a recovery scan.
+	a.dev.Timed().ChargeStreamRead(int64(a.bump) * int64(a.slotSize))
+	zero := make([]byte, slotHeaderLen)
+	erased := 0
+	var wiped map[uint32]bool
+	for s := uint32(0); s < a.bump; s++ {
+		if a.quarantined[s] {
+			continue
+		}
+		off := a.slotOffset(s)
+		if a.dev.poisonCheck(off, slotHeaderLen+a.payloadBytes) != nil {
+			continue
+		}
+		// Raw view without per-slot charge: the stream charge above covers it.
+		buf := a.dev.image[off : off+slotHeaderLen+a.payloadBytes]
+		rec, err := a.decode(s, buf)
+		if err != nil {
+			continue // free space, torn write, or bit-rot: nothing to erase
+		}
+		if !match(rec.Key) {
+			continue
+		}
+		if err := a.eraseSlotLocked(off, zero); err != nil {
+			return erased, err
+		}
+		erased++
+		if wiped == nil {
+			wiped = make(map[uint32]bool)
+		}
+		wiped[s] = true
+		if a.occupied[s] {
+			a.freeLocked(s)
+		}
+	}
+	if len(wiped) > 0 {
+		kept := a.retired[:0]
+		for _, r := range a.retired {
+			if !wiped[r.slot] {
+				kept = append(kept, r)
+			}
+		}
+		a.retired = kept
+	}
+	return erased, nil
+}
+
+// eraseSlotLocked zeroes one slot header durably. Under an armed
+// media-fault model the erase is verified against the durable image and
+// retried, like setCkptWord: a dropped flush must not leave an erased
+// record resurrectable.
+func (a *Arena) eraseSlotLocked(off int, zero []byte) error {
+	if !a.dev.MediaFaultsArmed() {
+		return a.dev.Persist(off, zero)
+	}
+	rb := make([]byte, slotHeaderLen)
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if err := a.dev.Persist(off, zero); err != nil {
+			return err
+		}
+		if err := a.dev.ReadDurable(off, rb); err != nil {
+			lastErr = err // poisoned header line: the retry's flush rewrites it
+			continue
+		}
+		ok := true
+		for _, b := range rb {
+			if b != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		lastErr = fmt.Errorf("%w: slot header at %d did not erase", ErrCorrupt, off)
+	}
+	return fmt.Errorf("pmem: erase publish: %w", lastErr)
+}
+
 // maxCkptID is the largest checkpoint ID the packed header word can hold:
 // the low half stores id+1 in 32 bits, so the representable range is
 // [-1, 2^32-2]. setCkptWord rejects IDs outside it — a wrapped ID would

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"openembedding/internal/core"
 	"openembedding/internal/psengine"
 )
 
@@ -67,6 +68,46 @@ func (b *engineBox) AdvanceCheckpoints() error {
 // caller — the dynamic dispatch below hides core.Engine.Scrub's own
 // fence-need contract from the analyzer, so it is restated here.
 //
+// migrator is the optional live-resharding hook set (DESIGN.md §15); only
+// the pmem-oe engine implements it.
+type migrator interface {
+	ExportRange(match func(key uint64) bool, since int64, afterKey uint64, max int) ([]core.MigEntry, bool, error)
+	AdoptEntries(entries []core.MigEntry) error
+	DropRange(match func(key uint64) bool) (int, error)
+}
+
+// ExportRange forwards the migration export hook to the boxed engine.
+func (b *engineBox) ExportRange(match func(key uint64) bool, since int64, afterKey uint64, max int) ([]core.MigEntry, bool, error) {
+	if m, ok := b.get().(migrator); ok {
+		return m.ExportRange(match, since, afterKey, max)
+	}
+	return nil, false, fmt.Errorf("ps: engine %q does not support migration", b.Name())
+}
+
+// AdoptEntries forwards the migration adopt hook to the boxed engine. The
+// caller fences the node epoch afterwards (ps.Node.adoptRPC); the dynamic
+// dispatch hides core.Engine.AdoptEntries' own fence-need contract from
+// the analyzer, so it is restated here.
+//
+// oevet:fence-need
+func (b *engineBox) AdoptEntries(entries []core.MigEntry) error {
+	if m, ok := b.get().(migrator); ok {
+		return m.AdoptEntries(entries)
+	}
+	return fmt.Errorf("ps: engine %q does not support migration", b.Name())
+}
+
+// DropRange forwards the migration drop hook to the boxed engine. Fence
+// contract restated across the dynamic dispatch, as for AdoptEntries.
+//
+// oevet:fence-need
+func (b *engineBox) DropRange(match func(key uint64) bool) (int, error) {
+	if m, ok := b.get().(migrator); ok {
+		return m.DropRange(match)
+	}
+	return 0, fmt.Errorf("ps: engine %q does not support migration", b.Name())
+}
+
 // oevet:fence-need
 func (b *engineBox) Scrub() (psengine.ScrubReport, error) {
 	if s, ok := b.get().(interface {

@@ -114,6 +114,13 @@ type Node struct {
 	// adoptEngine repoints it at a fresh serve.Handler for each adopted
 	// engine.
 	bagSrv *nodeBagServer
+
+	// replicas is the node's failover replica overlay (nil unless
+	// cfg.Serve): rows for keys other nodes own, installed by MsgReplicate
+	// and served when a bag read misses the local engine. Long-lived —
+	// adoptEngine re-attaches it to each adopted engine's handler, so
+	// replicas survive Crash/Restart/rollback.
+	replicas *serve.ReplicaStore
 }
 
 // nodeBagServer adapts the node's current serve.Handler to rpc.BagServer
@@ -260,11 +267,83 @@ func (n *Node) serverOptions() rpc.ServerOptions {
 	if n.cfg.Engine == "pmem-oe" {
 		opts.Rollback = n.rollbackTo
 		opts.Scrub = n.scrubRPC
+		opts.Migrate = n.migrateRPC
+		opts.Adopt = n.adoptRPC
+		opts.Drop = n.dropRPC
 		if n.bagSrv != nil {
 			opts.Bags = n.bagSrv
+			opts.Replicate = n.replicateRPC
 		}
 	}
 	return opts
+}
+
+// matchIntervals turns wire hash intervals into the key predicate the
+// engine's migration hooks take. rpc.KeyHash is pinned to the cluster
+// ring's hash, so the predicate selects exactly the keys the coordinator's
+// move plan intends.
+func matchIntervals(ivs []rpc.HashInterval) func(key uint64) bool {
+	return func(key uint64) bool { return rpc.CoversKey(ivs, key) }
+}
+
+// migrateRPC serves MsgMigrateRange: export one page of the moving range.
+// A read — no state change, no fence.
+func (n *Node) migrateRPC(since int64, afterKey uint64, max int, ivs []rpc.HashInterval) ([]rpc.MigEntry, bool, error) {
+	entries, more, err := n.box.ExportRange(matchIntervals(ivs), since, afterKey, max)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]rpc.MigEntry, len(entries))
+	for i, me := range entries {
+		out[i] = rpc.MigEntry(me)
+	}
+	return out, more, nil
+}
+
+// adoptRPC serves MsgAdoptRange: install migrated entries (durably), then
+// fence the node epoch — clients bound to the pre-migration ownership view
+// must re-synchronize before their next batch-protocol request, exactly as
+// after a rollback. The coordinator itself re-adopts the epoch on its
+// connection right after the flip.
+func (n *Node) adoptRPC(entries []rpc.MigEntry) error {
+	in := make([]core.MigEntry, len(entries))
+	for i, me := range entries {
+		in[i] = core.MigEntry(me)
+	}
+	err := n.box.AdoptEntries(in)
+	// Fence even on error: a partial adopt may already have installed
+	// entries, changing the served key set.
+	n.parkFence()
+	n.mu.Lock()
+	n.applyPendingFenceLocked()
+	n.mu.Unlock()
+	return err
+}
+
+// dropRPC serves MsgDropRange: remove the moved range — index, cache and
+// durable records — then fence the node epoch: the node's key set
+// regressed, and any client that still believes the old ownership must be
+// rejected rather than repopulate dropped keys.
+func (n *Node) dropRPC(ivs []rpc.HashInterval) (int, error) {
+	dropped, err := n.box.DropRange(matchIntervals(ivs))
+	// Fence even on error: a drop that failed mid-way may already have
+	// removed entries.
+	if dropped > 0 || err == nil {
+		n.parkFence()
+		n.mu.Lock()
+		n.applyPendingFenceLocked()
+		n.mu.Unlock()
+	}
+	return dropped, err
+}
+
+// replicateRPC serves MsgReplicate: install read-only failover replicas in
+// the node's overlay. Serving state only — no fence.
+func (n *Node) replicateRPC(keys []uint64, rows []float32) error {
+	if n.replicas == nil {
+		return errors.New("ps: replica serving unavailable")
+	}
+	return n.replicas.Merge(keys, rows)
 }
 
 // armMediaFaults arms the PMem media-fault model on the node's device when
@@ -285,7 +364,12 @@ func (n *Node) adoptEngine(eng *core.Engine) {
 		if n.bagSrv == nil {
 			n.bagSrv = &nodeBagServer{dim: n.cfg.Store.Dim}
 		}
-		n.bagSrv.h.Store(serve.New(eng, n.cfg.Obs))
+		if n.replicas == nil {
+			n.replicas = serve.NewReplicaStore(n.cfg.Store.Dim)
+		}
+		h := serve.New(eng, n.cfg.Obs)
+		h.SetReplicas(n.replicas)
+		n.bagSrv.h.Store(h)
 	}
 }
 

@@ -541,6 +541,14 @@ func msgName(t byte) string {
 		return "scrub"
 	case MsgPullBag:
 		return "pull-bag"
+	case MsgMigrateRange:
+		return "migrate-range"
+	case MsgAdoptRange:
+		return "adopt-range"
+	case MsgDropRange:
+		return "drop-range"
+	case MsgReplicate:
+		return "replicate"
 	default:
 		return fmt.Sprintf("msg-0x%02x", t)
 	}
@@ -646,6 +654,92 @@ func (c *Client) Stats() (psengine.Stats, error) {
 // Ping round-trips an empty request.
 func (c *Client) Ping() error {
 	_, err := c.do(NewBuffer(MsgPing, 0).Bytes())
+	return err
+}
+
+// NodeHealth is what a ping learns about a node: its current epoch,
+// whether it serves bag reads, and the measured round-trip time.
+type NodeHealth struct {
+	Epoch   int64
+	Serving bool
+	RTT     time.Duration
+}
+
+// PingInfo round-trips a health probe and decodes the node's epoch and
+// serving status (exempt from epoch fencing, like Ping — it is how the
+// failover path and operators observe a node).
+func (c *Client) PingInfo() (NodeHealth, error) {
+	start := time.Now()
+	r, err := c.do(NewBuffer(MsgPing, 0).Bytes())
+	if err != nil {
+		return NodeHealth{}, err
+	}
+	rtt := time.Since(start)
+	epoch, err := r.I64()
+	if err != nil {
+		return NodeHealth{}, err
+	}
+	serving, err := r.U8()
+	if err != nil {
+		return NodeHealth{}, err
+	}
+	return NodeHealth{Epoch: epoch, Serving: serving == 1, RTT: rtt}, nil
+}
+
+// MigrateRange exports up to max entries of the given hash intervals with
+// dataVersion >= since and key > afterKey, in ascending key order; more
+// reports whether the range continues past the page. Idempotent (a read),
+// so safe under retries.
+func (c *Client) MigrateRange(since int64, afterKey uint64, max int, ivs []HashInterval) ([]MigEntry, bool, error) {
+	b := NewBuffer(MsgMigrateRange, since)
+	b.PutI64(int64(afterKey))
+	b.PutI64(int64(max))
+	putIntervals(b, ivs)
+	r, err := c.do(b.Bytes())
+	if err != nil {
+		return nil, false, err
+	}
+	moreB, err := r.U8()
+	if err != nil {
+		return nil, false, err
+	}
+	entries, err := readMigEntries(r)
+	if err != nil {
+		return nil, false, err
+	}
+	return entries, moreB == 1, nil
+}
+
+// AdoptRange installs migrated entries on the node; they are durable when
+// the call returns. Idempotent — adopting the same entries twice converges
+// — so safe under retries.
+func (c *Client) AdoptRange(entries []MigEntry) error {
+	b := NewBuffer(MsgAdoptRange, 0)
+	putMigEntries(b, entries)
+	_, err := c.do(b.Bytes())
+	return err
+}
+
+// DropRange removes the intervals' keys from the node — index, cache and
+// durable records — returning how many entries were dropped. Idempotent,
+// so safe under retries.
+func (c *Client) DropRange(ivs []HashInterval) (int64, error) {
+	b := NewBuffer(MsgDropRange, 0)
+	putIntervals(b, ivs)
+	r, err := c.do(b.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return r.I64()
+}
+
+// Replicate installs read-only serving replicas of rows (len(keys) rows,
+// row-major) on the node. Idempotent, so safe under retries.
+func (c *Client) Replicate(keys []uint64, rows []float32) error {
+	b := NewBuffer(MsgReplicate, 0)
+	b.PutKeys(keys)
+	b.PutFloats(rows)
+	_, err := c.do(b.Bytes())
 	return err
 }
 

@@ -57,6 +57,31 @@ const (
 	// and dedup: serving is read-only and eventually consistent, decoupled
 	// from the training epoch protocol.
 	MsgPullBag
+	// MsgMigrateRange is the migration coordinator's range export
+	// (DESIGN.md §15): the batch field carries the delta floor (only
+	// entries with dataVersion >= since are returned; a very negative
+	// floor selects everything), and the payload carries the resume
+	// cursor, the page size, and the moving hash intervals. The response
+	// is MsgData with a more flag and the page's entries. Exempt from
+	// epoch fencing and dedup: it is an idempotent admin read, issued by
+	// the coordinator that is itself moving the epoch.
+	MsgMigrateRange
+	// MsgAdoptRange installs migrated entries on the target node,
+	// overwriting same-key state and flushing each entry durably before
+	// the OK. Exempt from fencing (admin) and dedup (idempotent: adopting
+	// the same entries twice converges to the same state).
+	MsgAdoptRange
+	// MsgDropRange removes the keys of the given hash intervals from the
+	// node — index, cache, and durable records — after ownership moved
+	// away. The response is MsgData with the dropped-entry count. Exempt
+	// from fencing and dedup (idempotent: re-dropping a dropped range
+	// drops nothing).
+	MsgDropRange
+	// MsgReplicate installs read-only serving replicas of the given rows
+	// on the node (the R=2 failover copies). Exempt from fencing and
+	// dedup: replicas are eventually-consistent serving state, outside
+	// the training epoch protocol.
+	MsgReplicate
 
 	MsgOK   byte = 0x80
 	MsgErr  byte = 0x81
@@ -323,6 +348,114 @@ func CorruptErrBody(err error) []byte {
 	b := &Buffer{b: []byte{MsgErrCorrupt}}
 	b.PutString(err.Error())
 	return b.Bytes()
+}
+
+// HashInterval is a closed range [Lo, Hi] of ring positions (key hashes)
+// on the wire; the cluster's placement ring produces them and the node's
+// migration hooks turn them into key predicates.
+type HashInterval struct{ Lo, Hi uint64 }
+
+// KeyHash maps a key to its ring position: the splitmix64 finalizer, the
+// same mixer the cluster's placement ring uses (pinned by a cross-package
+// test) — an interval computed there selects exactly the keys matched
+// here.
+func KeyHash(key uint64) uint64 {
+	x := key + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// CoversKey reports whether any interval contains key's ring position.
+func CoversKey(ivs []HashInterval, key uint64) bool {
+	h := KeyHash(key)
+	for _, iv := range ivs {
+		if iv.Lo <= h && h <= iv.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// MigEntry is one migrating entry on the wire: the key, the data version
+// of the copied state, and the full row image (weights followed by
+// optimizer state).
+type MigEntry struct {
+	Key     uint64
+	Version int64
+	Data    []float32
+}
+
+// putIntervals appends a count-prefixed flat (lo, hi) pair list.
+func putIntervals(b *Buffer, ivs []HashInterval) {
+	flat := make([]uint64, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		flat = append(flat, iv.Lo, iv.Hi)
+	}
+	b.PutKeys(flat)
+}
+
+// readIntervals consumes a count-prefixed flat (lo, hi) pair list.
+func readIntervals(r *Reader) ([]HashInterval, error) {
+	flat, err := r.Keys()
+	if err != nil {
+		return nil, err
+	}
+	if len(flat)%2 != 0 {
+		return nil, fmt.Errorf("rpc: odd interval list length %d", len(flat))
+	}
+	ivs := make([]HashInterval, len(flat)/2)
+	for i := range ivs {
+		ivs[i] = HashInterval{Lo: flat[2*i], Hi: flat[2*i+1]}
+	}
+	return ivs, nil
+}
+
+// putMigEntries appends a count-prefixed migration entry list.
+func putMigEntries(b *Buffer, entries []MigEntry) {
+	b.PutI64(int64(len(entries)))
+	for _, me := range entries {
+		b.PutI64(int64(me.Key))
+		b.PutI64(me.Version)
+		b.PutFloats(me.Data)
+	}
+}
+
+// readMigEntries consumes a count-prefixed migration entry list.
+func readMigEntries(r *Reader) ([]MigEntry, error) {
+	n, err := r.I64()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > MaxFrame {
+		return nil, fmt.Errorf("rpc: bad entry count %d", n)
+	}
+	// Preallocate from the body size, not the claimed count: each entry
+	// occupies at least 20 bytes, so a hostile count cannot balloon memory.
+	prealloc := n
+	if lim := int64(len(r.b)/20 + 1); prealloc > lim {
+		prealloc = lim
+	}
+	entries := make([]MigEntry, 0, prealloc)
+	for i := int64(0); i < n; i++ {
+		key, err := r.I64()
+		if err != nil {
+			return nil, err
+		}
+		version, err := r.I64()
+		if err != nil {
+			return nil, err
+		}
+		data, err := r.Floats()
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, MigEntry{Key: uint64(key), Version: version, Data: data})
+	}
+	return entries, nil
 }
 
 // DecodeResponse inspects a response body: nil error for MsgOK/MsgData

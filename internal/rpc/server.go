@@ -37,6 +37,21 @@ type ServerOptions struct {
 	// embedding-bag gather). Nil rejects bag requests with MsgErr; the
 	// connection stays alive either way.
 	Bags BagServer
+	// Migrate, when set, serves MsgMigrateRange: export up to max entries
+	// of the given hash intervals with dataVersion >= since and key >
+	// afterKey, in ascending key order, with a more flag. Nil rejects
+	// migration exports.
+	Migrate func(since int64, afterKey uint64, max int, ivs []HashInterval) ([]MigEntry, bool, error)
+	// Adopt, when set, serves MsgAdoptRange by installing migrated entries
+	// (durably, before replying). Nil rejects adoptions.
+	Adopt func(entries []MigEntry) error
+	// Drop, when set, serves MsgDropRange by removing the intervals' keys
+	// from the node's index, cache and durable records, returning how many
+	// entries were dropped. Nil rejects drops.
+	Drop func(ivs []HashInterval) (int, error)
+	// Replicate, when set, serves MsgReplicate by installing read-only
+	// serving replicas of the given rows. Nil rejects replication pushes.
+	Replicate func(keys []uint64, rows []float32) error
 	// Obs, when set, receives server metrics: rpc_server_pull_ns /
 	// rpc_server_push_ns / rpc_server_other_ns request-service histograms,
 	// rpc_server_bytes_in/out, rpc_server_requests, the rpc_server_conns
@@ -74,14 +89,18 @@ const epochUnbound = int64(-2)
 // Mutating requests carrying a client sequence number are deduplicated:
 // a retry of the last request replays the cached response.
 type Server struct {
-	engine   psengine.Engine
-	ln       net.Listener
-	epoch    atomic.Int64
-	inject   *faultinject.Injector
-	label    string
-	rollback func(target int64) error
-	scrub    func() (psengine.ScrubReport, error)
-	bags     BagServer
+	engine    psengine.Engine
+	ln        net.Listener
+	epoch     atomic.Int64
+	inject    *faultinject.Injector
+	label     string
+	rollback  func(target int64) error
+	scrub     func() (psengine.ScrubReport, error)
+	bags      BagServer
+	migrate   func(since int64, afterKey uint64, max int, ivs []HashInterval) ([]MigEntry, bool, error)
+	adopt     func(entries []MigEntry) error
+	drop      func(ivs []HashInterval) (int, error)
+	replicate func(keys []uint64, rows []float32) error
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -117,14 +136,18 @@ func ServeOpts(addr string, engine psengine.Engine, opts ServerOptions) (*Server
 		return nil, fmt.Errorf("rpc: listen: %w", err)
 	}
 	s := &Server{
-		engine:   engine,
-		ln:       ln,
-		inject:   opts.Inject,
-		label:    opts.Label,
-		rollback: opts.Rollback,
-		scrub:    opts.Scrub,
-		bags:     opts.Bags,
-		conns:    make(map[net.Conn]struct{}),
+		engine:    engine,
+		ln:        ln,
+		inject:    opts.Inject,
+		label:     opts.Label,
+		rollback:  opts.Rollback,
+		scrub:     opts.Scrub,
+		bags:      opts.Bags,
+		migrate:   opts.Migrate,
+		adopt:     opts.Adopt,
+		drop:      opts.Drop,
+		replicate: opts.Replicate,
+		conns:     make(map[net.Conn]struct{}),
 	}
 	s.epoch.Store(opts.Epoch)
 	if s.label == "" {
@@ -445,8 +468,93 @@ func (s *Server) handle(body []byte) []byte {
 			out.PutI64(v)
 		}
 		return out.Bytes()
-	case MsgPing:
+	case MsgMigrateRange:
+		// The batch field carries the delta floor (since).
+		if s.migrate == nil {
+			return ErrBody(fmt.Errorf("migration unsupported by this node"))
+		}
+		afterKey, err := r.I64()
+		if err != nil {
+			return ErrBody(err)
+		}
+		max, err := r.I64()
+		if err != nil {
+			return ErrBody(err)
+		}
+		ivs, err := readIntervals(r)
+		if err != nil {
+			return ErrBody(err)
+		}
+		entries, more, err := s.migrate(batch, uint64(afterKey), int(max), ivs)
+		if err != nil {
+			return errResp(err)
+		}
+		out := &Buffer{b: []byte{MsgData}}
+		if more {
+			out.PutU8(1)
+		} else {
+			out.PutU8(0)
+		}
+		putMigEntries(out, entries)
+		return out.Bytes()
+	case MsgAdoptRange:
+		if s.adopt == nil {
+			return ErrBody(fmt.Errorf("migration unsupported by this node"))
+		}
+		entries, err := readMigEntries(r)
+		if err != nil {
+			return ErrBody(err)
+		}
+		if err := s.adopt(entries); err != nil {
+			return errResp(err)
+		}
 		return OKBody()
+	case MsgDropRange:
+		if s.drop == nil {
+			return ErrBody(fmt.Errorf("migration unsupported by this node"))
+		}
+		ivs, err := readIntervals(r)
+		if err != nil {
+			return ErrBody(err)
+		}
+		n, err := s.drop(ivs)
+		if err != nil {
+			return errResp(err)
+		}
+		out := &Buffer{b: []byte{MsgData}}
+		out.PutI64(int64(n))
+		return out.Bytes()
+	case MsgReplicate:
+		if s.replicate == nil {
+			return ErrBody(fmt.Errorf("replication unsupported by this node"))
+		}
+		keys, err := r.Keys()
+		if err != nil {
+			return ErrBody(err)
+		}
+		rows, err := r.Floats()
+		if err != nil {
+			return ErrBody(err)
+		}
+		if len(keys) > 0 && (len(rows) == 0 || len(rows)%len(keys) != 0) {
+			return ErrBody(fmt.Errorf("rpc: %d replica rows do not divide into %d keys", len(rows), len(keys)))
+		}
+		if err := s.replicate(keys, rows); err != nil {
+			return errResp(err)
+		}
+		return OKBody()
+	case MsgPing:
+		// The health probe reports the node's epoch and whether it serves
+		// bag reads; legacy callers decode the response as a bare OK/Data
+		// and ignore the payload.
+		out := &Buffer{b: []byte{MsgData}}
+		out.PutI64(s.epoch.Load())
+		if s.bags != nil {
+			out.PutU8(1)
+		} else {
+			out.PutU8(0)
+		}
+		return out.Bytes()
 	default:
 		return ErrBody(fmt.Errorf("unknown message type 0x%02x", t))
 	}

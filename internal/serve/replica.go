@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ReplicaStore holds read-only replica rows for keys this node does NOT
+// own: the R=2 failover copies the cluster pushes via MsgReplicate
+// (DESIGN.md §15). Serving reads consult the overlay before the engine, so
+// a node can answer bag gathers for a dead peer's keys at the freshness of
+// the last replication push — eventually consistent by doctrine, exactly
+// like snapshot serving itself.
+//
+// The row map is published atomically and never mutated in place: readers
+// load the current map with one atomic load per request and index it
+// lock-free (a nil map looks up as empty), writers copy-on-write under a
+// mutex. Replication pushes are rare (per membership change or sync round)
+// and reads are the hot path, so the copy cost sits on the right side.
+type ReplicaStore struct {
+	dim int
+	mu  sync.Mutex // serializes writers
+	m   atomic.Pointer[map[uint64][]float32]
+}
+
+// NewReplicaStore returns an empty store for dim-wide rows.
+func NewReplicaStore(dim int) *ReplicaStore {
+	rs := &ReplicaStore{dim: dim}
+	empty := map[uint64][]float32{}
+	rs.m.Store(&empty)
+	return rs
+}
+
+// Merge installs or overwrites replica rows: row i of rows (row-major,
+// len(keys)*dim floats) becomes the replica of keys[i]. The rows are
+// copied; the caller keeps ownership of its buffers.
+func (rs *ReplicaStore) Merge(keys []uint64, rows []float32) error {
+	if len(rows) != len(keys)*rs.dim {
+		return fmt.Errorf("serve: %d replica floats for %d keys (dim %d)", len(rows), len(keys), rs.dim)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	old := *rs.m.Load()
+	next := make(map[uint64][]float32, len(old)+len(keys))
+	for k, v := range old {
+		next[k] = v
+	}
+	for i, k := range keys {
+		row := make([]float32, rs.dim)
+		copy(row, rows[i*rs.dim:(i+1)*rs.dim])
+		next[k] = row
+	}
+	rs.m.Store(&next)
+	return nil
+}
+
+// Drop removes the replicas of keys for which drop returns true — e.g.
+// keys this node came to own after a membership change (owned state is
+// served from the engine, not the overlay).
+func (rs *ReplicaStore) Drop(drop func(key uint64) bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	old := *rs.m.Load()
+	next := make(map[uint64][]float32, len(old))
+	for k, v := range old {
+		if !drop(k) {
+			next[k] = v
+		}
+	}
+	rs.m.Store(&next)
+}
+
+// Len returns the number of replica rows held.
+func (rs *ReplicaStore) Len() int { return len(*rs.m.Load()) }
+
+// rows returns the current row map for lock-free per-request indexing.
+func (rs *ReplicaStore) rows() map[uint64][]float32 { return *rs.m.Load() }

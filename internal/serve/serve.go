@@ -40,6 +40,11 @@ type Handler struct {
 	// the one in flight.
 	refreshing atomic.Bool
 
+	// replicas is the optional failover overlay (replica.go): rows for
+	// keys other nodes own, consulted before the engine. Installed by the
+	// node (SetReplicas) and shared across engine swaps.
+	replicas atomic.Pointer[ReplicaStore]
+
 	// metrics (all nil, and free, when the registry is nil):
 	//
 	//	serve_bag_ns        request latency histogram (sampled 1-in-8)
@@ -49,6 +54,7 @@ type Handler struct {
 	//	serve_dram_fallback keys served from the DRAM cache under the stripe
 	//	serve_pmem_fallback keys served by a verified PMem read
 	//	serve_init_served   unknown keys served from the initializer
+	//	serve_replica_hits  keys served from the failover replica overlay
 	//	serve_refreshes     hot-set refresh passes completed
 	reg          *obs.Registry
 	bagNS        *obs.Histogram
@@ -58,6 +64,7 @@ type Handler struct {
 	dramFallback *obs.Counter
 	pmemFallback *obs.Counter
 	initServed   *obs.Counter
+	replicaHits  *obs.Counter
 	refreshes    *obs.Counter
 }
 
@@ -83,11 +90,17 @@ func New(eng *core.Engine, reg *obs.Registry) *Handler {
 		h.dramFallback = reg.Counter("serve_dram_fallback")
 		h.pmemFallback = reg.Counter("serve_pmem_fallback")
 		h.initServed = reg.Counter("serve_init_served")
+		h.replicaHits = reg.Counter("serve_replica_hits")
 		h.refreshes = reg.Counter("serve_refreshes")
 	}
 	eng.EnableServeSnapshots()
 	return h
 }
+
+// SetReplicas attaches the failover replica overlay (nil detaches). The
+// node installs its long-lived store here after every engine swap, so
+// replicas survive rollback and restart.
+func (h *Handler) SetReplicas(rs *ReplicaStore) { h.replicas.Store(rs) }
 
 // Dim implements rpc.BagServer.
 func (h *Handler) Dim() int { return h.dim }
@@ -115,7 +128,13 @@ func (h *Handler) PullBags(mean bool, offsets []uint32, keys []uint64, out []flo
 			sampled = true
 		}
 	}
-	var snap, dram, pm, ini int64
+	// One atomic load of the replica overlay per request; a nil map
+	// indexes as empty, so the non-replicated deployment pays nothing.
+	var reps map[uint64][]float32
+	if rs := h.replicas.Load(); rs != nil {
+		reps = rs.rows()
+	}
+	var snap, dram, pm, ini, repl int64
 	bags := len(offsets) - 1
 	for b := 0; b < bags; b++ {
 		lo, hi := int(offsets[b]), int(offsets[b+1])
@@ -137,7 +156,15 @@ func (h *Handler) PullBags(mean bool, offsets []uint32, keys []uint64, out []flo
 		case core.ServePMem:
 			pm++
 		default:
-			ini++
+			// Unknown to the engine: a key this node does not own. Serve
+			// the failover replica when the overlay holds one — locally
+			// owned keys never reach here, so engine state always wins.
+			if row := reps[keys[lo]]; row != nil {
+				copy(dst, row)
+				repl++
+			} else {
+				ini++
+			}
 		}
 		for j := lo + 1; j < hi; j++ {
 			src, err := h.eng.ServeRead(keys[j], sc.row)
@@ -153,7 +180,12 @@ func (h *Handler) PullBags(mean bool, offsets []uint32, keys []uint64, out []flo
 			case core.ServePMem:
 				pm++
 			default:
-				ini++
+				if row := reps[keys[j]]; row != nil {
+					copy(sc.row, row)
+					repl++
+				} else {
+					ini++
+				}
 			}
 			row := sc.row
 			for i := range dst {
@@ -173,6 +205,7 @@ func (h *Handler) PullBags(mean bool, offsets []uint32, keys []uint64, out []flo
 	h.dramFallback.Add(dram)
 	h.pmemFallback.Add(pm)
 	h.initServed.Add(ini)
+	h.replicaHits.Add(repl)
 	if sampled {
 		h.bagNS.Observe(h.reg.Now() - start)
 	}
