@@ -81,16 +81,26 @@ func main() {
 
 	switch args[0] {
 	case "ping":
-		for _, a := range addrs {
-			c, err := rpc.Dial(a)
+		// Short deadlines: a gray-failed node should print an UNREACHABLE
+		// row in seconds, not hold the sweep for the default 30s timeout.
+		pingOpts := rpc.Options{
+			DialTimeout:  3 * time.Second,
+			ReadTimeout:  3 * time.Second,
+			WriteTimeout: 3 * time.Second,
+		}
+		var unreachable []string
+		for i, a := range addrs {
+			c, err := rpc.DialOpts(a, pingOpts)
 			if err != nil {
-				fmt.Printf("%-21s DOWN  (%v)\n", a, err)
+				fmt.Printf("%-21s UNREACHABLE (dial: %v)\n", a, err)
+				unreachable = append(unreachable, fmt.Sprintf("node %d (%s)", i, a))
 				continue
 			}
 			h, err := c.PingInfo()
 			c.Close()
 			if err != nil {
-				fmt.Printf("%-21s DOWN  (%v)\n", a, err)
+				fmt.Printf("%-21s UNREACHABLE (ping: %v)\n", a, err)
+				unreachable = append(unreachable, fmt.Sprintf("node %d (%s)", i, a))
 				continue
 			}
 			serving := "training-only"
@@ -99,6 +109,11 @@ func main() {
 			}
 			fmt.Printf("%-21s ok    epoch=%d rtt=%s %s\n", a, h.Epoch, h.RTT.Round(time.Microsecond), serving)
 		}
+		if len(unreachable) > 0 {
+			fmt.Printf("%d/%d nodes unreachable: %s\n", len(unreachable), len(addrs), strings.Join(unreachable, ", "))
+			os.Exit(1)
+		}
+		fmt.Printf("all %d node(s) reachable\n", len(addrs))
 	case "ring":
 		cl := dial(*dim, addrs)
 		defer cl.Close()

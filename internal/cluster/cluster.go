@@ -14,6 +14,7 @@ import (
 	"openembedding/internal/obs"
 	"openembedding/internal/psengine"
 	"openembedding/internal/rpc"
+	"openembedding/internal/serve"
 )
 
 // Partition returns the node index owning key among n nodes: the same
@@ -67,6 +68,28 @@ type Options struct {
 	// hedged request is issued to the keys' replica nodes and the first
 	// success wins. Zero disables hedging; hard failures still fail over.
 	HedgeDelay time.Duration
+	// Detector, when set, arms the suspicion-based failure detector
+	// (detector.go): dedicated per-node probe connections feed
+	// inter-arrival accrual, and PullBags preempts reads to suspected
+	// owners — failing over to replicas (and the stale tier) before the
+	// gray-failed owner's read deadline burns. Probe cadence is driven by
+	// Probe calls (deterministic soaks) or StartProber (wall clock).
+	Detector *DetectorConfig
+	// Breakers, when set, gives every per-node connection its own circuit
+	// breaker (rpc.Breaker defaults): consecutive transport failures to a
+	// node make later calls fail fast — immediately eligible for failover
+	// — instead of re-paying dial and read deadlines per request.
+	Breakers bool
+	// Stale, when set, is the degraded-serving fallback tier: PullBags
+	// tracks its hot keys there, RefreshStale snapshots their rows, and a
+	// read whose owner AND replicas are all degraded is answered from the
+	// tier — flagged stale via PullBagsResult — instead of erroring.
+	Stale *serve.StaleTier
+	// Clock is the failure detector's time source. Nil defaults to the
+	// obs registry's monotonic clock (or a process-monotonic fallback);
+	// deterministic soaks pass the virtual clock so suspicion transitions
+	// replay with the run.
+	Clock func() time.Duration
 }
 
 // Client is a partitioned parameter-server client.
@@ -99,6 +122,16 @@ type Client struct {
 	// batch — the hook may train, forcing delta rounds.
 	migrateHook func(round int, batch int64) int64
 
+	// Gray-failure machinery (all nil/zero unless armed via Options).
+	// healthMu guards probes and proberStop — the only Client state the
+	// background prober goroutine shares with Join/Leave and Close.
+	det        *Detector
+	nowFn      func() time.Duration
+	stale      *serve.StaleTier
+	healthMu   sync.Mutex
+	probes     []*rpc.Client
+	proberStop func()
+
 	// metrics (nil, and free, without Options.Obs)
 	fanWidth    *obs.Histogram
 	straggler   *obs.Histogram
@@ -110,6 +143,9 @@ type Client struct {
 	migrations  *obs.Counter
 	migKeys     *obs.Counter
 	failovers   *obs.Counter
+	foHard      *obs.Counter
+	foSuspect   *obs.Counter
+	foHedge     *obs.Counter
 	hedged      *obs.Counter
 	reg         *obs.Registry
 }
@@ -144,8 +180,25 @@ func DialOpts(dim int, addrs []string, opts Options) (*Client, error) {
 		c.migrations = reg.Counter("cluster_migrations")
 		c.migKeys = reg.Counter("cluster_migrated_keys")
 		c.failovers = reg.Counter("cluster_failovers")
+		c.foHard = reg.Counter("cluster_failovers_hard")
+		c.foSuspect = reg.Counter("cluster_failovers_suspect")
+		c.foHedge = reg.Counter("cluster_failovers_hedge")
 		c.hedged = reg.Counter("cluster_hedged_reads")
 	}
+	// Detector time source: explicit Clock > obs monotonic clock >
+	// process-monotonic fallback.
+	c.nowFn = opts.Clock
+	if c.nowFn == nil {
+		if c.reg != nil {
+			c.nowFn = c.reg.Now
+		} else {
+			base := time.Now()
+			c.nowFn = func() time.Duration { return time.Since(base) }
+		}
+	}
+	c.stale = opts.Stale
+	c.stale.SetObs(opts.Obs)
+	opts.RPC.Budget.SetObs(opts.Obs)
 	for n, a := range addrs {
 		cl, err := c.dialNode(a, n)
 		if err != nil {
@@ -158,6 +211,10 @@ func DialOpts(dim int, addrs []string, opts Options) (*Client, error) {
 	c.nextID = uint64(len(addrs))
 	if opts.Placement == PlacementRing {
 		c.ring.Store(NewRing(c.ids))
+	}
+	if opts.Detector != nil {
+		c.det = NewDetector(len(c.nodes), *opts.Detector, opts.Obs)
+		c.resizeHealth()
 	}
 	return c, nil
 }
@@ -175,7 +232,148 @@ func (c *Client) dialNode(addr string, n int) (*rpc.Client, error) {
 	}
 	// Distinct per-node jitter streams from one configured seed.
 	ro.Retry.Seed ^= uint64(n) * 0x9e3779b97f4a7c15
+	// The breaker is per-peer state; the budget (already in ro) is shared
+	// across all of this Client's nodes by construction.
+	if c.dialOpts.Breakers && ro.Breaker == nil {
+		bk := rpc.NewBreaker(0, 0)
+		bk.SetObs(c.reg)
+		ro.Breaker = bk
+	}
 	return rpc.DialOpts(addr, ro)
+}
+
+// dialProbe opens node n's dedicated health-probe connection: its own
+// injector stream ("node<i>/probe", so probe traffic never perturbs the
+// data connections' deterministic fault streams), single attempts with
+// redial-on-demand, the detector's short probe timeout, and no budget or
+// breaker — a probe IS the health check, it must always reach the wire.
+func (c *Client) dialProbe(addr string, n int) (*rpc.Client, error) {
+	ro := c.dialOpts.RPC
+	if c.dialOpts.Inject != nil {
+		ro.Inject = c.dialOpts.Inject
+	}
+	ro.Label = fmt.Sprintf("node%d/probe", n)
+	ro.Retry = rpc.RetryPolicy{MaxAttempts: 1}
+	ro.Budget = nil
+	ro.Breaker = nil
+	ro.Obs = nil // probe RTTs would skew the data-path client metrics
+	if c.det != nil {
+		ro.DialTimeout = c.det.cfg.ProbeTimeout
+		ro.ReadTimeout = c.det.cfg.ProbeTimeout
+		ro.WriteTimeout = c.det.cfg.ProbeTimeout
+	}
+	return rpc.DialOpts(addr, ro)
+}
+
+// resizeHealth realigns the failure detector and the probe connections
+// with the current node table (initial dial, Join, Leave). Per-index
+// accrual state resets: membership changed, so old indexes are
+// meaningless. A node whose probe connection cannot even be set up is
+// left unobserved — never-observed nodes are not suspected, and hard
+// errors on its data connection speak for themselves.
+func (c *Client) resizeHealth() {
+	if c.det == nil {
+		return
+	}
+	c.det.Resize(len(c.nodes))
+	c.healthMu.Lock()
+	old := c.probes
+	c.probes = nil
+	c.healthMu.Unlock()
+	for _, p := range old {
+		if p != nil {
+			p.Close()
+		}
+	}
+	probes := make([]*rpc.Client, len(c.addrs))
+	for n, a := range c.addrs {
+		if p, err := c.dialProbe(a, n); err == nil {
+			probes[n] = p
+		}
+	}
+	c.healthMu.Lock()
+	c.probes = probes
+	c.healthMu.Unlock()
+}
+
+// Probe runs one health round: every node is pinged in parallel on its
+// dedicated probe connection, successful answers feed the detector's
+// accrual state, and suspicion is re-evaluated for every node so the
+// cluster_suspicions counter and suspected gauge advance at probe
+// cadence. Deterministic soaks call Probe explicitly between virtual
+// clock advances; wall-clock deployments use StartProber.
+func (c *Client) Probe() {
+	if c.det == nil {
+		return
+	}
+	c.healthMu.Lock()
+	probes := c.probes
+	c.healthMu.Unlock()
+	ok := make([]bool, len(probes))
+	var wg sync.WaitGroup
+	for i, p := range probes {
+		if p == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *rpc.Client) {
+			defer wg.Done()
+			ok[i] = p.Ping() == nil
+		}(i, p)
+	}
+	wg.Wait()
+	now := c.nowFn()
+	for i, healthy := range ok {
+		if healthy {
+			c.det.Observe(i, now)
+		}
+	}
+	for i := range ok {
+		c.det.Suspected(i, now)
+	}
+}
+
+// StartProber runs Probe every interval (the detector's Interval when
+// interval <= 0) on a background goroutine until the returned stop
+// function is called; Close stops it too. Wall-clock deployments only —
+// deterministic soaks drive Probe explicitly against the virtual clock.
+func (c *Client) StartProber(interval time.Duration) (stop func()) {
+	if c.det == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = c.det.cfg.Interval
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	stop = func() { once.Do(func() { close(done) }) }
+	c.healthMu.Lock()
+	c.proberStop = stop
+	c.healthMu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.Probe()
+			}
+		}
+	}()
+	return stop
+}
+
+// Suspected reports whether the failure detector currently suspects node
+// n (always false without Options.Detector).
+func (c *Client) Suspected(n int) bool { return c.suspectedNow(n) }
+
+func (c *Client) suspectedNow(n int) bool {
+	if c.det == nil {
+		return false
+	}
+	return c.det.Suspected(n, c.nowFn())
 }
 
 // ownerOf returns the node index owning key under the active placement.
@@ -336,20 +534,44 @@ func (c *Client) Pull(batch int64, keys []uint64, dst []float32) error {
 // order, so repeated gathers of the same state agree bit-for-bit. Mean is
 // applied client-side over each bag's full key count.
 //
-// Under PlacementRing a node that fails with a recoverable error is
-// failed over: its keys are regrouped by their per-key replica node
+// Under PlacementRing a node that fails with a degraded error —
+// transport failure, timeout, shed (busy) or an open breaker — is failed
+// over: its keys are regrouped by their per-key replica node
 // (failover.go) and re-read there, so one dead node costs latency, not
 // errors. With Options.HedgeDelay set, a node that is merely slow gets
-// one hedged replica read after the deadline.
+// one hedged replica read after the deadline. With Options.Detector, a
+// *suspected* owner is preempted entirely. PullBags drops the staleness
+// flag; serving frontends that must distinguish degraded answers use
+// PullBagsResult.
 func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64, out []float32) error {
+	_, err := c.PullBagsResult(mean, offsets, keys, out)
+	return err
+}
+
+// BagResult describes how a PullBagsResult answer was produced.
+type BagResult struct {
+	// Stale is set when any node's share was answered from the stale
+	// fallback tier (owner and replicas all degraded) rather than live
+	// state: the pooled values are no fresher than the tier's last
+	// RefreshStale pass, and keys never refreshed contributed zero.
+	Stale bool
+}
+
+// PullBagsResult is PullBags plus degradation visibility: the gather
+// succeeds whenever live owners, replicas, or the stale tier can answer,
+// and the result reports whether any share came back stale.
+func (c *Client) PullBagsResult(mean bool, offsets []uint32, keys []uint64, out []float32) (BagResult, error) {
 	if err := rpc.ValidateBagOffsets(offsets, len(keys)); err != nil {
-		return err
+		return BagResult{}, err
 	}
 	bags := len(offsets) - 1
 	if len(out) != bags*c.dim {
-		return fmt.Errorf("cluster: out has %d floats, want %d (%d bags x dim %d)",
+		return BagResult{}, fmt.Errorf("cluster: out has %d floats, want %d (%d bags x dim %d)",
 			len(out), bags*c.dim, bags, c.dim)
 	}
+	// Feed the stale tier's hot set from live serving traffic (no-op
+	// without Options.Stale).
+	c.stale.Track(keys)
 	var start time.Duration
 	if c.reg != nil {
 		start = c.reg.Now()
@@ -373,6 +595,7 @@ func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64, out []floa
 	var wg sync.WaitGroup
 	errs := make([]error, nn)
 	parts := make([][]float32, nn)
+	stales := make([]bool, nn)
 	for n := 0; n < nn; n++ {
 		if len(nodeKeys[n]) == 0 {
 			continue
@@ -380,13 +603,19 @@ func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64, out []floa
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			parts[n], errs[n] = c.bagRequest(ring, n, bags, nodeOffs[n], nodeKeys[n])
+			parts[n], stales[n], errs[n] = c.bagRequest(ring, n, bags, nodeOffs[n], nodeKeys[n])
 		}(n)
 	}
 	wg.Wait()
 	for n, err := range errs {
 		if err != nil {
-			return c.nodeErr(n, err)
+			return BagResult{}, c.nodeErr(n, err)
+		}
+	}
+	var res BagResult
+	for _, s := range stales {
+		if s {
+			res.Stale = true
 		}
 	}
 	clear(out)
@@ -413,6 +642,40 @@ func (c *Client) PullBags(mean bool, offsets []uint32, keys []uint64, out []floa
 	}
 	if c.reg != nil {
 		c.bagNS.Observe(c.reg.Now() - start)
+	}
+	return res, nil
+}
+
+// RefreshStale snapshots the tracked hot keys into the stale tier: every
+// tracked key is re-read as a single-key bag (the sum pooling of one key
+// IS its row, and MsgPullBag is fence-exempt, so a refresh never perturbs
+// the batch protocol) and stored. The tier's staleness doctrine follows:
+// a row is as old as the last pass that stored it. A pass whose own reads
+// came back stale stores nothing — there is nothing fresher to install.
+// Keys are refreshed in ascending order, so a seeded soak's refresh
+// traffic replays deterministically.
+func (c *Client) RefreshStale() error {
+	if c.stale == nil {
+		return fmt.Errorf("cluster: no stale tier configured")
+	}
+	keys := c.stale.TrackedKeys()
+	if len(keys) == 0 {
+		return nil
+	}
+	offs := make([]uint32, len(keys)+1)
+	for i := range offs {
+		offs[i] = uint32(i)
+	}
+	out := make([]float32, len(keys)*c.dim)
+	res, err := c.PullBagsResult(false, offs, keys, out)
+	if err != nil {
+		return err
+	}
+	if res.Stale {
+		return nil
+	}
+	for i, k := range keys {
+		c.stale.Store(k, out[i*c.dim:(i+1)*c.dim])
 	}
 	return nil
 }
@@ -561,8 +824,23 @@ func (c *Client) Stats() (psengine.Stats, error) {
 	return total, nil
 }
 
-// Close closes every node connection.
+// Close stops the background prober (if running) and closes every node
+// and probe connection.
 func (c *Client) Close() error {
+	c.healthMu.Lock()
+	stop := c.proberStop
+	c.proberStop = nil
+	probes := c.probes
+	c.probes = nil
+	c.healthMu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	for _, p := range probes {
+		if p != nil {
+			p.Close()
+		}
+	}
 	var first error
 	for _, n := range c.nodes {
 		if n == nil {

@@ -1,33 +1,89 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"openembedding/internal/rpc"
 )
 
-// Replicated bag reads (DESIGN.md §15): under PlacementRing every key has
-// a preferred owner and, with two or more nodes, a distinct replica
-// (Ring.Secondary) kept warm by SyncReplicas pushes into the replica's
-// serve overlay. PullBags prefers the owner; when the owner fails with a
-// recoverable error — or stays silent past Options.HedgeDelay — the
-// owner's keys are regrouped by their per-key replica and re-read there.
+// Replicated bag reads (DESIGN.md §15) with gray-failure degradation
+// (§16): under PlacementRing every key has a preferred owner and, with
+// two or more nodes, a distinct replica (Ring.Secondary) kept warm by
+// SyncReplicas pushes into the replica's serve overlay. PullBags prefers
+// the owner; the owner is routed around when it is *degraded* — a
+// transport failure or timeout, a shed (busy) response, an open circuit
+// breaker, or mere suspicion by the failure detector — and the keys are
+// regrouped by their per-key replica and re-read there. When the replicas
+// cannot answer either, the stale fallback tier (serve.StaleTier) is the
+// last line: the read succeeds, flagged stale, instead of erroring.
 // Training pushes remain single-owner: replicas serve reads only, and a
 // replica row is as stale as the last SyncReplicas that refreshed it.
+
+// errSuspectedOwner is the failover cause recorded when the detector
+// preempts an owner read.
+var errSuspectedOwner = errors.New("cluster: owner suspected by failure detector")
+
+// failoverCause attributes a failover for the split counters.
+type failoverCause int
+
+const (
+	causeHard    failoverCause = iota // the owner answered with a degraded error
+	causeSuspect                      // the detector preempted the owner read
+	causeHedge                        // a hedged replica read won the race
+)
+
+// countFailover tallies one failover in the aggregate counter and its
+// cause-split counter (cluster_failovers_{hard,suspect,hedge}).
+func (c *Client) countFailover(cause failoverCause) {
+	c.failovers.Add(1)
+	switch cause {
+	case causeHard:
+		c.foHard.Add(1)
+	case causeSuspect:
+		c.foSuspect.Add(1)
+	case causeHedge:
+		c.foHedge.Add(1)
+	}
+}
 
 // bagRequest fetches one node's share of a PullBags fan-out: the partial
 // sums for all bags over nodeKeys, grouped under nodeOffs. Under
 // PlacementModulo (nil ring) it is a plain owner read with legacy error
-// semantics. Under PlacementRing it adds failover and optional hedging.
-func (c *Client) bagRequest(ring *Ring, n, bags int, offs []uint32, keys []uint64) ([]float32, error) {
+// semantics. Under PlacementRing it adds suspicion preemption, failover,
+// optional hedging, and the stale fallback tier.
+func (c *Client) bagRequest(ring *Ring, n, bags int, offs []uint32, keys []uint64) (vals []float32, stale bool, err error) {
+	// Suspicion preempts the owner read entirely: a gray-failed owner
+	// would burn the full read deadline before surfacing an error, which
+	// is exactly the latency the detector exists to save.
+	if ring != nil && c.suspectedNow(n) {
+		if vals, rerr := c.bagViaReplicas(ring, n, bags, offs, keys, errSuspectedOwner); rerr == nil {
+			c.countFailover(causeSuspect)
+			return vals, false, nil
+		}
+		// Replicas cannot cover the share either; serve stale rather than
+		// wait out a suspected owner's deadline.
+		if vals, ok := c.bagStale(bags, offs, keys); ok {
+			return vals, true, nil
+		}
+		// No stale tier configured: the suspected owner is still the best
+		// remaining option — fall through and ask it after all.
+	}
 	if ring == nil || c.hedgeDelay <= 0 {
 		vals, err := c.bagNode(n, bags, offs, keys)
-		if err == nil || ring == nil || !rpc.IsRecoverable(err) {
-			return vals, err
+		if err == nil || ring == nil || !rpc.IsDegraded(err) {
+			return vals, false, err
 		}
-		c.failovers.Add(1)
-		return c.bagViaReplicas(ring, n, bags, offs, keys, err)
+		c.countFailover(causeHard)
+		vals, rerr := c.bagViaReplicas(ring, n, bags, offs, keys, err)
+		if rerr == nil {
+			return vals, false, nil
+		}
+		if vals, ok := c.bagStale(bags, offs, keys); ok {
+			return vals, true, nil
+		}
+		return nil, false, rerr
 	}
 	return c.bagHedged(ring, n, bags, offs, keys)
 }
@@ -86,19 +142,46 @@ func (c *Client) bagViaReplicas(ring *Ring, n, bags int, offs []uint32, keys []u
 	return acc, nil
 }
 
+// bagStale answers one node's share from the stale fallback tier: each
+// key contributes its last refreshed row (keys never refreshed contribute
+// the zero vector — the documented staleness doctrine), summed per bag.
+// Reports false without a configured tier.
+func (c *Client) bagStale(bags int, offs []uint32, keys []uint64) ([]float32, bool) {
+	if c.stale == nil {
+		return nil, false
+	}
+	acc := make([]float32, bags*c.dim)
+	for b := 0; b < bags; b++ {
+		dst := acc[b*c.dim : (b+1)*c.dim]
+		for _, k := range keys[offs[b]:offs[b+1]] {
+			row := c.stale.Lookup(k)
+			if len(row) != c.dim {
+				continue
+			}
+			for i, v := range row {
+				dst[i] += v
+			}
+		}
+	}
+	c.stale.Fallback()
+	return acc, true
+}
+
 // bagHedged races the owner read against one hedged replica read launched
-// after the hedge deadline. The first success wins; if both fail the
-// owner's error is returned. The owner finishing first (the steady state)
-// never pays for a replica round-trip.
-func (c *Client) bagHedged(ring *Ring, n, bags int, offs []uint32, keys []uint64) ([]float32, error) {
+// after the hedge deadline. The first success wins (a hedge win counts as
+// a hedge-cause failover); if both fail the share falls back to the stale
+// tier, and only then to the first error. The owner finishing first (the
+// steady state) never pays for a replica round-trip.
+func (c *Client) bagHedged(ring *Ring, n, bags int, offs []uint32, keys []uint64) ([]float32, bool, error) {
 	type res struct {
-		vals []float32
-		err  error
+		vals  []float32
+		err   error
+		hedge bool // produced by the hedged replica read, not the owner
 	}
 	ch := make(chan res, 2)
 	go func() {
 		vals, err := c.bagNode(n, bags, offs, keys)
-		ch <- res{vals, err}
+		ch <- res{vals, err, false}
 	}()
 	timer := time.NewTimer(c.hedgeDelay)
 	defer timer.Stop()
@@ -110,21 +193,34 @@ func (c *Client) bagHedged(ring *Ring, n, bags int, offs []uint32, keys []uint64
 		case r := <-ch:
 			outstanding--
 			if r.err == nil {
-				return r.vals, nil
+				if r.hedge {
+					c.countFailover(causeHedge)
+				}
+				return r.vals, false, nil
 			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
-			if !hedged {
+			if !r.hedge && !hedged {
 				// Owner failed before the hedge deadline: hard failover.
-				if !rpc.IsRecoverable(r.err) {
-					return nil, r.err
+				if !rpc.IsDegraded(r.err) {
+					return nil, false, r.err
 				}
-				c.failovers.Add(1)
-				return c.bagViaReplicas(ring, n, bags, offs, keys, r.err)
+				c.countFailover(causeHard)
+				vals, rerr := c.bagViaReplicas(ring, n, bags, offs, keys, r.err)
+				if rerr == nil {
+					return vals, false, nil
+				}
+				if vals, ok := c.bagStale(bags, offs, keys); ok {
+					return vals, true, nil
+				}
+				return nil, false, rerr
 			}
 			if outstanding == 0 {
-				return nil, firstErr
+				if vals, ok := c.bagStale(bags, offs, keys); ok {
+					return vals, true, nil
+				}
+				return nil, false, firstErr
 			}
 		case <-timer.C:
 			if hedged {
@@ -135,7 +231,7 @@ func (c *Client) bagHedged(ring *Ring, n, bags int, offs []uint32, keys []uint64
 			c.hedged.Add(1)
 			go func() {
 				vals, err := c.bagViaReplicas(ring, n, bags, offs, keys, fmt.Errorf("hedged past %v", c.hedgeDelay))
-				ch <- res{vals, err}
+				ch <- res{vals, err, true}
 			}()
 		}
 	}

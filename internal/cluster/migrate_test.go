@@ -287,6 +287,18 @@ func TestPullBagsFailoverOnDeadNode(t *testing.T) {
 	if got := s.Counters["cluster_failovers"]; got < 1 {
 		t.Fatalf("cluster_failovers = %d, want >= 1", got)
 	}
+	// Cause attribution: a dead owner is a hard failover — no detector is
+	// armed (no suspicion) and no hedging is configured.
+	if hard := s.Counters["cluster_failovers_hard"]; hard != s.Counters["cluster_failovers"] {
+		t.Fatalf("cluster_failovers_hard = %d, want %d (all failovers hard-caused)",
+			hard, s.Counters["cluster_failovers"])
+	}
+	if got := s.Counters["cluster_failovers_suspect"]; got != 0 {
+		t.Fatalf("cluster_failovers_suspect = %d, want 0 (no detector armed)", got)
+	}
+	if got := s.Counters["cluster_failovers_hedge"]; got != 0 {
+		t.Fatalf("cluster_failovers_hedge = %d, want 0 (no hedging configured)", got)
+	}
 	if got := s.Counters["cluster_hedged_reads"]; got != 0 {
 		t.Fatalf("cluster_hedged_reads = %d, want 0 (no hedging configured)", got)
 	}
@@ -361,8 +373,23 @@ func TestPullBagsHedgedRead(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("hedged read took %v; the hedge should answer in ~HedgeDelay", elapsed)
 	}
-	if got := reg.Snapshot().Counters["cluster_hedged_reads"]; got < 1 {
+	s := reg.Snapshot()
+	if got := s.Counters["cluster_hedged_reads"]; got < 1 {
 		t.Fatalf("cluster_hedged_reads = %d, want >= 1", got)
+	}
+	// Cause attribution: the hedged replica result won the race against a
+	// node that never answers, so the failover is hedge-caused — not hard
+	// (the owner surfaced no error before the hedge won) and not suspicion
+	// (no detector armed).
+	if got := s.Counters["cluster_failovers_hedge"]; got < 1 {
+		t.Fatalf("cluster_failovers_hedge = %d, want >= 1", got)
+	}
+	if got := s.Counters["cluster_failovers_suspect"]; got != 0 {
+		t.Fatalf("cluster_failovers_suspect = %d, want 0 (no detector armed)", got)
+	}
+	if got := s.Counters["cluster_failovers"]; got < s.Counters["cluster_failovers_hedge"] {
+		t.Fatalf("cluster_failovers = %d < hedge-caused %d; aggregate must cover the split",
+			got, s.Counters["cluster_failovers_hedge"])
 	}
 }
 

@@ -3,7 +3,6 @@ package faultinject
 import (
 	"fmt"
 	"net"
-	"time"
 )
 
 // WrapConn wraps a connection so reads and writes consult the injector
@@ -27,13 +26,18 @@ func (c *faultConn) errf(kind Kind, op string) error {
 }
 
 // Read consults the injector: KindReset closes the connection and fails the
-// read; KindDelay sleeps first. Torn/drop are write-side faults and are
-// treated as resets if a rule targets reads with them.
+// read; KindDelay and KindSlow sleep first (virtual time when a clock is
+// attached); KindPartition fails as a timeout — the bytes never arrive.
+// Torn/drop are write-side faults and are treated as resets if a rule
+// targets reads with them.
 func (c *faultConn) Read(p []byte) (int, error) {
 	switch f := c.in.On(PointConnRead, c.label); f.Kind {
 	case KindNone:
-	case KindDelay:
-		time.Sleep(f.Delay)
+	case KindDelay, KindSlow:
+		c.in.Sleep(f.Delay)
+	case KindPartition:
+		c.Conn.Close()
+		return 0, PartitionError(c.errf(KindPartition, "read"))
 	default:
 		c.Conn.Close()
 		return 0, c.errf(f.Kind, "read")
@@ -48,8 +52,11 @@ func (c *faultConn) Read(p []byte) (int, error) {
 func (c *faultConn) Write(p []byte) (int, error) {
 	switch f := c.in.On(PointConnWrite, c.label); f.Kind {
 	case KindNone:
-	case KindDelay:
-		time.Sleep(f.Delay)
+	case KindDelay, KindSlow:
+		c.in.Sleep(f.Delay)
+	case KindPartition:
+		c.Conn.Close()
+		return 0, PartitionError(c.errf(KindPartition, "write"))
 	case KindTorn:
 		n := len(p) / 2
 		if n > 0 {
@@ -66,3 +73,20 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	}
 	return c.Conn.Write(p)
 }
+
+// partitionErr wraps an injected-partition failure so it satisfies
+// net.Error with Timeout() true: an asymmetric partition is silent loss,
+// and silent loss surfaces to the caller as a deadline expiry, never as a
+// connection reset. Modeling it as an *instant* timeout keeps partition
+// soaks fast while exercising exactly the timeout-classification path a
+// real partition would.
+type partitionErr struct{ err error }
+
+func (e *partitionErr) Error() string   { return e.err.Error() }
+func (e *partitionErr) Timeout() bool   { return true }
+func (e *partitionErr) Temporary() bool { return true }
+func (e *partitionErr) Unwrap() error   { return e.err }
+
+// PartitionError wraps err so it reads as a network timeout (net.Error
+// with Timeout() true) while still matching ErrInjected via errors.Is.
+func PartitionError(err error) error { return &partitionErr{err: err} }

@@ -93,6 +93,19 @@ const (
 	// covering any part of it fail with a typed poison error until the
 	// range is fully rewritten (DIMM line poisoning).
 	KindPoison
+	// KindPartition models an asymmetric link partition: the operation
+	// fails with a timeout-flavored error (the bytes vanish into the
+	// network, the caller's deadline expires) rather than a hard reset.
+	// Because rules carry a direction (the Point: dial vs read vs write)
+	// and a peer (the Label), a rule set can express one-way and partial
+	// partitions — A cannot reach B while B still reaches A.
+	KindPartition
+	// KindSlow models a persistently slow link or peer: the operation is
+	// delayed by Rule.Delay and then performed normally. Unlike KindDelay
+	// (a transient hiccup), KindSlow is intended to be armed with Prob 1
+	// over an occurrence window so a link stays slow for a while — the
+	// shape a suspicion-based failure detector must catch.
+	KindSlow
 	numKinds
 )
 
@@ -114,6 +127,10 @@ func (k Kind) String() string {
 		return "bitrot"
 	case KindPoison:
 		return "poison"
+	case KindPartition:
+		return "partition"
+	case KindSlow:
+		return "slow"
 	default:
 		return fmt.Sprintf("kind-%d", uint8(k))
 	}
@@ -143,8 +160,18 @@ type Rule struct {
 	Nth uint64
 	// Count caps how many times the rule fires in total; 0 is unlimited.
 	Count int
-	// Delay is the sleep for KindDelay.
+	// Delay is the sleep for KindDelay and KindSlow.
 	Delay time.Duration
+	// From and Until bound the rule to an occurrence window of its (point,
+	// label) stream: the rule is eligible only while From <= n < Until
+	// (1-based; From 0 means "from the first call", Until 0 means "never
+	// heals"). Windows are how partitions and slow links start and heal
+	// deterministically: the boundary is an occurrence number, a pure
+	// function of the stream, never a wall-clock instant.
+	From uint64
+	// Until is the first occurrence number at which the rule stops
+	// matching (exclusive). 0 means no upper bound.
+	Until uint64
 }
 
 // Fault is one injection decision. Arg is a deterministic hash of the
@@ -163,6 +190,16 @@ type streamKey struct {
 	label string
 }
 
+// VirtualClock is the clock surface the injector needs to realize injected
+// delays in virtual time instead of wall time: *simclock.Clock satisfies
+// it. Advancing a virtual clock is what lets a deterministic soak express
+// "this link was slow for 300ms" without sleeping 300ms of CI wall time —
+// and what lets a virtual-clock-driven failure detector observe the
+// slowness.
+type VirtualClock interface {
+	Advance(d time.Duration) time.Duration
+}
+
 // Injector decides faults from a seed and a rule set. The zero value of
 // *Injector (nil) injects nothing.
 type Injector struct {
@@ -172,6 +209,7 @@ type Injector struct {
 	mu    sync.Mutex
 	calls map[streamKey]uint64 // per-(point,label) occurrence counter
 	fired []int                // per-rule fire count (for Count caps)
+	clock VirtualClock         // nil: injected delays sleep wall time
 
 	total [numKinds]atomic.Int64
 
@@ -196,6 +234,37 @@ func (in *Injector) Seed() uint64 {
 		return 0
 	}
 	return in.seed
+}
+
+// SetClock attaches a virtual clock: from then on every injected delay
+// (KindDelay, KindSlow) advances the clock instead of sleeping wall time.
+// Attach before any traffic flows; nil detaches.
+func (in *Injector) SetClock(c VirtualClock) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.clock = c
+	in.mu.Unlock()
+}
+
+// Sleep realizes an injected delay: against the attached virtual clock when
+// one is set, as a wall-clock sleep otherwise. Nil-safe.
+func (in *Injector) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	var clk VirtualClock
+	if in != nil {
+		in.mu.Lock()
+		clk = in.clock
+		in.mu.Unlock()
+	}
+	if clk != nil {
+		clk.Advance(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // SetObs registers the faultinject_injected_<kind> counters on reg; every
@@ -227,6 +296,12 @@ func (in *Injector) On(point Point, label string) Fault {
 			continue
 		}
 		if r.Count > 0 && in.fired[ri] >= r.Count {
+			continue
+		}
+		if r.From > 0 && n < r.From {
+			continue
+		}
+		if r.Until > 0 && n >= r.Until {
 			continue
 		}
 		if r.Nth > 0 {

@@ -76,6 +76,13 @@ type NodeConfig struct {
 	// Crash/Restart/rollback engine swaps — it is re-wired to whichever
 	// engine currently backs the node.
 	Serve bool
+	// ServeMaxInflight, when positive, arms serving admission control: bag
+	// requests arriving while this many are already executing are shed
+	// with a busy error (MsgErrBusy on the wire) instead of queueing, so
+	// an overloaded or gray-slow node degrades into fast explicit
+	// rejections the caller fails over (DESIGN.md §16). Zero disables
+	// shedding. Survives Crash/Restart/rollback engine swaps.
+	ServeMaxInflight int
 }
 
 // Node is one running parameter-server node.
@@ -369,6 +376,7 @@ func (n *Node) adoptEngine(eng *core.Engine) {
 		}
 		h := serve.New(eng, n.cfg.Obs)
 		h.SetReplicas(n.replicas)
+		h.SetMaxInflight(n.cfg.ServeMaxInflight)
 		n.bagSrv.h.Store(h)
 	}
 }

@@ -70,6 +70,17 @@ type Options struct {
 	// Labels must be deterministic across runs (a node index, not an
 	// ephemeral address); it defaults to the dialed address.
 	Label string
+	// Budget, when set, is the shared retry token bucket: every transparent
+	// retry (not first attempts) withdraws a token and gives up with the
+	// last error when the bucket is empty. Sharing one Budget across many
+	// clients bounds the total retry amplification a dead node can cause.
+	// Nil keeps unbudgeted retries.
+	Budget *Budget
+	// Breaker, when set, is this peer's circuit breaker: consecutive
+	// transport failures open it, after which calls fail fast with
+	// *BreakerOpenError and only periodic half-open probes touch the wire.
+	// Nil disables breaking.
+	Breaker *Breaker
 	// Obs, when set, receives client metrics: rpc_client_rtt_ns,
 	// rpc_client_bytes_out/in, rpc_client_inflight, rpc_client_timeouts,
 	// rpc_client_retries, rpc_client_redials.
@@ -242,9 +253,13 @@ func isTimeout(err error) bool {
 // in fault-tolerant mode, runs the epoch handshake. Caller holds c.mu.
 func (c *Client) connect() error {
 	if f := c.opts.Inject.On(faultinject.PointDial, c.label); f.Kind != faultinject.KindNone {
-		if f.Kind == faultinject.KindDelay {
-			time.Sleep(f.Delay)
-		} else {
+		switch f.Kind {
+		case faultinject.KindDelay, faultinject.KindSlow:
+			c.opts.Inject.Sleep(f.Delay)
+		case faultinject.KindPartition:
+			// A partitioned dial is silent SYN loss: the deadline expires.
+			return &TimeoutError{Addr: c.addr, Op: "dial", After: c.opts.DialTimeout}
+		default:
 			return &TransportError{Addr: c.addr, Op: "dial", Err: faultinject.ErrInjected}
 		}
 	}
@@ -379,7 +394,9 @@ func (c *Client) roundTrip(op string, body []byte) ([]byte, error) {
 	if c.opts.WriteTimeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
 	}
-	if err := WriteFrame(c.bw, body); err != nil {
+	// Propagate the read deadline — the longest this caller will wait for
+	// the response — so the server can abandon work we have given up on.
+	if err := WriteFrameDeadline(c.bw, body, c.opts.ReadTimeout); err != nil {
 		return nil, c.fail(op, c.opts.WriteTimeout, err)
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -392,8 +409,8 @@ func (c *Client) roundTrip(op string, body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, c.fail(op, c.opts.ReadTimeout, err)
 	}
-	c.bytesOut.Add(int64(len(body)) + 4)
-	c.bytesIn.Add(int64(len(resp)) + 4)
+	c.bytesOut.Add(int64(len(body)) + frameHdrSize)
+	c.bytesIn.Add(int64(len(resp)) + frameHdrSize)
 	if c.rtt != nil {
 		c.rtt.Observe(c.opts.Obs.Now() - start)
 	}
@@ -454,14 +471,24 @@ func (c *Client) doLocked(body []byte) (*Reader, error) {
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
+			// Breaker fast-fails never touched the wire, so they cost no
+			// budget token; every other retry must withdraw one or stop.
+			if !errors.Is(lastErr, ErrBreakerOpen) && !c.opts.Budget.TryRetry() {
+				return nil, lastErr
+			}
 			c.retries.Add(1)
 			time.Sleep(c.backoff(a))
+		}
+		if !c.opts.Breaker.Allow() {
+			lastErr = &BreakerOpenError{Addr: c.addr}
+			continue
 		}
 		if err := c.ensureConn(); err != nil {
 			lastErr = err
 			if !retryable(err) {
 				return nil, err
 			}
+			c.opts.Breaker.OnFailure()
 			continue
 		}
 		// Client-side fence: a redial that found the server at a newer
@@ -477,8 +504,13 @@ func (c *Client) doLocked(body []byte) (*Reader, error) {
 			if !retryable(err) {
 				return nil, err
 			}
+			c.opts.Breaker.OnFailure()
 			continue
 		}
+		// Any response at all proves the peer alive: close the breaker and
+		// regrow the retry budget, whatever the response says.
+		c.opts.Breaker.OnSuccess()
+		c.opts.Budget.OnSuccess()
 		r, err := DecodeResponse(resp)
 		if err != nil {
 			var ee *EpochError
@@ -491,6 +523,10 @@ func (c *Client) doLocked(body []byte) (*Reader, error) {
 			var ce *RemoteCorruptError
 			if errors.As(err, &ce) {
 				return nil, &RemoteCorruptError{Addr: c.addr, Msg: ce.Msg}
+			}
+			var be *BusyError
+			if errors.As(err, &be) {
+				return nil, &BusyError{Addr: c.addr, Msg: be.Msg}
 			}
 			return nil, err
 		}

@@ -80,6 +80,54 @@ func (e *RemoteCorruptError) Is(target error) bool { return target == ErrRemoteC
 // ErrClientClosed is returned by operations on a Client after Close.
 var ErrClientClosed = errors.New("rpc: client closed")
 
+// ErrBusy matches (via errors.Is) requests the server shed under overload
+// (serving-tier admission control) or abandoned because the caller's
+// propagated deadline had already expired. Never retried transparently —
+// re-offering shed load is the retry storm the budget exists to prevent —
+// but failover-eligible: a replica may well have capacity.
+var ErrBusy = errors.New("rpc: server busy")
+
+// BusyError is the typed error for a MsgErrBusy response.
+type BusyError struct {
+	Addr string // server address (empty when decoded without context)
+	Msg  string // the remote shed/abandon reason
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	if e.Addr == "" {
+		return fmt.Sprintf("rpc: busy: %s", e.Msg)
+	}
+	return fmt.Sprintf("rpc: busy at %s: %s", e.Addr, e.Msg)
+}
+
+// Is reports true for ErrBusy targets.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// ErrBreakerOpen matches (via errors.Is) requests failed fast by an open
+// per-peer circuit breaker: the peer failed enough consecutive requests
+// that re-attempting every call would only feed a retry storm, so calls
+// fail locally and only periodic probes touch the wire.
+var ErrBreakerOpen = errors.New("rpc: circuit breaker open")
+
+// BreakerOpenError is the typed error for a breaker fast-failure.
+type BreakerOpenError struct {
+	Addr string // server address
+}
+
+// Error implements error.
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("rpc: circuit breaker open for %s", e.Addr)
+}
+
+// Is reports true for ErrBreakerOpen and — because an open breaker means
+// the peer is, as far as this client knows, unreachable — for
+// ErrUnavailable, so the cluster recovery protocol treats fast-failed
+// requests exactly like transport failures.
+func (e *BreakerOpenError) Is(target error) bool {
+	return target == ErrBreakerOpen || target == ErrUnavailable
+}
+
 // IsRecoverable reports whether err is a failure the cluster recovery
 // protocol can heal: a transport failure or timeout (the node may have
 // crashed — redial and replay) or an epoch fence (the node recovered —
@@ -87,4 +135,12 @@ var ErrClientClosed = errors.New("rpc: client closed")
 func IsRecoverable(err error) bool {
 	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrTimeout) ||
 		errors.Is(err, ErrEpochFenced)
+}
+
+// IsDegraded reports whether err means the peer cannot serve this request
+// right now but a replica might: every recoverable failure, plus overload
+// sheds and breaker fast-failures. The serving failover path keys on this
+// — a degraded owner is routed around, never hammered.
+func IsDegraded(err error) bool {
+	return IsRecoverable(err) || errors.Is(err, ErrBusy) || errors.Is(err, ErrBreakerOpen)
 }

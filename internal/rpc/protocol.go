@@ -4,14 +4,19 @@
 // portable stand-in, with the network's virtual cost modeled separately by
 // the simulator).
 //
-// Frame layout: 4-byte little-endian body length, then the body:
+// Frame layout: 4-byte little-endian body length, a 4-byte little-endian
+// deadline (the caller's remaining time budget in microseconds, 0 when the
+// caller has none — responses always carry 0), then the body:
 //
 //	[1]  message type
 //	[8]  batch ID (where applicable)
 //	[..] type-specific payload (counts are uint32, keys uint64, floats
 //	     float32 bit patterns, all little-endian)
 //
-// Responses reuse the same framing: MsgOK / MsgErr / typed payloads.
+// The deadline rides in the frame header, not the body, so the server can
+// abandon a request whose caller has already timed out before it decodes
+// or executes anything. Responses reuse the same framing: MsgOK / MsgErr /
+// typed payloads.
 package rpc
 
 import (
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 )
 
 // Message types.
@@ -95,6 +101,13 @@ const (
 	// ordinary application errors; NOT transparently retried — healing is
 	// the scrubber's and the recovery protocol's job.
 	MsgErrCorrupt byte = 0x85
+	// MsgErrBusy reports a request the node shed under overload (admission
+	// control at the serving tier) or abandoned because the caller's
+	// propagated deadline had already expired. Distinct from MsgErr so
+	// callers can fail over to a replica instead of treating overload as an
+	// application bug; NOT transparently retried — hammering an overloaded
+	// node is exactly the retry storm the budget exists to prevent.
+	MsgErrBusy byte = 0x86
 )
 
 // Mutating message bodies (Push, EndPullPhase, EndBatch, Checkpoint) carry,
@@ -110,13 +123,36 @@ const MaxFrame = 64 << 20
 // ErrFrameTooLarge indicates a frame over MaxFrame.
 var ErrFrameTooLarge = errors.New("rpc: frame too large")
 
-// WriteFrame writes one frame to w.
+// frameHdrSize is the wire header: body length + propagated deadline.
+const frameHdrSize = 8
+
+// maxDeadlineMicros is the largest deadline the 4-byte header field can
+// carry (~71 minutes); longer budgets are clamped, which only ever makes
+// the server more patient, never less.
+const maxDeadlineMicros = 1<<32 - 1
+
+// WriteFrame writes one frame to w with no propagated deadline.
 func WriteFrame(w io.Writer, body []byte) error {
+	return WriteFrameDeadline(w, body, 0)
+}
+
+// WriteFrameDeadline writes one frame carrying the caller's remaining time
+// budget (0 means none). The deadline is relative, not an absolute
+// timestamp, so it needs no clock synchronization between peers.
+func WriteFrameDeadline(w io.Writer, body []byte, deadline time.Duration) error {
 	if len(body) > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	micros := uint64(0)
+	if deadline > 0 {
+		micros = uint64(deadline / time.Microsecond)
+		if micros > maxDeadlineMicros {
+			micros = maxDeadlineMicros
+		}
+	}
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(micros))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -124,21 +160,29 @@ func WriteFrame(w io.Writer, body []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame from r.
+// ReadFrame reads one frame from r, discarding the propagated deadline.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	body, _, err := ReadFrameDeadline(r)
+	return body, err
+}
+
+// ReadFrameDeadline reads one frame and the caller's propagated deadline
+// (0 when the caller set none).
+func ReadFrameDeadline(r io.Reader) ([]byte, time.Duration, error) {
+	var hdr [frameHdrSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return nil, 0, ErrFrameTooLarge
 	}
+	deadline := time.Duration(binary.LittleEndian.Uint32(hdr[4:])) * time.Microsecond
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return body, nil
+	return body, deadline, nil
 }
 
 // Buffer builds frame bodies.
@@ -350,6 +394,13 @@ func CorruptErrBody(err error) []byte {
 	return b.Bytes()
 }
 
+// BusyErrBody encodes an overload-shed (or deadline-abandoned) response.
+func BusyErrBody(err error) []byte {
+	b := &Buffer{b: []byte{MsgErrBusy}}
+	b.PutString(err.Error())
+	return b.Bytes()
+}
+
 // HashInterval is a closed range [Lo, Hi] of ring positions (key hashes)
 // on the wire; the cluster's placement ring produces them and the node's
 // migration hooks turn them into key predicates.
@@ -488,6 +539,12 @@ func DecodeResponse(body []byte) (*Reader, error) {
 			return nil, err
 		}
 		return nil, &RemoteCorruptError{Msg: msg}
+	case MsgErrBusy:
+		msg, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		return nil, &BusyError{Msg: msg}
 	default:
 		return nil, fmt.Errorf("rpc: unexpected response type 0x%02x", t)
 	}

@@ -28,7 +28,7 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameTooLarge(t *testing.T) {
-	var hdr [4]byte
+	var hdr [frameHdrSize]byte
 	hdr[3] = 0xff // huge length
 	if _, err := ReadFrame(bytes.NewReader(append(hdr[:], 0))); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("want ErrFrameTooLarge, got %v", err)

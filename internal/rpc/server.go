@@ -55,8 +55,8 @@ type ServerOptions struct {
 	// Obs, when set, receives server metrics: rpc_server_pull_ns /
 	// rpc_server_push_ns / rpc_server_other_ns request-service histograms,
 	// rpc_server_bytes_in/out, rpc_server_requests, the rpc_server_conns
-	// gauge, and the fault-tolerance counters rpc_server_epoch_rejects and
-	// rpc_server_dedup_hits.
+	// gauge, and the fault-tolerance counters rpc_server_epoch_rejects,
+	// rpc_server_dedup_hits and rpc_server_deadline_abandoned.
 	Obs *obs.Registry
 }
 
@@ -121,6 +121,11 @@ type Server struct {
 	connsG       *obs.Gauge
 	epochRejects *obs.Counter
 	dedupHits    *obs.Counter
+	abandoned    *obs.Counter
+
+	// now is the wall clock used to measure a request's age against its
+	// propagated deadline; tests override it to simulate queueing delay.
+	now func() time.Time
 }
 
 // Serve starts a server for engine on addr ("127.0.0.1:0" picks a free
@@ -148,6 +153,7 @@ func ServeOpts(addr string, engine psengine.Engine, opts ServerOptions) (*Server
 		drop:      opts.Drop,
 		replicate: opts.Replicate,
 		conns:     make(map[net.Conn]struct{}),
+		now:       time.Now,
 	}
 	s.epoch.Store(opts.Epoch)
 	if s.label == "" {
@@ -164,6 +170,7 @@ func ServeOpts(addr string, engine psengine.Engine, opts ServerOptions) (*Server
 		s.connsG = reg.Gauge("rpc_server_conns")
 		s.epochRejects = reg.Counter("rpc_server_epoch_rejects")
 		s.dedupHits = reg.Counter("rpc_server_dedup_hits")
+		s.abandoned = reg.Counter("rpc_server_deadline_abandoned")
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -217,15 +224,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	bw := bufio.NewWriterSize(wire, 1<<16)
 	bound := epochUnbound
 	for {
-		body, err := ReadFrame(br)
+		body, deadline, err := ReadFrameDeadline(br)
 		if err != nil {
 			return // EOF or broken conn
 		}
+		arrival := s.now()
 		var start time.Duration
 		if s.reg != nil {
 			start = s.reg.Now()
 		}
-		resp := s.dispatch(&bound, body)
+		resp := s.dispatchDeadline(&bound, body, arrival, deadline)
 		if s.reg != nil {
 			d := s.reg.Now() - start
 			var t byte
@@ -241,8 +249,8 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.otherNS.Observe(d)
 			}
 			s.requests.Add(1)
-			s.bytesIn.Add(int64(len(body)) + 4)
-			s.bytesOut.Add(int64(len(resp)) + 4)
+			s.bytesIn.Add(int64(len(body)) + frameHdrSize)
+			s.bytesOut.Add(int64(len(resp)) + frameHdrSize)
 		}
 		if err := WriteFrame(bw, resp); err != nil {
 			return
@@ -251,6 +259,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// dispatchDeadline abandons requests whose caller's propagated deadline
+// has already expired — the caller stopped listening, so executing the
+// work (and growing the engine's queue) helps nobody — then delegates to
+// dispatch. The response is a MsgErrBusy so a stray still-listening caller
+// fails over rather than retrying.
+func (s *Server) dispatchDeadline(bound *int64, body []byte, arrival time.Time, deadline time.Duration) []byte {
+	if deadline > 0 && s.now().Sub(arrival) >= deadline {
+		s.abandoned.Add(1)
+		return BusyErrBody(fmt.Errorf("deadline %v expired before execution", deadline))
+	}
+	return s.dispatch(bound, body)
 }
 
 // dispatch applies per-connection epoch fencing and per-client dedup, then
@@ -623,11 +644,17 @@ func (s *Server) Close() error {
 // errResp encodes an engine failure, distinguishing typed data-integrity
 // errors (anything whose chain exposes IntegrityError() bool — the pmem
 // package's corrupt/poisoned errors, without importing it here) so clients
-// see MsgErrCorrupt instead of a generic MsgErr.
+// see MsgErrCorrupt instead of a generic MsgErr, and overload sheds
+// (anything exposing Busy() bool — the serve package's admission-control
+// error) so clients see MsgErrBusy and fail over instead of retrying.
 func errResp(err error) []byte {
 	var ie interface{ IntegrityError() bool }
 	if errors.As(err, &ie) && ie.IntegrityError() {
 		return CorruptErrBody(err)
+	}
+	var be interface{ Busy() bool }
+	if errors.As(err, &be) && be.Busy() {
+		return BusyErrBody(err)
 	}
 	return ErrBody(err)
 }

@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,16 @@ type Handler struct {
 	// node (SetReplicas) and shared across engine swaps.
 	replicas atomic.Pointer[ReplicaStore]
 
+	// Admission control (DESIGN.md §16): when maxInflight is positive, a
+	// request arriving while inflight is already at the watermark is shed
+	// with errShed — a busy-flavored error the RPC server maps to
+	// MsgErrBusy, so overload degrades into fast, explicit rejections the
+	// caller can fail over, never into queue collapse. Zero (the default)
+	// disables admission entirely: the steady-state request pays one
+	// atomic load.
+	inflight    atomic.Int64
+	maxInflight atomic.Int64
+
 	// metrics (all nil, and free, when the registry is nil):
 	//
 	//	serve_bag_ns        request latency histogram (sampled 1-in-8)
@@ -56,6 +67,7 @@ type Handler struct {
 	//	serve_init_served   unknown keys served from the initializer
 	//	serve_replica_hits  keys served from the failover replica overlay
 	//	serve_refreshes     hot-set refresh passes completed
+	//	serve_shed          requests rejected at the inflight watermark
 	reg          *obs.Registry
 	bagNS        *obs.Histogram
 	requests     *obs.Counter
@@ -66,6 +78,26 @@ type Handler struct {
 	initServed   *obs.Counter
 	replicaHits  *obs.Counter
 	refreshes    *obs.Counter
+	shed         *obs.Counter
+}
+
+// overloadError is the admission-control rejection. Its Busy method marks
+// it for the RPC server's MsgErrBusy mapping, so a remote caller sees
+// rpc.ErrBusy — a degraded-but-alive signal, distinct from a transport
+// failure — and fails over instead of retrying the overloaded node.
+type overloadError struct{}
+
+func (overloadError) Error() string { return "serve: inflight watermark exceeded, request shed" }
+func (overloadError) Busy() bool    { return true }
+
+// errShed is preallocated so the shed path does not allocate under the
+// very load it exists to survive.
+var errShed error = overloadError{}
+
+// IsShed reports whether err is an admission-control rejection.
+func IsShed(err error) bool {
+	var o overloadError
+	return errors.As(err, &o)
 }
 
 // bagScratch is one request's reusable state.
@@ -92,6 +124,7 @@ func New(eng *core.Engine, reg *obs.Registry) *Handler {
 		h.initServed = reg.Counter("serve_init_served")
 		h.replicaHits = reg.Counter("serve_replica_hits")
 		h.refreshes = reg.Counter("serve_refreshes")
+		h.shed = reg.Counter("serve_shed")
 	}
 	eng.EnableServeSnapshots()
 	return h
@@ -101,6 +134,20 @@ func New(eng *core.Engine, reg *obs.Registry) *Handler {
 // node installs its long-lived store here after every engine swap, so
 // replicas survive rollback and restart.
 func (h *Handler) SetReplicas(rs *ReplicaStore) { h.replicas.Store(rs) }
+
+// SetMaxInflight sets the admission watermark: requests arriving while n
+// are already in flight are shed with a busy error instead of queueing.
+// n <= 0 disables admission control (the default).
+func (h *Handler) SetMaxInflight(n int) {
+	if n < 0 {
+		n = 0
+	}
+	h.maxInflight.Store(int64(n))
+}
+
+// Inflight returns the number of bag requests currently executing (tests
+// and oectl; always 0 with admission control disabled).
+func (h *Handler) Inflight() int64 { return h.inflight.Load() }
 
 // Dim implements rpc.BagServer.
 func (h *Handler) Dim() int { return h.dim }
@@ -118,6 +165,17 @@ func (h *Handler) Dim() int { return h.dim }
 //
 // oevet:hotpath
 func (h *Handler) PullBags(mean bool, offsets []uint32, keys []uint64, out []float32) error {
+	// Admission control: shed beyond the watermark instead of queueing.
+	// Disabled (the default) this is one atomic load; the shed path itself
+	// allocates nothing (errShed is preallocated).
+	if max := h.maxInflight.Load(); max > 0 {
+		if h.inflight.Add(1) > max {
+			h.inflight.Add(-1)
+			h.shed.Add(1)
+			return errShed
+		}
+		defer h.inflight.Add(-1)
+	}
 	dim := h.dim
 	sc := h.scratchPool.Get().(*bagScratch)
 	var start time.Duration
